@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at reduced
+scale (``quick=True``), prints the table, and asserts the *shape* the paper
+reports (who wins, roughly by how much, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, run_fn, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(lambda: run_fn(quick=True, **kwargs), rounds=1, iterations=1)
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def _run(run_fn, **kwargs):
+        result = run_experiment(benchmark, run_fn, **kwargs)
+        print()
+        print(result.format())
+        return result
+
+    return _run

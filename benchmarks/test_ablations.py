@@ -1,0 +1,141 @@
+"""Ablation benchmarks for Spider's design choices (beyond the paper's
+figures): global flow control ``z``, the IRMC implementation used for the
+full system, and the execution checkpoint interval ``k_e``.
+
+These quantify the knobs DESIGN.md calls out rather than reproducing a
+specific paper figure.
+"""
+
+from repro.core import SpiderConfig
+from repro.experiments.common import (
+    RunScale,
+    build_spider,
+    fresh_env,
+    measure_latency,
+)
+
+REGIONS = ["virginia", "oregon", "ireland", "tokyo"]
+
+
+def _spider_latency(benchmark, config: SpiderConfig, partition_region=None, seed=1):
+    scale = RunScale.quick()
+
+    def once():
+        sim, network = fresh_env(seed=seed)
+        system = build_spider(sim, network, config=config)
+        if partition_region is not None:
+            sim.schedule(0.0, network.partition, {partition_region})
+        summaries = measure_latency(
+            sim, system.make_client, ["virginia"], scale, kinds=["write"]
+        )
+        return summaries["virginia"]
+
+    return benchmark.pedantic(once, rounds=1, iterations=1)
+
+
+class TestGlobalFlowControlZ:
+    """Section 3.5: with z=1 a dead execution group cannot stall writes."""
+
+    def test_z1_tolerates_unreachable_group(self, benchmark):
+        summary = _spider_latency(
+            benchmark, SpiderConfig(z=1), partition_region="tokyo"
+        )
+        print(f"\nz=1 with Tokyo partitioned: {summary}")
+        assert summary.count > 3
+        assert summary.p50 < 30.0  # Virginia writes unaffected
+
+    def test_z0_stalls_once_commit_window_fills(self, benchmark):
+        # Demonstrates the stall that z exists to avoid: with z=0 the
+        # agreement group waits for all groups, so a partitioned group
+        # eventually blocks everyone.
+        def once():
+            sim, network = fresh_env(seed=2)
+            config = SpiderConfig(z=0, commit_capacity=16, ke=8, ka=8, ag_window=16)
+            system = build_spider(sim, network, config=config)
+            sim.schedule(0.0, network.partition, {"tokyo"})
+            client = system.make_client("c", "virginia", group_id="virginia")
+            completed = []
+
+            def issue(index=0):
+                if index >= 40:
+                    return
+                client.write(("put", f"k{index}", index)).add_callback(
+                    lambda _: (completed.append(index), issue(index + 1))
+                )
+
+            issue()
+            sim.run(until=120_000.0)
+            return completed
+
+        completed = benchmark.pedantic(once, rounds=1, iterations=1)
+        print(f"\nz=0 with Tokyo partitioned: {len(completed)}/40 writes completed")
+        assert len(completed) < 40
+
+
+class TestSystemLevelIrmcChoice:
+    """RC vs SC as the system's channel: latency is nearly identical (the
+    extra LAN share round is cheap); WAN volume differs substantially."""
+
+    def test_rc_vs_sc_full_system(self, benchmark):
+        results = {}
+
+        def once():
+            for kind in ("rc", "sc"):
+                sim, network = fresh_env(seed=3)
+                system = build_spider(
+                    sim, network, config=SpiderConfig(irmc_kind=kind)
+                )
+                summaries = measure_latency(
+                    sim,
+                    system.make_client,
+                    ["virginia", "tokyo"],
+                    RunScale.quick(),
+                    kinds=["write"],
+                )
+                results[kind] = {
+                    "latency": summaries["tokyo"].p50,
+                    "wan_bytes": network.wan.bytes,
+                }
+            return results
+
+        outcome = benchmark.pedantic(once, rounds=1, iterations=1)
+        print(f"\nrc vs sc: {outcome}")
+        assert abs(outcome["rc"]["latency"] - outcome["sc"]["latency"]) < 40.0
+        assert outcome["sc"]["wan_bytes"] < outcome["rc"]["wan_bytes"]
+
+
+class TestCheckpointIntervalKe:
+    """Smaller k_e means more frequent checkpoints: more overhead messages
+    but a shorter commit-channel window requirement."""
+
+    def test_ke_sweep(self, benchmark):
+        def once():
+            observed = {}
+            for ke in (4, 32):
+                sim, network = fresh_env(seed=4)
+                config = SpiderConfig(ke=ke, ka=max(4, ke), ag_window=64)
+                system = build_spider(sim, network, config=config)
+                summaries = measure_latency(
+                    sim,
+                    system.make_client,
+                    ["virginia"],
+                    RunScale.quick(),
+                    kinds=["write"],
+                )
+                checkpoints = sum(
+                    replica.cp.stable_count
+                    for group in system.groups.values()
+                    for replica in group.replicas
+                )
+                observed[ke] = {
+                    "p50": summaries["virginia"].p50,
+                    "stable_checkpoints": checkpoints,
+                }
+            return observed
+
+        outcome = benchmark.pedantic(once, rounds=1, iterations=1)
+        print(f"\nke sweep: {outcome}")
+        # Checkpointing more often produces more stable checkpoints without
+        # hurting client latency (it is off the critical path).
+        assert outcome[4]["stable_checkpoints"] > outcome[32]["stable_checkpoints"]
+        assert abs(outcome[4]["p50"] - outcome[32]["p50"]) < 15.0

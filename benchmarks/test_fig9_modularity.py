@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 9a (modularity impact)."""
+
+from repro.experiments.fig9_modularity import run
+
+
+def test_fig9_modularity(experiment):
+    result = experiment(run)
+    rows = {row["variant"]: row for row in result.rows}
+
+    # The paper: modularization overhead below ~14 ms per client region.
+    for column in ("V p50", "O p50", "I p50", "T p50"):
+        base = rows["SPIDER-0E"][column]
+        assert rows["SPIDER-1E"][column] - base < 14.0
+        assert rows["SPIDER"][column] - base < 14.0
+
+    # Response times stay dominated by client-to-Virginia WAN latency.
+    assert rows["SPIDER"]["T p50"] > 10 * rows["SPIDER"]["V p50"]

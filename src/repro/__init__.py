@@ -1,0 +1,50 @@
+"""repro — a reproduction of *Resilient Cloud-based Replication with Low
+Latency* (Eischer & Distler, Middleware 2020): the Spider architecture, its
+IRMC channel abstraction, and the BFT / HFT / BFT-WV baselines it is
+evaluated against, all running on a deterministic discrete-event simulator.
+
+Quick tour
+----------
+>>> from repro import Simulator, SpiderSystem
+>>> sim = Simulator(seed=1)
+>>> system = SpiderSystem(sim)
+>>> _ = system.add_execution_group("us", "virginia")
+>>> client = system.make_client("alice", "virginia", group_id="us")
+>>> future = client.write(("put", "k", "v"))
+>>> sim.run(until=1_000.0)
+>>> future.value
+('ok', 1)
+
+Sub-packages
+------------
+``repro.sim``         deterministic event loop, coroutine processes, CPU model
+``repro.net``         cloud topology (regions / availability zones), WAN model
+``repro.crypto``      structural signatures/MACs with a CPU cost model
+``repro.app``         replicated applications (key-value store, counter)
+``repro.consensus``   agreement black-boxes: PBFT (+ weighted voting), Raft
+``repro.checkpoints`` the f+1-certificate checkpoint component
+``repro.irmc``        inter-regional message channels (RC and SC variants)
+``repro.core``        Spider itself (clients, execution/agreement groups)
+``repro.baselines``   BFT, BFT-WV and HFT (Steward-style) comparison systems
+``repro.workload``    closed-loop client drivers
+``repro.metrics``     latency percentiles, time series, message tracing
+``repro.faults``      Byzantine fault injection
+``repro.experiments`` one runner per paper figure (``python -m repro.experiments``)
+"""
+
+from repro.core import SpiderClient, SpiderConfig, SpiderSystem
+from repro.net import Network, Site, Topology
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "Topology",
+    "Site",
+    "SpiderSystem",
+    "SpiderConfig",
+    "SpiderClient",
+    "__version__",
+]

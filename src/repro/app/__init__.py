@@ -1,0 +1,13 @@
+"""Deterministic application state machines replicated by the protocols.
+
+The paper's evaluation runs a key-value store; all systems here replicate
+any :class:`StateMachine`, and checkpointing uses its snapshot/restore
+methods (paper Definition A.14: replicas processing the same total order of
+writes reach identical states).
+"""
+
+from repro.app.kvstore import KVStore
+from repro.app.counter import CounterApp
+from repro.app.statemachine import StateMachine, is_read_only
+
+__all__ = ["StateMachine", "KVStore", "CounterApp", "is_read_only"]

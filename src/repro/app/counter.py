@@ -1,0 +1,30 @@
+"""A minimal counter application, used by tests and the quickstart example."""
+
+from __future__ import annotations
+
+from repro.app.statemachine import Operation, StateMachine
+
+
+class CounterApp(StateMachine):
+    """A single integer register supporting ``add`` and read-only ``read``."""
+
+    def __init__(self, initial: int = 0):
+        self.value = initial
+
+    def apply(self, operation: Operation) -> int:
+        opcode = operation[0]
+        if opcode == "add":
+            self.value += operation[1]
+            return self.value
+        if opcode in ("read", "get"):
+            return self.value
+        raise ValueError(f"unknown opcode {opcode!r}")
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, state: int) -> None:
+        self.value = state
+
+    def state_size_bytes(self) -> int:
+        return 8

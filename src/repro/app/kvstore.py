@@ -1,0 +1,94 @@
+"""A deterministic in-memory key-value store.
+
+Supported operations (tuples):
+
+* ``("put", key, value)`` — store, returns ``("ok", version)``.
+* ``("get", key)`` — returns ``("value", value)`` or ``("missing",)``.
+* ``("delete", key)`` — returns ``("ok",)`` or ``("missing",)``.
+* ``("cas", key, expected, new)`` — compare-and-swap, returns
+  ``("ok",)`` or ``("mismatch", current)``.
+* ``("incr", key, delta)`` — numeric increment, returns ``("value", n)``.
+* ``("scan", prefix)`` — read-only prefix scan, returns sorted key list.
+* ``("size",)`` — read-only entry count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.app.statemachine import Operation, StateMachine
+
+
+class KVStore(StateMachine):
+    """The workload application used throughout the evaluation."""
+
+    def __init__(self):
+        self._data: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # StateMachine interface
+    # ------------------------------------------------------------------
+    def apply(self, operation: Operation) -> Any:
+        if not operation:
+            return ("error", "empty operation")
+        opcode = operation[0]
+        handler = getattr(self, f"_op_{opcode}", None)
+        if handler is None:
+            return ("error", f"unknown opcode {opcode!r}")
+        return handler(*operation[1:])
+
+    def snapshot(self) -> Tuple[Dict[str, Any], Dict[str, int]]:
+        return (dict(self._data), dict(self._versions))
+
+    def restore(self, state: Tuple[Dict[str, Any], Dict[str, int]]) -> None:
+        data, versions = state
+        self._data = dict(data)
+        self._versions = dict(versions)
+
+    def state_size_bytes(self) -> int:
+        return sum(len(str(k)) + len(str(v)) + 8 for k, v in self._data.items())
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _op_put(self, key: str, value: Any) -> Tuple:
+        version = self._versions.get(key, 0) + 1
+        self._data[key] = value
+        self._versions[key] = version
+        return ("ok", version)
+
+    def _op_get(self, key: str) -> Tuple:
+        if key in self._data:
+            return ("value", self._data[key])
+        return ("missing",)
+
+    def _op_delete(self, key: str) -> Tuple:
+        if key in self._data:
+            del self._data[key]
+            self._versions.pop(key, None)
+            return ("ok",)
+        return ("missing",)
+
+    def _op_cas(self, key: str, expected: Any, new: Any) -> Tuple:
+        current = self._data.get(key)
+        if current != expected:
+            return ("mismatch", current)
+        return ("ok",) if self._op_put(key, new)[0] == "ok" else ("error",)
+
+    def _op_incr(self, key: str, delta: int = 1) -> Tuple:
+        current = self._data.get(key, 0)
+        if not isinstance(current, (int, float)):
+            return ("error", "not a number")
+        self._op_put(key, current + delta)
+        return ("value", current + delta)
+
+    def _op_scan(self, prefix: str) -> Tuple:
+        keys = sorted(k for k in self._data if k.startswith(prefix))
+        return ("keys", tuple(keys))
+
+    def _op_size(self) -> Tuple:
+        return ("value", len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,54 @@
+"""Replicated-state-machine interface.
+
+Operations are plain tuples ``(opcode, *args)`` so they have deterministic
+reprs (required by the structural crypto) and trivial size estimates.
+Opcode conventions: read-only operations start with ``"get"`` or are listed
+in :data:`READ_ONLY_OPCODES`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Tuple
+
+from repro.crypto.costs import active_cost_model
+from repro.sim.node import charge
+
+Operation = Tuple  # (opcode, *args)
+
+READ_ONLY_OPCODES = frozenset({"get", "read", "scan", "size", "noop-read"})
+
+
+def is_read_only(operation: Operation) -> bool:
+    """Whether ``operation`` can never modify application state."""
+    return bool(operation) and operation[0] in READ_ONLY_OPCODES
+
+
+class StateMachine(ABC):
+    """A deterministic application hosted by execution replicas.
+
+    Implementations must be deterministic: the same sequence of
+    :meth:`execute` calls from the same initial state yields the same
+    results and final state on every replica (paper Definition A.14).
+    """
+
+    def execute(self, operation: Operation) -> Any:
+        """Apply ``operation`` and return its result (charges CPU cost)."""
+        charge(active_cost_model().execute_request)
+        return self.apply(operation)
+
+    @abstractmethod
+    def apply(self, operation: Operation) -> Any:
+        """Implementation hook for :meth:`execute` (no cost accounting)."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """A deep, immutable-enough copy of the full application state."""
+
+    @abstractmethod
+    def restore(self, state: Any) -> None:
+        """Replace the application state with a snapshot."""
+
+    @abstractmethod
+    def state_size_bytes(self) -> int:
+        """Approximate serialized state size (for checkpoint transfer cost)."""

@@ -1,0 +1,14 @@
+"""Baseline system architectures the paper evaluates against Spider.
+
+* :mod:`repro.baselines.bft` — **BFT**: one PBFT replica per region, the
+  whole protocol runs over wide-area links (paper Fig. 1a).  With vote
+  weights it becomes **BFT-WV** (WHEAT-style weighted voting, Fig. 10).
+* :mod:`repro.baselines.hft` — **HFT**: a Steward-style hierarchical
+  architecture (paper Fig. 1b): a BFT cluster per site, threshold-signed
+  site messages, and a crash-tolerant wide-area protocol between sites.
+"""
+
+from repro.baselines.bft import BftReplica, BftSystem
+from repro.baselines.hft import HftReplica, HftSystem
+
+__all__ = ["BftReplica", "BftSystem", "HftReplica", "HftSystem"]

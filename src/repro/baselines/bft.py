@@ -1,0 +1,224 @@
+"""The BFT baseline: flat PBFT across regions (paper Fig. 1a).
+
+One replica per region; clients submit requests to all replicas and accept
+``f + 1`` matching replies.  Weakly consistent reads are answered directly
+by each replica, but the client still needs ``f + 1`` matching answers — at
+least one of which crosses the WAN, which is exactly why the paper's
+Fig. 8b/10b show BFT weak reads paying wide-area latency.
+
+Passing ``weights`` turns the system into **BFT-WV** (weighted voting a la
+WHEAT): extra replicas join the group and the consensus quorum is formed by
+vote weight instead of count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.app.statemachine import StateMachine, is_read_only
+from repro.checkpoints import CheckpointComponent
+from repro.consensus.pbft import PbftConfig, PbftReplica, is_noop
+from repro.core.client import SpiderClient
+from repro.core.messages import (
+    ClientRequest,
+    Reply,
+    RequestWrapper,
+    WeakRead,
+    WeakReadReply,
+)
+from repro.crypto.primitives import make_mac, verify, verify_mac_vector
+from repro.errors import ConfigurationError
+from repro.net import Network, Site, Topology
+from repro.sim import Process, Simulator
+from repro.sim.routing import RoutedNode
+
+
+class BftReplica(RoutedNode):
+    """A geo-distributed PBFT replica hosting the application directly."""
+
+    def __init__(self, sim, name, site, app: StateMachine, f: int = 1, checkpoint_interval: int = 16):
+        super().__init__(sim, name, site)
+        self.app = app
+        self.f = f
+        self.checkpoint_interval = checkpoint_interval
+        self.sn = 0
+        self.t: Dict[str, int] = {}
+        self.u: Dict[str, Tuple[int, Any]] = {}
+        self.ag: Optional[PbftReplica] = None
+        self.cp: Optional[CheckpointComponent] = None
+        self.executed_count = 0
+        self.set_default_handler(self._on_client_message)
+
+    def setup(self, peers, pbft_config: PbftConfig) -> None:
+        self.ag = PbftReplica(self, "pbft-bft", peers, pbft_config)
+        self.cp = CheckpointComponent(
+            self, "cp-bft", peers, self.f, self._on_stable_checkpoint
+        )
+        Process(self.sim, self._delivery_loop(), node=self, name=f"{self.name}.deliver")
+
+    # ------------------------------------------------------------------
+    # Client handling
+    # ------------------------------------------------------------------
+    def _on_client_message(self, src, message: Any) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif isinstance(message, WeakRead):
+            self._on_weak_read(src, message)
+
+    def _on_request(self, src, message: ClientRequest) -> None:
+        body = message.body
+        if body.client != src.name:
+            return
+        if not verify_mac_vector(message.auth, body.signed_content(), body.client, self.name):
+            return
+        cached = self.u.get(body.client)
+        if body.counter <= self.t.get(body.client, 0):
+            if cached is not None and cached[0] == body.counter:
+                self._send_reply(body.client, cached[0], cached[1])
+            return
+        if not verify(message.signature, body.signed_content(), signer=body.client):
+            return
+        self.t[body.client] = body.counter
+        self.ag.order(RequestWrapper(body=body, signature=message.signature, group="bft"))
+
+    def _on_weak_read(self, src, message: WeakRead) -> None:
+        if message.client != src.name:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.client, self.name
+        ):
+            return
+        if not is_read_only(message.operation):
+            return
+        result = self.app.execute(message.operation)
+        reply = WeakReadReply(result=result, nonce=message.nonce, sender=self.name)
+        reply = WeakReadReply(
+            result=reply.result,
+            nonce=reply.nonce,
+            sender=reply.sender,
+            mac=make_mac(self.name, message.client, reply.signed_content()),
+        )
+        self.send(src, reply)
+
+    # ------------------------------------------------------------------
+    # Ordered execution
+    # ------------------------------------------------------------------
+    def _delivery_loop(self):
+        while True:
+            seq, payload = yield self.ag.next_delivery()
+            if seq <= self.sn:
+                continue
+            self.sn = seq
+            if isinstance(payload, RequestWrapper) and not is_noop(payload):
+                self._execute(payload)
+            if seq % self.checkpoint_interval == 0:
+                self.cp.gen_cp(seq, self._snapshot())
+
+    def _execute(self, wrapper: RequestWrapper) -> None:
+        body = wrapper.body
+        cached = self.u.get(body.client)
+        if cached is not None and cached[0] >= body.counter:
+            return
+        result = self.app.execute(body.operation)
+        self.executed_count += 1
+        self.u[body.client] = (body.counter, result)
+        self.t[body.client] = max(self.t.get(body.client, 0), body.counter)
+        self._send_reply(body.client, body.counter, result)
+
+    def _send_reply(self, client: str, counter: int, result: Any) -> None:
+        target = self.network.nodes.get(client) if self.network else None
+        if target is None:
+            return
+        reply = Reply(result=result, counter=counter, sender=self.name, group="bft")
+        reply = Reply(
+            result=reply.result,
+            counter=reply.counter,
+            sender=reply.sender,
+            group=reply.group,
+            mac=make_mac(self.name, client, reply.signed_content()),
+        )
+        self.send(target, reply)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / log truncation
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Tuple:
+        return (tuple(sorted(self.u.items())), self.app.snapshot())
+
+    def _on_stable_checkpoint(self, seq: int, state: Tuple) -> None:
+        self.ag.gc(seq + 1)
+        if seq > self.sn:
+            reply_cache, app_state = state
+            self.sn = seq
+            self.u = dict(reply_cache)
+            self.app.restore(app_state)
+
+
+class BftSystem:
+    """Builder for the BFT / BFT-WV baselines.
+
+    Parameters
+    ----------
+    regions:
+        One replica is placed in each listed region, in order; the first
+        region hosts the initial leader.  Rotate the list to move the
+        leader (the paper's "Leader in V/O/I/T" configurations).
+    weights:
+        Optional region -> vote weight map; enables weighted voting.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        regions: List[str],
+        app_factory,
+        f: int = 1,
+        network: Optional[Network] = None,
+        weights: Optional[Dict[str, float]] = None,
+        view_timeout_ms: float = 4000.0,
+        checkpoint_interval: int = 16,
+    ):
+        if len(regions) < 3 * f + 1:
+            raise ConfigurationError(f"BFT with f={f} needs >= {3 * f + 1} regions")
+        self.sim = sim
+        self.network = network or Network(sim, Topology())
+        self.replicas: List[BftReplica] = []
+        self.f = f
+        for index, region in enumerate(regions):
+            replica = BftReplica(
+                sim,
+                f"bft-{region}",
+                Site(region, 1),
+                app_factory(),
+                f=f,
+                checkpoint_interval=checkpoint_interval,
+            )
+            self.network.register(replica)
+            self.replicas.append(replica)
+        name_weights = (
+            {f"bft-{region}": weight for region, weight in weights.items()}
+            if weights
+            else None
+        )
+        config = PbftConfig(f=f, view_timeout_ms=view_timeout_ms, weights=name_weights)
+        for replica in self.replicas:
+            replica.setup(self.replicas, config)
+        self.clients: Dict[str, SpiderClient] = {}
+
+    def make_client(self, name: str, region: str, zone: int = 1) -> SpiderClient:
+        """Clients talk to the whole replica group, f+1 matching replies."""
+        client = SpiderClient(
+            self.sim,
+            name,
+            Site(region, zone),
+            "bft",
+            self.replicas,
+            fe=self.f,
+        )
+        self.network.register(client)
+        self.clients[name] = client
+        return client
+
+    @property
+    def leader_region(self) -> str:
+        return self.replicas[0].site.region

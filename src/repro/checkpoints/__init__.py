@@ -1,0 +1,14 @@
+"""Checkpoint component (paper Figure 13 and Section A.4.3).
+
+Provides ``gen_cp`` / ``stable_cp`` / ``fetch_cp`` with the paper's
+properties: CP-Safety (a stable checkpoint was created by at least one
+correct replica — enforced by requiring f+1 matching *signed* checkpoint
+messages), CP-Liveness (stable checkpoints spread to all correct group
+members), and monotonic delivery (older checkpoints are skipped once a
+newer one is stable).
+"""
+
+from repro.checkpoints.component import CheckpointComponent
+from repro.checkpoints.messages import CheckpointMsg, CpState, FetchCp
+
+__all__ = ["CheckpointComponent", "CheckpointMsg", "FetchCp", "CpState"]

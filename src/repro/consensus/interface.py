@@ -1,0 +1,113 @@
+"""The agreement black-box interface (paper Figure 12).
+
+The paper specifies a blocking ``deliver`` callback; in the simulator the
+equivalent is *pull-based*: the host repeatedly awaits
+:meth:`Agreement.next_delivery`, and simply not pulling exerts the same
+back-pressure the blocking callback would (the agreement replica's
+``sleep until s <= max(win)``, Fig. 17 L. 27, becomes "don't pull yet").
+
+Properties expected from implementations (paper Definitions A.6–A.9):
+
+* **A-Safety** — two correct replicas never deliver different messages for
+  the same sequence number.
+* **A-Liveness** — a message received by 2f+1 correct replicas is
+  eventually delivered by f+1 correct replicas.
+* **A-Validity** — only correctly authenticated messages are delivered.
+* **A-Order** — sequence numbers are delivered gaplessly in order, except
+  across :meth:`gc` skips.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.sim.futures import SimFuture
+
+
+class Agreement(ABC):
+    """Orders messages into a gapless, totally ordered sequence (from 1)."""
+
+    @abstractmethod
+    def order(self, message: Any) -> None:
+        """Request that ``message`` be assigned a sequence number."""
+
+    @abstractmethod
+    def next_delivery(self) -> SimFuture:
+        """A future resolving with the next ``(seq, message)`` in order.
+
+        At most one outstanding pull at a time; the host's delivery loop
+        awaits the result before pulling again.
+        """
+
+    @abstractmethod
+    def gc(self, before_seq: int) -> None:
+        """Forget everything with sequence number < ``before_seq``.
+
+        After this call no sequence number below ``before_seq`` may be
+        delivered.
+        """
+
+
+class DeliveryQueue:
+    """Shared helper implementing the pull-based delivery contract."""
+
+    def __init__(self):
+        self._ready: Deque[Tuple[int, Any]] = deque()
+        self._waiter: Optional[SimFuture] = None
+
+    def push(self, seq: int, message: Any) -> None:
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.resolve((seq, message))
+        else:
+            self._ready.append((seq, message))
+
+    def pull(self) -> SimFuture:
+        future = SimFuture(name="delivery")
+        if self._ready:
+            future.resolve(self._ready.popleft())
+        elif self._waiter is not None:
+            raise RuntimeError("next_delivery() called while one is outstanding")
+        else:
+            self._waiter = future
+        return future
+
+    def drop_below(self, seq: int) -> None:
+        self._ready = deque(item for item in self._ready if item[0] >= seq)
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+
+class SingleSequencer(Agreement):
+    """A trivial single-node sequencer (not fault tolerant).
+
+    Exists to demonstrate Spider's modularity: execution groups and IRMCs
+    operate unchanged when the agreement group swaps PBFT for this.  Also
+    convenient in unit tests that exercise ordering-dependent logic.
+    """
+
+    def __init__(self):
+        self._next_seq = 1
+        self._low_water = 1
+        self._queue = DeliveryQueue()
+        self._seen = set()
+
+    def order(self, message: Any) -> None:
+        key = repr(message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        seq = self._next_seq
+        self._next_seq += 1
+        if seq >= self._low_water:
+            self._queue.push(seq, message)
+
+    def next_delivery(self) -> SimFuture:
+        return self._queue.pull()
+
+    def gc(self, before_seq: int) -> None:
+        self._low_water = max(self._low_water, before_seq)
+        self._queue.drop_below(self._low_water)

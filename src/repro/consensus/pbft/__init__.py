@@ -1,0 +1,13 @@
+"""PBFT (Castro & Liskov, OSDI '99) as a reusable component.
+
+One consensus instance per client message (no batching); sequence numbers
+are assigned contiguously from 1.  Supports weighted voting (WHEAT-style)
+through per-replica vote weights, which is how the BFT-WV baseline of the
+paper's Fig. 10 is realised.
+"""
+
+from repro.consensus.pbft.config import PbftConfig, quorum_weight
+from repro.consensus.pbft.messages import NOOP, is_noop
+from repro.consensus.pbft.replica import PbftReplica
+
+__all__ = ["PbftConfig", "PbftReplica", "quorum_weight", "NOOP", "is_noop"]

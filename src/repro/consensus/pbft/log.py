@@ -1,0 +1,108 @@
+"""Per-instance vote bookkeeping for PBFT."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.consensus.pbft.messages import PrePrepare
+
+
+@dataclass
+class Slot:
+    """State of one consensus instance (one sequence number)."""
+
+    seq: int
+    view: int = 0
+    pre_prepare: Optional[PrePrepare] = None
+    payload_digest: Optional[int] = None
+    #: sender name -> digest voted for (votes may arrive before PrePrepare)
+    prepare_votes: Dict[str, int] = field(default_factory=dict)
+    commit_votes: Dict[str, int] = field(default_factory=dict)
+    sent_prepare: bool = False
+    sent_commit: bool = False
+    prepared: bool = False
+    committed: bool = False
+    delivered: bool = False
+
+    def accept_pre_prepare(self, pre_prepare: PrePrepare, payload_digest: int) -> bool:
+        """Adopt a PrePrepare; reject a conflicting one for the same view."""
+        if self.pre_prepare is not None:
+            if self.pre_prepare.view >= pre_prepare.view:
+                same = (
+                    self.pre_prepare.view == pre_prepare.view
+                    and self.payload_digest == payload_digest
+                )
+                return same
+            # A PrePrepare from a newer view supersedes ours: reset votes.
+            self.prepare_votes = {
+                s: d for s, d in self.prepare_votes.items() if d == payload_digest
+            }
+            self.commit_votes = {
+                s: d for s, d in self.commit_votes.items() if d == payload_digest
+            }
+            self.sent_prepare = False
+            self.sent_commit = False
+            self.prepared = False
+            self.committed = False
+        self.pre_prepare = pre_prepare
+        self.view = pre_prepare.view
+        self.payload_digest = payload_digest
+        return True
+
+    def add_prepare(self, sender: str, payload_digest: int) -> None:
+        self.prepare_votes.setdefault(sender, payload_digest)
+
+    def add_commit(self, sender: str, payload_digest: int) -> None:
+        self.commit_votes.setdefault(sender, payload_digest)
+
+    def prepare_weight(self, weight_of) -> float:
+        if self.payload_digest is None:
+            return 0.0
+        return sum(
+            weight_of(sender)
+            for sender, voted in self.prepare_votes.items()
+            if voted == self.payload_digest
+        )
+
+    def commit_weight(self, weight_of) -> float:
+        if self.payload_digest is None:
+            return 0.0
+        return sum(
+            weight_of(sender)
+            for sender, voted in self.commit_votes.items()
+            if voted == self.payload_digest
+        )
+
+
+class PbftLog:
+    """The replica's sparse map from sequence number to :class:`Slot`."""
+
+    def __init__(self):
+        self.slots: Dict[int, Slot] = {}
+
+    def slot(self, seq: int) -> Slot:
+        existing = self.slots.get(seq)
+        if existing is None:
+            existing = Slot(seq=seq)
+            self.slots[seq] = existing
+        return existing
+
+    def get(self, seq: int) -> Optional[Slot]:
+        return self.slots.get(seq)
+
+    def drop_below(self, seq: int) -> None:
+        for old in [s for s in self.slots if s < seq]:
+            del self.slots[old]
+
+    def prepared_proof_payloads(self, from_seq: int):
+        """(view, seq, payload) for every prepared-but-not-gc'd instance."""
+        result = []
+        for seq in sorted(self.slots):
+            slot = self.slots[seq]
+            if seq >= from_seq and slot.prepared and slot.pre_prepare is not None:
+                result.append((slot.view, seq, slot.pre_prepare.payload))
+        return result
+
+    def __len__(self) -> int:
+        return len(self.slots)

@@ -1,0 +1,536 @@
+"""The PBFT replica component.
+
+Implements the normal-case three-phase protocol, leader-relay of incoming
+messages, weighted quorums, gap retransmission, and view changes, behind the
+pull-based :class:`~repro.consensus.interface.Agreement` interface.
+
+Fidelity notes
+--------------
+* One consensus instance per ordered message (the paper's prototype orders
+  per-request as well; adaptive batching is related work there).
+* Normal-case messages carry MAC vectors, view-change messages signatures,
+  matching the prototype's HMAC-SHA-256 / RSA-1024 split.
+* The new-view message re-proposes prepared instances and fills gaps with
+  no-ops; proof compaction is simplified (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.consensus.interface import Agreement, DeliveryQueue
+from repro.consensus.pbft.config import PbftConfig
+from repro.consensus.pbft.log import PbftLog, Slot
+from repro.consensus.pbft.messages import (
+    NOOP,
+    Commit,
+    FetchSlot,
+    Forward,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    ViewChange,
+)
+from repro.crypto.primitives import digest, make_mac_vector, sign, verify, verify_mac_vector
+from repro.sim.futures import SimFuture
+from repro.sim.routing import Component, RoutedNode
+
+
+def _key(payload: Any) -> str:
+    return repr(payload)
+
+
+class PbftReplica(Component, Agreement):
+    """One PBFT replica, hosted on a :class:`RoutedNode`.
+
+    Parameters
+    ----------
+    node:
+        The hosting node.
+    tag:
+        Routing tag, identical at all group members (e.g. ``"pbft-ag"``).
+    peers:
+        All member nodes in canonical order (defines leader rotation).
+    config:
+        :class:`PbftConfig`.
+    """
+
+    def __init__(
+        self,
+        node: RoutedNode,
+        tag: str,
+        peers: Sequence[RoutedNode],
+        config: Optional[PbftConfig] = None,
+    ):
+        super().__init__(node, tag)
+        self.peers = list(peers)
+        self.peer_names = [peer.name for peer in self.peers]
+        self.config = config or PbftConfig()
+        self.config.validate(self.peer_names)
+        self.quorum = self.config.quorum(self.peer_names)
+        self.f = self.config.f
+
+        self.view = 0
+        self.low_water = 1  # smallest live sequence number
+        self.next_propose_seq = 1
+        self.delivered_seq = 0
+        self.log = PbftLog()
+        self.queue = DeliveryQueue()
+        self.backlog: Deque[Any] = deque()
+        self.pending: Dict[str, Any] = {}  # awaiting delivery (liveness watch)
+        self.live_keys: set = set()  # payload keys occupying live slots
+
+        self.in_view_change = False
+        self.vc_store: Dict[int, Dict[str, ViewChange]] = {}
+        self._view_timer = None
+        self._timeout_factor = 1.0
+        self._fetch_timer = None
+
+        self.delivered_count = 0
+        self.view_changes_completed = 0
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def leader_name(self, view: Optional[int] = None) -> str:
+        view = self.view if view is None else view
+        return self.peer_names[view % len(self.peers)]
+
+    def is_leader(self, view: Optional[int] = None) -> bool:
+        return self.leader_name(view) == self.name
+
+    def _leader_node(self, view: Optional[int] = None) -> RoutedNode:
+        view = self.view if view is None else view
+        return self.peers[view % len(self.peers)]
+
+    def _weight_of(self, sender: str) -> float:
+        return self.config.weight_of(sender)
+
+    # ------------------------------------------------------------------
+    # Agreement interface
+    # ------------------------------------------------------------------
+    def order(self, message: Any) -> None:
+        key = _key(message)
+        if key in self.live_keys or key in self.pending:
+            return
+        self.pending[key] = message
+        self._arm_view_timer()
+        if self.is_leader() and not self.in_view_change:
+            self._propose(message)
+        else:
+            self.send(
+                self._leader_node(), Forward(tag=self.tag, payload=message, sender=self.name)
+            )
+
+    def next_delivery(self) -> SimFuture:
+        return self.queue.pull()
+
+    def gc(self, before_seq: int) -> None:
+        if before_seq <= self.low_water:
+            return
+        self.low_water = before_seq
+        self.log.drop_below(before_seq)
+        self.queue.drop_below(before_seq)
+        self.delivered_seq = max(self.delivered_seq, before_seq - 1)
+        self.next_propose_seq = max(self.next_propose_seq, before_seq)
+        self.live_keys = {
+            _key(slot.pre_prepare.payload)
+            for slot in self.log.slots.values()
+            if slot.pre_prepare is not None
+        }
+        self._drain_backlog()
+        self._try_deliver()
+
+    # ------------------------------------------------------------------
+    # Proposing (leader)
+    # ------------------------------------------------------------------
+    def _propose(self, payload: Any) -> None:
+        if self.next_propose_seq >= self.low_water + self.config.window:
+            self.backlog.append(payload)
+            return
+        seq = self.next_propose_seq
+        self.next_propose_seq += 1
+        content = ("pbft-pp", self.tag, self.view, seq, repr(payload), self.name)
+        auth = make_mac_vector(self.name, self.peer_names, content)
+        pre_prepare = PrePrepare(
+            tag=self.tag, view=self.view, seq=seq, payload=payload, sender=self.name, auth=auth
+        )
+        slot = self.log.slot(seq)
+        slot.accept_pre_prepare(pre_prepare, digest(payload))
+        slot.add_prepare(self.name, slot.payload_digest)
+        slot.sent_prepare = True
+        self.live_keys.add(_key(payload))
+        self.broadcast(self.peers, pre_prepare)
+        self._check_prepared(slot)
+
+    def _drain_backlog(self) -> None:
+        while (
+            self.backlog
+            and self.is_leader()
+            and not self.in_view_change
+            and self.next_propose_seq < self.low_water + self.config.window
+        ):
+            self._propose(self.backlog.popleft())
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, src, message: Any) -> None:
+        if isinstance(message, PrePrepare):
+            self._on_pre_prepare(message)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message)
+        elif isinstance(message, Commit):
+            self._on_commit(message)
+        elif isinstance(message, Forward):
+            self._on_forward(message)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message)
+        elif isinstance(message, NewView):
+            self._on_new_view(message)
+        elif isinstance(message, FetchSlot):
+            self._on_fetch(src, message)
+
+    def _on_forward(self, message: Forward) -> None:
+        if message.sender not in self.peer_names:
+            return
+        key = _key(message.payload)
+        if key in self.live_keys:
+            return
+        if self.is_leader() and not self.in_view_change:
+            self.pending.setdefault(key, message.payload)
+            self._arm_view_timer()
+            self._propose(message.payload)
+
+    def _on_pre_prepare(self, message: PrePrepare) -> None:
+        if message.sender != self.leader_name(message.view):
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.name
+        ):
+            return
+        if message.view < self.view or message.seq < self.low_water:
+            return
+        if message.seq >= self.low_water + self.config.window:
+            return
+        if message.view > self.view:
+            # We lag behind in views; adopt nothing yet (new-view will come).
+            return
+        slot = self.log.slot(message.seq)
+        payload_digest = digest(message.payload)
+        if not slot.accept_pre_prepare(message, payload_digest):
+            return  # equivocation or duplicate conflicting proposal
+        self.live_keys.add(_key(message.payload))
+        slot.add_prepare(message.sender, payload_digest)
+        if not slot.sent_prepare and message.sender != self.name:
+            slot.sent_prepare = True
+            slot.add_prepare(self.name, payload_digest)
+            content = ("pbft-p", self.tag, message.view, message.seq, payload_digest, self.name)
+            auth = make_mac_vector(self.name, self.peer_names, content)
+            self.broadcast(
+                self.peers,
+                Prepare(
+                    tag=self.tag,
+                    view=message.view,
+                    seq=message.seq,
+                    payload_digest=payload_digest,
+                    sender=self.name,
+                    auth=auth,
+                ),
+            )
+        self._check_prepared(slot)
+
+    def _on_prepare(self, message: Prepare) -> None:
+        if message.sender not in self.peer_names or message.seq < self.low_water:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.name
+        ):
+            return
+        slot = self.log.slot(message.seq)
+        slot.add_prepare(message.sender, message.payload_digest)
+        self._check_prepared(slot)
+
+    def _check_prepared(self, slot: Slot) -> None:
+        if slot.prepared or slot.pre_prepare is None:
+            return
+        if slot.view != self.view or self.in_view_change:
+            return
+        if slot.prepare_weight(self._weight_of) >= self.quorum:
+            slot.prepared = True
+            if not slot.sent_commit:
+                slot.sent_commit = True
+                slot.add_commit(self.name, slot.payload_digest)
+                content = (
+                    "pbft-c",
+                    self.tag,
+                    slot.view,
+                    slot.seq,
+                    slot.payload_digest,
+                    self.name,
+                )
+                auth = make_mac_vector(self.name, self.peer_names, content)
+                self.broadcast(
+                    self.peers,
+                    Commit(
+                        tag=self.tag,
+                        view=slot.view,
+                        seq=slot.seq,
+                        payload_digest=slot.payload_digest,
+                        sender=self.name,
+                        auth=auth,
+                    ),
+                )
+            self._check_committed(slot)
+
+    def _on_commit(self, message: Commit) -> None:
+        if message.sender not in self.peer_names or message.seq < self.low_water:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.name
+        ):
+            return
+        slot = self.log.slot(message.seq)
+        slot.add_commit(message.sender, message.payload_digest)
+        self._check_committed(slot)
+
+    def _check_committed(self, slot: Slot) -> None:
+        if slot.committed or not slot.prepared:
+            return
+        if slot.commit_weight(self._weight_of) >= self.quorum:
+            slot.committed = True
+            self._try_deliver()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _try_deliver(self) -> None:
+        progressed = False
+        while True:
+            slot = self.log.get(self.delivered_seq + 1)
+            if slot is None or not slot.committed or slot.delivered:
+                break
+            slot.delivered = True
+            self.delivered_seq += 1
+            payload = slot.pre_prepare.payload
+            self.pending.pop(_key(payload), None)
+            self.delivered_count += 1
+            self.queue.push(slot.seq, payload)
+            progressed = True
+        if progressed:
+            self._timeout_factor = 1.0
+            self._reset_view_timer()
+        self._maybe_schedule_fetch()
+
+    # ------------------------------------------------------------------
+    # Gap retransmission
+    # ------------------------------------------------------------------
+    def _maybe_schedule_fetch(self) -> None:
+        gap_exists = any(
+            slot.committed and slot.seq > self.delivered_seq + 1
+            for slot in self.log.slots.values()
+        )
+        if gap_exists and self._fetch_timer is None:
+            self._fetch_timer = self.node.set_timeout(
+                self.config.fetch_delay_ms, self._fetch_missing
+            )
+
+    def _fetch_missing(self) -> None:
+        self._fetch_timer = None
+        missing = self.delivered_seq + 1
+        slot = self.log.get(missing)
+        if slot is not None and slot.committed:
+            return
+        higher_committed = [s for s in self.log.slots.values() if s.committed and s.seq > missing]
+        if not higher_committed:
+            return
+        request = FetchSlot(tag=self.tag, seq=missing, sender=self.name)
+        for peer in self.peers:
+            if peer is not self.node:
+                self.send(peer, request)
+        self._maybe_schedule_fetch()
+
+    def _on_fetch(self, src, message: FetchSlot) -> None:
+        slot = self.log.get(message.seq)
+        if slot is None or src is self.node:
+            return
+        if slot.pre_prepare is not None:
+            self.send(src, slot.pre_prepare)
+        if slot.sent_prepare and slot.payload_digest is not None:
+            content = ("pbft-p", self.tag, slot.view, slot.seq, slot.payload_digest, self.name)
+            auth = make_mac_vector(self.name, self.peer_names, content)
+            self.send(
+                src,
+                Prepare(
+                    tag=self.tag,
+                    view=slot.view,
+                    seq=slot.seq,
+                    payload_digest=slot.payload_digest,
+                    sender=self.name,
+                    auth=auth,
+                ),
+            )
+        if slot.sent_commit and slot.payload_digest is not None:
+            content = ("pbft-c", self.tag, slot.view, slot.seq, slot.payload_digest, self.name)
+            auth = make_mac_vector(self.name, self.peer_names, content)
+            self.send(
+                src,
+                Commit(
+                    tag=self.tag,
+                    view=slot.view,
+                    seq=slot.seq,
+                    payload_digest=slot.payload_digest,
+                    sender=self.name,
+                    auth=auth,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # View changes
+    # ------------------------------------------------------------------
+    def _arm_view_timer(self) -> None:
+        if self._view_timer is None and self.pending:
+            self._view_timer = self.node.set_timeout(
+                self.config.view_timeout_ms * self._timeout_factor, self._on_view_timeout
+            )
+
+    def _reset_view_timer(self) -> None:
+        if self._view_timer is not None:
+            self._view_timer.cancel()
+            self._view_timer = None
+        self._arm_view_timer()
+
+    def _on_view_timeout(self) -> None:
+        self._view_timer = None
+        if not self.pending:
+            return
+        self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view and self.in_view_change:
+            return
+        self.in_view_change = True
+        self.view = max(self.view, new_view)
+        self._timeout_factor *= 2
+        self._reset_view_timer()
+        proofs = tuple(
+            PreparedProof(view=view, seq=seq, payload=payload)
+            for view, seq, payload in self.log.prepared_proof_payloads(self.low_water)
+        )
+        message = ViewChange(
+            tag=self.tag,
+            new_view=new_view,
+            low_water=self.low_water,
+            prepared=proofs,
+            sender=self.name,
+            signature=None,
+        )
+        message = ViewChange(
+            tag=message.tag,
+            new_view=message.new_view,
+            low_water=message.low_water,
+            prepared=message.prepared,
+            sender=message.sender,
+            signature=sign(self.name, message.signed_content()),
+        )
+        self._record_view_change(message)
+        self.broadcast(self.peers, message)
+
+    def _on_view_change(self, message: ViewChange) -> None:
+        if message.sender not in self.peer_names or message.new_view <= self.view - 1:
+            return
+        if not verify(message.signature, message.signed_content(), signer=message.sender):
+            return
+        self._record_view_change(message)
+
+    def _record_view_change(self, message: ViewChange) -> None:
+        store = self.vc_store.setdefault(message.new_view, {})
+        store[message.sender] = message
+        # Join a view change once f+1 replicas ahead of us demand one.
+        if message.new_view > self.view and len(store) >= self.f + 1:
+            self._start_view_change(message.new_view)
+        if (
+            len(store) >= 2 * self.f + 1
+            and self.leader_name(message.new_view) == self.name
+            and message.new_view >= self.view
+        ):
+            self._send_new_view(message.new_view, store)
+
+    def _send_new_view(self, new_view: int, store: Dict[str, ViewChange]) -> None:
+        if not self.in_view_change and new_view == self.view:
+            return  # already completed
+        base = max([vc.low_water for vc in store.values()] + [self.low_water])
+        best: Dict[int, PreparedProof] = {}
+        for vc in store.values():
+            for proof in vc.prepared:
+                if proof.seq < base:
+                    continue
+                current = best.get(proof.seq)
+                if current is None or proof.view > current.view:
+                    best[proof.seq] = proof
+        max_seq = max(best.keys(), default=base - 1)
+        pre_prepares: List[PrePrepare] = []
+        for seq in range(base, max_seq + 1):
+            payload = best[seq].payload if seq in best else NOOP
+            content = ("pbft-pp", self.tag, new_view, seq, repr(payload), self.name)
+            auth = make_mac_vector(self.name, self.peer_names, content)
+            pre_prepares.append(
+                PrePrepare(
+                    tag=self.tag,
+                    view=new_view,
+                    seq=seq,
+                    payload=payload,
+                    sender=self.name,
+                    auth=auth,
+                )
+            )
+        body = NewView(
+            tag=self.tag,
+            new_view=new_view,
+            pre_prepares=tuple(pre_prepares),
+            sender=self.name,
+            signature=None,
+        )
+        body = NewView(
+            tag=body.tag,
+            new_view=body.new_view,
+            pre_prepares=body.pre_prepares,
+            sender=body.sender,
+            signature=sign(self.name, body.signed_content()),
+        )
+        self.broadcast(self.peers, body, include_self=True)
+
+    def _on_new_view(self, message: NewView) -> None:
+        if message.sender != self.leader_name(message.new_view):
+            return
+        if message.new_view < self.view:
+            return
+        if not verify(message.signature, message.signed_content(), signer=message.sender):
+            return
+        self.view = message.new_view
+        self.in_view_change = False
+        self.view_changes_completed += 1
+        max_seq = self.low_water - 1
+        for pre_prepare in message.pre_prepares:
+            max_seq = max(max_seq, pre_prepare.seq)
+            self._on_pre_prepare(pre_prepare)
+        self.next_propose_seq = max(self.next_propose_seq, max_seq + 1)
+        # Re-introduce our pending messages to the new leader.
+        for payload in list(self.pending.values()):
+            if _key(payload) in self.live_keys:
+                continue
+            if self.is_leader():
+                self._propose(payload)
+            else:
+                self.send(
+                    self._leader_node(),
+                    Forward(tag=self.tag, payload=payload, sender=self.name),
+                )
+        self._reset_view_timer()
+        self._drain_backlog()

@@ -1,0 +1,18 @@
+"""A compact crash-tolerant Raft as an alternative agreement black-box.
+
+Spider's agreement interface (order / delivery / gc) is consensus-protocol
+agnostic (paper Section 3: "different deployments [may] rely on different
+agreement protocols without the need to modify the implementation of
+execution replicas").  This package proves the point with a protocol from
+a different fault model entirely: a deployment that trusts its agreement
+region against Byzantine faults can swap PBFT for Raft and halve the group
+size — execution groups and IRMCs run unchanged.
+
+Scope: leader election with randomised timeouts, log replication with
+commit on majority, in-order delivery, and log compaction via ``gc``.
+Persistence is irrelevant in the simulator (crash = permanent here).
+"""
+
+from repro.consensus.raft.replica import RaftConfig, RaftReplica
+
+__all__ = ["RaftReplica", "RaftConfig"]

@@ -1,0 +1,120 @@
+"""Raft wire messages (MAC-authenticated; crash fault model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.primitives import Mac
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class LogEntry(Message):
+    term: int
+    payload: Any
+
+    def payload_size(self) -> int:
+        if hasattr(self.payload, "size_bytes"):
+            return 8 + self.payload.size_bytes()
+        return 8 + len(repr(self.payload))
+
+
+@dataclass(frozen=True)
+class RequestVote(Message):
+    tag: str
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+    auth: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return (
+            "raft-rv",
+            self.tag,
+            self.term,
+            self.candidate,
+            self.last_log_index,
+            self.last_log_term,
+        )
+
+    def payload_size(self) -> int:
+        return 32 + 32
+
+
+@dataclass(frozen=True)
+class VoteGranted(Message):
+    tag: str
+    term: int
+    voter: str
+    granted: bool
+    auth: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return ("raft-vg", self.tag, self.term, self.voter, self.granted)
+
+    def payload_size(self) -> int:
+        return 24 + 32
+
+
+@dataclass(frozen=True)
+class AppendEntries(Message):
+    tag: str
+    term: int
+    leader: str
+    prev_index: int
+    prev_term: int
+    entries: Tuple[LogEntry, ...]
+    commit_index: int
+    auth: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return (
+            "raft-ae",
+            self.tag,
+            self.term,
+            self.leader,
+            self.prev_index,
+            self.prev_term,
+            tuple(repr(entry) for entry in self.entries),
+            self.commit_index,
+        )
+
+    def payload_size(self) -> int:
+        return 40 + sum(entry.payload_size() for entry in self.entries) + 32
+
+
+@dataclass(frozen=True)
+class AppendReply(Message):
+    tag: str
+    term: int
+    follower: str
+    success: bool
+    match_index: int
+    auth: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return (
+            "raft-ar",
+            self.tag,
+            self.term,
+            self.follower,
+            self.success,
+            self.match_index,
+        )
+
+    def payload_size(self) -> int:
+        return 32 + 32
+
+
+@dataclass(frozen=True)
+class ForwardToLeader(Message):
+    tag: str
+    payload: Any
+    sender: str
+
+    def payload_size(self) -> int:
+        if hasattr(self.payload, "size_bytes"):
+            return 8 + self.payload.size_bytes()
+        return 8 + len(repr(self.payload))

@@ -1,0 +1,426 @@
+"""The Raft replica component implementing the Agreement interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.consensus.interface import Agreement, DeliveryQueue
+from repro.consensus.raft.messages import (
+    AppendEntries,
+    AppendReply,
+    ForwardToLeader,
+    LogEntry,
+    RequestVote,
+    VoteGranted,
+)
+from repro.crypto.primitives import make_mac, verify_mac
+from repro.sim.futures import SimFuture
+from repro.sim.routing import Component, RoutedNode
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+@dataclass
+class RaftConfig:
+    """Raft timing parameters (milliseconds)."""
+
+    election_timeout_min_ms: float = 400.0
+    election_timeout_max_ms: float = 800.0
+    heartbeat_ms: float = 100.0
+    #: maximum entries shipped per AppendEntries
+    batch_limit: int = 64
+
+
+class RaftReplica(Component, Agreement):
+    """One Raft peer; a majority of ``len(peers)`` must stay alive.
+
+    The log is 1-indexed to line up with the Agreement contract (first
+    delivered sequence number is 1).  ``gc`` truncates the prefix, standing
+    in for snapshot-based compaction.
+    """
+
+    def __init__(
+        self,
+        node: RoutedNode,
+        tag: str,
+        peers: Sequence[RoutedNode],
+        config: Optional[RaftConfig] = None,
+    ):
+        super().__init__(node, tag)
+        self.peers = list(peers)
+        self.peer_names = [peer.name for peer in self.peers]
+        self.config = config or RaftConfig()
+        self.majority = len(self.peers) // 2 + 1
+
+        self.role = FOLLOWER
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        self.leader: Optional[str] = None
+        #: log[i] is the entry at index offset + i + 1
+        self.log: List[LogEntry] = []
+        self.offset = 0  # entries 1..offset have been compacted away
+        self.commit_index = 0
+        self.delivered_index = 0
+        self.low_water = 1
+        self.queue = DeliveryQueue()
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._votes: set = set()
+        self._pending: List[Any] = []  # ordered payloads awaiting a leader
+        self._seen: set = set()
+        self._election_timer = None
+        self._heartbeat_timer = None
+        self.elections_won = 0
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Log helpers
+    # ------------------------------------------------------------------
+    @property
+    def last_index(self) -> int:
+        return self.offset + len(self.log)
+
+    def _term_at(self, index: int) -> int:
+        if index <= self.offset:
+            return 0  # compacted prefix; only comparable as "old"
+        entry = self.log[index - self.offset - 1]
+        return entry.term
+
+    def _entries_from(self, index: int) -> List[LogEntry]:
+        start = max(0, index - self.offset - 1)
+        return self.log[start : start + self.config.batch_limit]
+
+    # ------------------------------------------------------------------
+    # Agreement interface
+    # ------------------------------------------------------------------
+    def order(self, message: Any) -> None:
+        key = repr(message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if self.role == LEADER:
+            self._append_local(message)
+        elif self.leader is not None:
+            leader_node = next((p for p in self.peers if p.name == self.leader), None)
+            if leader_node is not None:
+                self.send(
+                    leader_node,
+                    ForwardToLeader(tag=self.tag, payload=message, sender=self.node.name),
+                )
+        else:
+            self._pending.append(message)
+
+    def next_delivery(self) -> SimFuture:
+        return self.queue.pull()
+
+    def gc(self, before_seq: int) -> None:
+        if before_seq <= self.low_water:
+            return
+        self.low_water = before_seq
+        self.queue.drop_below(before_seq)
+        self.delivered_index = max(self.delivered_index, before_seq - 1)
+        self.commit_index = max(self.commit_index, before_seq - 1)
+        # Compact everything below the new low-water mark.
+        keep_from = before_seq - 1  # last_index of the compacted prefix
+        if keep_from > self.offset:
+            drop = min(keep_from - self.offset, len(self.log))
+            self.log = self.log[drop:]
+            self.offset += drop
+
+    # ------------------------------------------------------------------
+    # Elections
+    # ------------------------------------------------------------------
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        spread = (
+            self.config.election_timeout_max_ms - self.config.election_timeout_min_ms
+        )
+        timeout = self.config.election_timeout_min_ms + self.sim.rng.random() * spread
+        self._election_timer = self.node.set_timeout(timeout, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        if self.role == LEADER:
+            return
+        self.role = CANDIDATE
+        self.term += 1
+        self.voted_for = self.node.name
+        self.leader = None
+        self._votes = {self.node.name}
+        self._reset_election_timer()
+        for peer in self.peers:
+            if peer is self.node:
+                continue
+            content = (
+                "raft-rv",
+                self.tag,
+                self.term,
+                self.node.name,
+                self.last_index,
+                self._term_at(self.last_index),
+            )
+            self.send(
+                peer,
+                RequestVote(
+                    tag=self.tag,
+                    term=self.term,
+                    candidate=self.node.name,
+                    last_log_index=self.last_index,
+                    last_log_term=self._term_at(self.last_index),
+                    auth=make_mac(self.node.name, peer.name, content),
+                ),
+            )
+
+    def _on_request_vote(self, message: RequestVote) -> None:
+        if not verify_mac(
+            message.auth, message.signed_content(), message.candidate, self.node.name
+        ):
+            return
+        if message.term > self.term:
+            self._step_down(message.term)
+        up_to_date = message.last_log_term > self._term_at(self.last_index) or (
+            message.last_log_term == self._term_at(self.last_index)
+            and message.last_log_index >= self.last_index
+        )
+        granted = (
+            message.term == self.term
+            and self.voted_for in (None, message.candidate)
+            and up_to_date
+        )
+        if granted:
+            self.voted_for = message.candidate
+            self._reset_election_timer()
+        candidate_node = next(
+            (p for p in self.peers if p.name == message.candidate), None
+        )
+        if candidate_node is None:
+            return
+        content = ("raft-vg", self.tag, self.term, self.node.name, granted)
+        self.send(
+            candidate_node,
+            VoteGranted(
+                tag=self.tag,
+                term=self.term,
+                voter=self.node.name,
+                granted=granted,
+                auth=make_mac(self.node.name, candidate_node.name, content),
+            ),
+        )
+
+    def _on_vote(self, message: VoteGranted) -> None:
+        if not verify_mac(
+            message.auth, message.signed_content(), message.voter, self.node.name
+        ):
+            return
+        if message.term > self.term:
+            self._step_down(message.term)
+            return
+        if self.role != CANDIDATE or message.term != self.term or not message.granted:
+            return
+        self._votes.add(message.voter)
+        if len(self._votes) >= self.majority:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = LEADER
+        self.leader = self.node.name
+        self.elections_won += 1
+        self.next_index = {name: self.last_index + 1 for name in self.peer_names}
+        self.match_index = {name: 0 for name in self.peer_names}
+        self.match_index[self.node.name] = self.last_index
+        pending, self._pending = self._pending, []
+        for payload in pending:
+            self._append_local(payload)
+        self._send_heartbeats()
+
+    def _step_down(self, term: int) -> None:
+        self.term = term
+        self.role = FOLLOWER
+        self.voted_for = None
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def _append_local(self, payload: Any) -> None:
+        self.log.append(LogEntry(term=self.term, payload=payload))
+        self.match_index[self.node.name] = self.last_index
+        self._replicate()
+
+    def _send_heartbeats(self) -> None:
+        if self.role != LEADER:
+            return
+        self._replicate()
+        self._heartbeat_timer = self.node.set_timeout(
+            self.config.heartbeat_ms, self._send_heartbeats
+        )
+
+    def _replicate(self) -> None:
+        for peer in self.peers:
+            if peer is self.node:
+                continue
+            next_idx = self.next_index.get(peer.name, self.last_index + 1)
+            prev_index = next_idx - 1
+            entries = tuple(self._entries_from(next_idx))
+            content_entries = tuple(repr(entry) for entry in entries)
+            content = (
+                "raft-ae",
+                self.tag,
+                self.term,
+                self.node.name,
+                prev_index,
+                self._term_at(prev_index),
+                content_entries,
+                self.commit_index,
+            )
+            self.send(
+                peer,
+                AppendEntries(
+                    tag=self.tag,
+                    term=self.term,
+                    leader=self.node.name,
+                    prev_index=prev_index,
+                    prev_term=self._term_at(prev_index),
+                    entries=entries,
+                    commit_index=self.commit_index,
+                    auth=make_mac(self.node.name, peer.name, content),
+                ),
+            )
+
+    def _on_append_entries(self, message: AppendEntries) -> None:
+        if not verify_mac(
+            message.auth, message.signed_content(), message.leader, self.node.name
+        ):
+            return
+        if message.term < self.term:
+            self._reply_append(message.leader, False)
+            return
+        if message.term > self.term or self.role != FOLLOWER:
+            self._step_down(message.term)
+        self.term = message.term
+        self.leader = message.leader
+        self._reset_election_timer()
+        # Flush buffered client payloads to the (now known) leader.
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for payload in pending:
+                self._seen.discard(repr(payload))
+                self.order(payload)
+        # Consistency check on the previous entry.
+        if message.prev_index > self.offset and message.prev_index > self.last_index:
+            self._reply_append(message.leader, False)
+            return
+        if (
+            message.prev_index > self.offset
+            and self._term_at(message.prev_index) != message.prev_term
+        ):
+            self._reply_append(message.leader, False)
+            return
+        # Append / overwrite entries.
+        for position, entry in enumerate(message.entries):
+            index = message.prev_index + 1 + position
+            if index <= self.offset:
+                continue
+            slot = index - self.offset - 1
+            if slot < len(self.log):
+                if self.log[slot].term != entry.term:
+                    del self.log[slot:]
+                    self.log.append(entry)
+            else:
+                self.log.append(entry)
+        if message.commit_index > self.commit_index:
+            self.commit_index = min(message.commit_index, self.last_index)
+            self._deliver_committed()
+        self._reply_append(message.leader, True)
+
+    def _reply_append(self, leader: str, success: bool) -> None:
+        leader_node = next((p for p in self.peers if p.name == leader), None)
+        if leader_node is None:
+            return
+        content = (
+            "raft-ar",
+            self.tag,
+            self.term,
+            self.node.name,
+            success,
+            self.last_index,
+        )
+        self.send(
+            leader_node,
+            AppendReply(
+                tag=self.tag,
+                term=self.term,
+                follower=self.node.name,
+                success=success,
+                match_index=self.last_index,
+                auth=make_mac(self.node.name, leader_node.name, content),
+            ),
+        )
+
+    def _on_append_reply(self, message: AppendReply) -> None:
+        if not verify_mac(
+            message.auth, message.signed_content(), message.follower, self.node.name
+        ):
+            return
+        if message.term > self.term:
+            self._step_down(message.term)
+            return
+        if self.role != LEADER:
+            return
+        if message.success:
+            self.match_index[message.follower] = max(
+                self.match_index.get(message.follower, 0), message.match_index
+            )
+            self.next_index[message.follower] = message.match_index + 1
+            self._advance_commit()
+        else:
+            self.next_index[message.follower] = max(
+                self.offset + 1, self.next_index.get(message.follower, 1) - 1
+            )
+
+    def _advance_commit(self) -> None:
+        for index in range(self.last_index, self.commit_index, -1):
+            if self._term_at(index) != self.term:
+                continue  # only commit entries from the current term
+            replicated = sum(
+                1 for match in self.match_index.values() if match >= index
+            )
+            if replicated >= self.majority:
+                self.commit_index = index
+                self._deliver_committed()
+                break
+
+    def _deliver_committed(self) -> None:
+        while self.delivered_index < self.commit_index:
+            self.delivered_index += 1
+            if self.delivered_index < self.low_water:
+                continue
+            if self.delivered_index <= self.offset:
+                continue
+            entry = self.log[self.delivered_index - self.offset - 1]
+            self.queue.push(self.delivered_index, entry.payload)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, src, message: Any) -> None:
+        if isinstance(message, AppendEntries):
+            self._on_append_entries(message)
+        elif isinstance(message, AppendReply):
+            self._on_append_reply(message)
+        elif isinstance(message, RequestVote):
+            self._on_request_vote(message)
+        elif isinstance(message, VoteGranted):
+            self._on_vote(message)
+        elif isinstance(message, ForwardToLeader):
+            if message.sender in self.peer_names and self.role == LEADER:
+                key = repr(message.payload)
+                if key not in self._seen:
+                    self._seen.add(key)
+                    self._append_local(message.payload)

@@ -1,0 +1,49 @@
+"""Spider — the paper's contribution (Sections 3, A.6).
+
+A Spider deployment is a collection of loosely coupled replica groups:
+
+* one **agreement group** (:class:`AgreementReplica` x ``3 fa + 1``) running
+  a consensus black-box (PBFT by default) inside a single region,
+* any number of **execution groups** (:class:`ExecutionReplica` x
+  ``2 fe + 1``) hosting the application near clients,
+* connected exclusively through IRMC pairs (request + commit channel), and
+* accessed by :class:`SpiderClient` instances that submit writes, strongly
+  consistent reads and weakly consistent reads.
+
+:class:`SpiderSystem` wires a whole deployment together and supports
+runtime addition/removal of execution groups (Section 3.6).
+"""
+
+from repro.core.agreement import AgreementReplica
+from repro.core.client import AdminClient, SpiderClient
+from repro.core.config import SpiderConfig
+from repro.core.execution import ExecutionReplica
+from repro.core.messages import (
+    AddGroup,
+    ClientRequest,
+    Execute,
+    RemoveGroup,
+    Reply,
+    RequestBody,
+    RequestWrapper,
+    WeakRead,
+)
+from repro.core.system import ExecutionGroup, SpiderSystem
+
+__all__ = [
+    "SpiderSystem",
+    "ExecutionGroup",
+    "SpiderConfig",
+    "SpiderClient",
+    "AdminClient",
+    "AgreementReplica",
+    "ExecutionReplica",
+    "ClientRequest",
+    "RequestBody",
+    "RequestWrapper",
+    "Execute",
+    "Reply",
+    "WeakRead",
+    "AddGroup",
+    "RemoveGroup",
+]

@@ -1,0 +1,376 @@
+"""Spider agreement replicas (paper Figs. 5 and 17).
+
+An agreement replica pulls validated requests out of the request channels
+(one per-client subchannel loop per execution group), feeds them to the
+agreement black-box (PBFT by default), and pushes the resulting ``Execute``
+stream into every execution group's commit channel — waiting for only
+``n_e - z`` channels per sequence number (global flow control, Section 3.5).
+It also hosts the execution-replica registry and applies reconfiguration
+commands (Section 3.6).
+
+For the paper's Spider-0E variant (Fig. 9a) the replica can additionally
+host the application itself (``execute_locally=True``): clients then talk
+to the agreement group directly and no IRMCs exist.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.app.statemachine import StateMachine
+from repro.checkpoints import CheckpointComponent
+from repro.consensus.interface import Agreement
+from repro.consensus.pbft.messages import is_noop
+from repro.core.config import SpiderConfig
+from repro.core.messages import (
+    STRONG_READ,
+    AddGroup,
+    ClientRequest,
+    Execute,
+    RegistryInfo,
+    RegistryQuery,
+    RemoveGroup,
+    Reply,
+    RequestWrapper,
+)
+from repro.crypto.primitives import make_mac, sign, verify, verify_mac_vector
+from repro.irmc import IrmcConfig, TooOld
+from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
+from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
+from repro.sim.futures import SimFuture, gather
+from repro.sim.process import Process
+from repro.sim.routing import RoutedNode
+
+
+class _GroupChannels:
+    """The IRMC pair an agreement replica maintains towards one group."""
+
+    def __init__(self, group_id, members, request_rx, commit_tx):
+        self.group_id = group_id
+        self.members = tuple(members)
+        self.request_rx = request_rx
+        self.commit_tx = commit_tx
+        self.client_loops: Dict[str, Process] = {}
+
+    def close(self) -> None:
+        for process in self.client_loops.values():
+            process.stop()
+        self.client_loops.clear()
+        self.request_rx.close()
+        self.commit_tx.close()
+
+
+class AgreementReplica(RoutedNode):
+    """One member of the agreement group."""
+
+    def __init__(
+        self,
+        sim,
+        name,
+        site,
+        config: SpiderConfig,
+        execute_locally: bool = False,
+        app: Optional[StateMachine] = None,
+    ):
+        super().__init__(sim, name, site)
+        self.config = config
+        self.execute_locally = execute_locally
+        self.app = app
+
+        self.sn = 0
+        self.win_upper = config.ag_window
+        self.t: Dict[str, int] = {}  # latest agreed counter per client
+        self.t_plus: Dict[str, int] = {}  # next expected request per client
+        self.hist = deque(maxlen=config.commit_channel_capacity)
+        self.groups: Dict[str, _GroupChannels] = {}
+        self.agreement_nodes = []
+        self.ag: Optional[Agreement] = None
+        self.cp: Optional[CheckpointComponent] = None
+        self._win_future = SimFuture(name=f"{name}.win")
+        self._delivery: Optional[Process] = None
+        self.delivered_count = 0
+        #: callbacks the system object installs to materialise topology
+        #: changes (node lookup lives outside the protocol).
+        self.resolve_nodes: Optional[Callable] = None
+        self.on_membership_change: Optional[Callable] = None
+        # Spider-0E state
+        self.u: Dict[str, Tuple[int, Any]] = {}
+
+        self.set_default_handler(self._on_direct_message)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def setup(self, agreement_nodes, agreement_factory) -> None:
+        """Install the consensus black-box and start the delivery loop.
+
+        ``agreement_factory(node, peers)`` returns an
+        :class:`~repro.consensus.interface.Agreement`; by default the system
+        passes a PBFT factory, but any implementation works (modularity).
+        """
+        self.agreement_nodes = list(agreement_nodes)
+        self.ag = agreement_factory(self, self.agreement_nodes)
+        self.cp = CheckpointComponent(
+            self,
+            "cp-ag",
+            self.agreement_nodes,
+            self.config.fa,
+            self._on_stable_checkpoint,
+        )
+        self._delivery = Process(
+            self.sim, self._delivery_loop(), node=self, name=f"{self.name}.deliver"
+        )
+
+    def connect_group(self, group_id: str, member_nodes) -> None:
+        """Create the IRMC pair towards an execution group (Fig. 2)."""
+        if group_id in self.groups:
+            return
+        config = self.config
+        request_cfg = IrmcConfig(fs=config.fe, fr=config.fa, capacity=config.request_capacity)
+        commit_cfg = IrmcConfig(fs=config.fa, fr=config.fe, capacity=config.commit_channel_capacity)
+        if config.irmc_kind == "rc":
+            sender_cls, receiver_cls = RcSenderEndpoint, RcReceiverEndpoint
+        else:
+            sender_cls, receiver_cls = ScSenderEndpoint, ScReceiverEndpoint
+        request_rx = receiver_cls(
+            self, f"req-{group_id}", self.agreement_nodes, member_nodes, request_cfg
+        )
+        commit_tx = sender_cls(
+            self, f"com-{group_id}", self.agreement_nodes, member_nodes, commit_cfg
+        )
+        channels = _GroupChannels(group_id, [n.name for n in member_nodes], request_rx, commit_tx)
+        self.groups[group_id] = channels
+        request_rx.on_new_subchannel = lambda client: self._start_client_loop(
+            channels, client
+        )
+
+    def disconnect_group(self, group_id: str) -> None:
+        channels = self.groups.pop(group_id, None)
+        if channels is not None:
+            channels.close()
+
+    def registry_snapshot(self) -> Tuple:
+        return tuple(
+            sorted((gid, ch.members) for gid, ch in self.groups.items())
+        )
+
+    # ------------------------------------------------------------------
+    # Per-client request loops (Fig. 17 L. 13-22)
+    # ------------------------------------------------------------------
+    def _start_client_loop(self, channels: _GroupChannels, client: str) -> None:
+        if client in channels.client_loops:
+            return
+        channels.client_loops[client] = Process(
+            self.sim,
+            self._client_loop(channels, client),
+            node=self,
+            name=f"{self.name}.client.{client}",
+        )
+
+    def _client_loop(self, channels: _GroupChannels, client: str):
+        while channels.group_id in self.groups:
+            result = yield channels.request_rx.receive(
+                client, self.t_plus.get(client, 1)
+            )
+            if isinstance(result, TooOld):
+                # The client already moved on to a newer request.
+                self.t_plus[client] = max(self.t_plus.get(client, 1), result.new_start)
+            elif isinstance(result, RequestWrapper):
+                self.ag.order(result)
+                self.t_plus[client] = self.t_plus.get(client, 1) + 1
+
+    # ------------------------------------------------------------------
+    # Delivery loop (Fig. 17 L. 25-40)
+    # ------------------------------------------------------------------
+    def _delivery_loop(self):
+        while True:
+            seq, payload = yield self.ag.next_delivery()
+            # "sleep until s <= max(win)" - periodic checkpoints gate how far
+            # agreement may run ahead (Fig. 17 L. 27).
+            while seq > self.win_upper:
+                yield self._win_future
+            if seq <= self.sn:
+                continue  # skipped via checkpoint while we waited
+            self.sn = seq
+            executes = self._classify(seq, payload)
+            self.delivered_count += 1
+            futures = []
+            for group_id, channels in list(self.groups.items()):
+                futures.append(
+                    channels.commit_tx.send(0, seq, executes[group_id])
+                )
+            if futures:
+                # Global flow control: proceed once n_e - z channels accepted
+                # the Execute (Section 3.5); stragglers continue in the
+                # background and are skipped via window moves.
+                needed = max(0, len(futures) - self.config.z)
+                yield gather(futures, needed)
+            if self.execute_locally:
+                self._execute_payload(payload)
+            if seq % self.config.ka == 0:
+                self.cp.gen_cp(seq, self._snapshot())
+
+    def _classify(self, seq: int, payload: Any) -> Dict[str, Execute]:
+        """Build the per-group Execute messages for one agreed payload."""
+        noop = Execute(seq=seq, request=None, placeholder=("noop",))
+        if is_noop(payload) or not isinstance(payload, RequestWrapper):
+            if isinstance(payload, (AddGroup, RemoveGroup)):
+                self._apply_reconfiguration(payload)
+            self.hist.append(noop)
+            return {group_id: noop for group_id in self.groups}
+        body = payload.body
+        if body.counter <= self.t.get(body.client, 0):
+            # Old or duplicate request: replace with a no-op (Fig. 17 L. 30).
+            self.hist.append(noop)
+            return {group_id: noop for group_id in self.groups}
+        self.t[body.client] = body.counter
+        self.t_plus[body.client] = max(body.counter + 1, self.t_plus.get(body.client, 1))
+        full = Execute(seq=seq, request=payload)
+        self.hist.append(full)
+        if body.kind == STRONG_READ:
+            # Only the client's group processes the read; all others receive
+            # a placeholder with the counter value (Section 3.3).
+            placeholder = Execute(
+                seq=seq, request=None, placeholder=("read", body.client, body.counter)
+            )
+            return {
+                group_id: full if group_id == payload.group else placeholder
+                for group_id in self.groups
+            }
+        return {group_id: full for group_id in self.groups}
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (Section 3.6)
+    # ------------------------------------------------------------------
+    def _apply_reconfiguration(self, command) -> None:
+        if isinstance(command, AddGroup):
+            if command.group in self.groups or self.resolve_nodes is None:
+                return
+            members = self.resolve_nodes(command.members)
+            if members is None:
+                return
+            self.connect_group(command.group, members)
+            channels = self.groups[command.group]
+            # Tell the new group how far the system has progressed: anchor
+            # its commit window at the oldest Execute hist can still replay
+            # (everything older must come from an execution checkpoint of
+            # another group), then replay hist into the fresh channel.
+            start = self.hist[0].seq if self.hist else max(1, self.sn)
+            channels.commit_tx.move_window(0, start)
+            for execute in self.hist:
+                channels.commit_tx.send(0, execute.seq, execute)
+        elif isinstance(command, RemoveGroup):
+            self.disconnect_group(command.group)
+        if self.on_membership_change is not None:
+            self.on_membership_change()
+
+    # ------------------------------------------------------------------
+    # Direct messages: admin commands, registry queries, 0E clients
+    # ------------------------------------------------------------------
+    def _on_direct_message(self, src, message: Any) -> None:
+        if isinstance(message, (AddGroup, RemoveGroup)):
+            if message.admin not in self.config.admins or message.admin != src.name:
+                return
+            if not verify(message.signature, message.signed_content(), signer=message.admin):
+                return
+            self.ag.order(message)
+        elif isinstance(message, RegistryQuery):
+            self._answer_registry(src, message)
+        elif isinstance(message, ClientRequest) and self.execute_locally:
+            self._on_local_request(src, message)
+
+    def _answer_registry(self, src, message: RegistryQuery) -> None:
+        info = RegistryInfo(
+            groups=self.registry_snapshot(), nonce=message.nonce, sender=self.name
+        )
+        info = RegistryInfo(
+            groups=info.groups,
+            nonce=info.nonce,
+            sender=info.sender,
+            signature=sign(self.name, info.signed_content()),
+        )
+        self.send(src, info)
+
+    # ------------------------------------------------------------------
+    # Spider-0E: local execution without IRMCs (Fig. 9a)
+    # ------------------------------------------------------------------
+    def _on_local_request(self, src, message: ClientRequest) -> None:
+        body = message.body
+        if body.client != src.name:
+            return
+        if not verify_mac_vector(message.auth, body.signed_content(), body.client, self.name):
+            return
+        cached = self.u.get(body.client)
+        if body.counter <= self.t.get(body.client, 0):
+            if cached is not None and cached[0] == body.counter:
+                self._send_local_reply(body.client, cached[0], cached[1])
+            return
+        if not verify(message.signature, body.signed_content(), signer=body.client):
+            return
+        self.ag.order(RequestWrapper(body=body, signature=message.signature, group="ag"))
+
+    def _execute_payload(self, payload: Any) -> None:
+        if not isinstance(payload, RequestWrapper) or self.app is None:
+            return
+        body = payload.body
+        cached = self.u.get(body.client)
+        if cached is not None and cached[0] >= body.counter:
+            return
+        result = self.app.execute(body.operation)
+        self.u[body.client] = (body.counter, result)
+        self._send_local_reply(body.client, body.counter, result)
+
+    def _send_local_reply(self, client: str, counter: int, result: Any) -> None:
+        target = self.network.nodes.get(client) if self.network else None
+        if target is None:
+            return
+        reply = Reply(result=result, counter=counter, sender=self.name, group="ag")
+        reply = Reply(
+            result=reply.result,
+            counter=reply.counter,
+            sender=reply.sender,
+            group=reply.group,
+            mac=make_mac(self.name, client, reply.signed_content()),
+        )
+        self.send(target, reply)
+
+    # ------------------------------------------------------------------
+    # Checkpoints (Fig. 17 L. 39-57)
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Tuple:
+        state = (tuple(sorted(self.t.items())), tuple(self.hist))
+        if self.execute_locally:
+            state = state + (
+                tuple(sorted(self.u.items())),
+                self.app.snapshot() if self.app else None,
+            )
+        return state
+
+    def _on_stable_checkpoint(self, seq: int, state: Tuple) -> None:
+        t_items, hist_items = state[0], state[1]
+        window_start = max(1, seq - len(hist_items) + 1)
+        for channels in self.groups.values():
+            channels.commit_tx.move_window(0, window_start)
+        self.ag.gc(seq + 1)
+        if seq > self.sn:
+            old_sn = self.sn
+            self.sn = seq
+            self.t = dict(t_items)
+            for client, counter in t_items:
+                self.t_plus[client] = max(self.t_plus.get(client, 1), counter + 1)
+            self.hist = deque(hist_items, maxlen=self.config.commit_channel_capacity)
+            if self.execute_locally and len(state) >= 4:
+                self.u = dict(state[2])
+                if self.app is not None and state[3] is not None:
+                    self.app.restore(state[3])
+            # Replay the Executes we skipped into the commit channels
+            # (Fig. 17 L. 52-56).
+            for channels in self.groups.values():
+                for execute in hist_items:
+                    if old_sn < execute.seq <= seq:
+                        channels.commit_tx.send(0, execute.seq, execute)
+        # Advance the agreement window past the new stable checkpoint.
+        self.win_upper = seq + self.config.ag_window
+        previous, self._win_future = self._win_future, SimFuture(name=f"{self.name}.win")
+        previous.resolve(None)

@@ -1,0 +1,326 @@
+"""Spider clients (paper Fig. 15) and the privileged admin client."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.messages import (
+    STRONG_READ,
+    WRITE,
+    AddGroup,
+    ClientRequest,
+    RegistryInfo,
+    RegistryQuery,
+    RemoveGroup,
+    Reply,
+    RequestBody,
+    WeakRead,
+    WeakReadReply,
+)
+from repro.crypto.primitives import make_mac_vector, sign, verify_mac
+from repro.sim.futures import SimFuture
+from repro.sim.node import Node
+
+
+class SpiderClient(Node):
+    """A client bound to (typically) its nearest execution group.
+
+    The public entry points — :meth:`write`, :meth:`strong_read`,
+    :meth:`weak_read` — return a :class:`SimFuture` resolving with the
+    accepted result once ``f_e + 1`` matching replies arrived from distinct
+    replicas of the target execution group.  Requests are retried until
+    answered (Fig. 15 L. 11-13).
+    """
+
+    def __init__(self, sim, name, site, group_id, group_nodes, fe=1, retry_ms=4000.0):
+        super().__init__(sim, name, site)
+        self.group_id = group_id
+        self.group_nodes = list(group_nodes)
+        self.fe = fe
+        self.retry_ms = retry_ms
+
+        self.counter = 0  # t_c: strictly increasing request counter
+        self.nonce = 0  # weak-read nonce (independent of t_c)
+        self._pending: Optional[dict] = None
+        self._weak_pending: Dict[int, dict] = {}
+        self.completed: List[Tuple[str, float, float]] = []  # (kind, start, latency)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def write(self, operation: Tuple) -> SimFuture:
+        """Submit a state-modifying operation with linearizable semantics."""
+        return self._submit(operation, WRITE)
+
+    def strong_read(self, operation: Tuple) -> SimFuture:
+        """Submit a read that is totally ordered with all writes."""
+        return self._submit(operation, STRONG_READ)
+
+    def weak_read(self, operation: Tuple, fallback_after: int = 0) -> SimFuture:
+        """Read directly from the local execution group (may be stale).
+
+        Concurrent writes can leave the client with fewer than ``f_e + 1``
+        matching replies; per Section 3.3 clients then retry, or — when
+        ``fallback_after`` retries have failed — upgrade to a strongly
+        consistent read, which is guaranteed to produce a stable result.
+        ``fallback_after=0`` disables the upgrade (retry forever).
+        """
+        return self._direct_read(
+            operation, self.fe + 1, "weak-read", fallback_after=fallback_after
+        )
+
+    def quorum_read(self, operation: Tuple, threshold: int) -> SimFuture:
+        """Read-only fast path with a caller-chosen reply quorum.
+
+        With ``threshold = 2f + 1`` this is the classic PBFT optimized
+        (linearizable in the absence of concurrent writes) read used by the
+        BFT baseline's strongly consistent reads.
+        """
+        return self._direct_read(operation, threshold, "quorum-read")
+
+    def _direct_read(
+        self, operation: Tuple, threshold: int, label: str, fallback_after: int = 0
+    ) -> SimFuture:
+        self.nonce += 1
+        future = SimFuture(name=f"{self.name}.{label}#{self.nonce}")
+        state = {
+            "future": future,
+            "replies": {},
+            "start": self.sim.now,
+            "operation": operation,
+            "nonce": self.nonce,
+            "threshold": threshold,
+            "label": label,
+            "fallback_after": fallback_after,
+            "attempts": 0,
+        }
+        self._weak_pending[self.nonce] = state
+        self.run_task(self._send_weak, state)
+        return future
+
+    def switch_group(self, group_id, group_nodes) -> None:
+        """Direct requests at a different execution group (used when a
+        group fails or is removed, or a closer one appears, Section 3.1).
+
+        A request currently in flight is re-submitted to the new group
+        under its existing counter; whichever group completes it first
+        produces the accepted reply (duplicate filtering makes this safe).
+        """
+        self.group_id = group_id
+        self.group_nodes = list(group_nodes)
+        if self._pending is not None and not self._pending["future"].done:
+            self._pending["replies"].clear()
+            if self._pending.get("retry") is not None:
+                self._pending["retry"].cancel()
+            self.run_task(self._send_request)
+
+    # ------------------------------------------------------------------
+    # Write / strong-read path
+    # ------------------------------------------------------------------
+    def _submit(self, operation: Tuple, kind: str) -> SimFuture:
+        if self._pending is not None:
+            raise RuntimeError(
+                f"client {self.name} already has request #{self.counter} in flight"
+            )
+        self.counter += 1
+        future = SimFuture(name=f"{self.name}.req#{self.counter}")
+        self._pending = {
+            "future": future,
+            "counter": self.counter,
+            "replies": {},
+            "start": self.sim.now,
+            "kind": kind,
+            "operation": operation,
+            "retry": None,
+        }
+        self.run_task(self._send_request)
+        return future
+
+    def _send_request(self) -> None:
+        pending = self._pending
+        if pending is None or pending["future"].done:
+            return
+        body = RequestBody(
+            operation=pending["operation"],
+            client=self.name,
+            counter=pending["counter"],
+            kind=pending["kind"],
+        )
+        group_names = [node.name for node in self.group_nodes]
+        request = ClientRequest(
+            body=body,
+            signature=sign(self.name, body.signed_content()),
+            auth=make_mac_vector(self.name, group_names, body.signed_content()),
+            group=self.group_id,
+        )
+        for replica in self.group_nodes:
+            self.send(replica, request)
+        pending["retry"] = self.set_timeout(self.retry_ms, self._send_request)
+
+    def _send_weak(self, state) -> None:
+        if state["future"].done:
+            return
+        state["attempts"] += 1
+        fallback_after = state.get("fallback_after", 0)
+        if fallback_after and state["attempts"] > fallback_after:
+            self._upgrade_to_strong_read(state)
+            return
+        # Fresh attempt: stale replies from older rounds must not be mixed
+        # with newer ones (replicas may have applied writes in between).
+        state["replies"].clear()
+        group_names = [node.name for node in self.group_nodes]
+        message = WeakRead(
+            operation=state["operation"], client=self.name, nonce=state["nonce"]
+        )
+        message = WeakRead(
+            operation=message.operation,
+            client=message.client,
+            nonce=message.nonce,
+            auth=make_mac_vector(self.name, group_names, message.signed_content()),
+        )
+        for replica in self.group_nodes:
+            self.send(replica, message)
+        state["retry"] = self.set_timeout(self.retry_ms, self._send_weak, state)
+
+    def _upgrade_to_strong_read(self, state) -> None:
+        """The weak read kept stalling: order it instead (Section 3.3)."""
+        self._weak_pending.pop(state["nonce"], None)
+        if self._pending is not None:
+            # A write is already in flight; keep retrying weakly instead of
+            # violating the one-outstanding-request discipline.
+            state["retry"] = self.set_timeout(self.retry_ms, self._send_weak, state)
+            state["attempts"] = 0
+            return
+        strong = self.strong_read(state["operation"])
+        strong.add_callback(lambda result: state["future"].try_resolve(result))
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, src: Node, message: Any) -> None:
+        if isinstance(message, Reply):
+            self._on_reply(src, message)
+        elif isinstance(message, WeakReadReply):
+            self._on_weak_reply(src, message)
+
+    def _on_reply(self, src: Node, message: Reply) -> None:
+        pending = self._pending
+        if pending is None or message.counter != pending["counter"]:
+            return
+        if not verify_mac(message.mac, message.signed_content(), src.name, self.name):
+            return
+        if src.name in pending["replies"]:
+            return  # each replica may only contribute one reply
+        pending["replies"][src.name] = repr(message.result)
+        matching = [
+            name
+            for name, result in pending["replies"].items()
+            if result == repr(message.result)
+        ]
+        if len(matching) >= self.fe + 1:
+            self._complete(pending, message.result)
+
+    def _complete(self, pending, result) -> None:
+        if pending["retry"] is not None:
+            pending["retry"].cancel()
+        latency = self.sim.now - pending["start"]
+        self.completed.append((pending["kind"], pending["start"], latency))
+        self._pending = None
+        pending["future"].resolve(result)
+
+    def _on_weak_reply(self, src: Node, message: WeakReadReply) -> None:
+        state = self._weak_pending.get(message.nonce)
+        if state is None or state["future"].done:
+            return
+        if not verify_mac(message.mac, message.signed_content(), src.name, self.name):
+            return
+        if src.name in state["replies"]:
+            return
+        state["replies"][src.name] = (repr(message.result), message.result)
+        matching = [
+            1
+            for key, _ in state["replies"].values()
+            if key == repr(message.result)
+        ]
+        if len(matching) >= state.get("threshold", self.fe + 1):
+            if state.get("retry") is not None:
+                state["retry"].cancel()
+            latency = self.sim.now - state["start"]
+            self.completed.append((state.get("label", "weak-read"), state["start"], latency))
+            del self._weak_pending[message.nonce]
+            state["future"].resolve(message.result)
+
+
+class AdminClient(Node):
+    """The privileged client that reconfigures the system (Section 3.6).
+
+    Reconfiguration commands are signed and submitted directly to the
+    agreement group, which orders them through consensus before acting.
+    """
+
+    def __init__(self, sim, name, site, agreement_nodes, fa=1):
+        super().__init__(sim, name, site)
+        self.agreement_nodes = list(agreement_nodes)
+        self.fa = fa
+        self.nonce = 0
+        self._registry_waiters: Dict[int, dict] = {}
+
+    def add_group(self, group_id: str, member_names) -> None:
+        """Submit ``<AddGroup, e, E>``."""
+        self.nonce += 1
+        body = AddGroup(
+            group=group_id,
+            members=tuple(member_names),
+            admin=self.name,
+            nonce=self.nonce,
+        )
+        message = AddGroup(
+            group=body.group,
+            members=body.members,
+            admin=body.admin,
+            nonce=body.nonce,
+            signature=sign(self.name, body.signed_content()),
+        )
+        self.run_task(self._broadcast, message)
+
+    def remove_group(self, group_id: str) -> None:
+        """Submit ``<RemoveGroup, e>``."""
+        self.nonce += 1
+        body = RemoveGroup(group=group_id, admin=self.name, nonce=self.nonce)
+        message = RemoveGroup(
+            group=body.group,
+            admin=body.admin,
+            nonce=body.nonce,
+            signature=sign(self.name, body.signed_content()),
+        )
+        self.run_task(self._broadcast, message)
+
+    def query_registry(self) -> SimFuture:
+        """Fetch the execution-replica registry (f_a+1 matching answers)."""
+        self.nonce += 1
+        future = SimFuture(name=f"{self.name}.registry#{self.nonce}")
+        self._registry_waiters[self.nonce] = {"future": future, "replies": {}}
+        self.run_task(self._broadcast, RegistryQuery(client=self.name, nonce=self.nonce))
+        return future
+
+    def _broadcast(self, message) -> None:
+        for node in self.agreement_nodes:
+            self.send(node, message)
+
+    def on_message(self, src: Node, message: Any) -> None:
+        if not isinstance(message, RegistryInfo):
+            return
+        state = self._registry_waiters.get(message.nonce)
+        if state is None or state["future"].done:
+            return
+        from repro.crypto.primitives import verify
+
+        if not verify(message.signature, message.signed_content(), signer=src.name):
+            return
+        state["replies"][src.name] = message.groups
+        matching = [
+            1 for groups in state["replies"].values() if groups == message.groups
+        ]
+        if len(matching) >= self.fa + 1:
+            del self._registry_waiters[message.nonce]
+            state["future"].resolve(dict(message.groups))

@@ -1,0 +1,88 @@
+"""Deployment configuration for Spider."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.consensus.pbft.config import PbftConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SpiderConfig:
+    """All tunables of a Spider deployment (paper Sections 3.2-3.5).
+
+    Parameters
+    ----------
+    fa / fe:
+        Faults tolerated by the agreement group (size ``3 fa + 1``) and by
+        each execution group (size ``2 fe + 1``).
+    irmc_kind:
+        ``"rc"`` or ``"sc"`` — which IRMC implementation connects groups.
+    request_capacity:
+        Per-client request-subchannel window (paper uses 2: the last
+        forwarded request plus the next).
+    ka / ke:
+        Agreement / execution checkpoint intervals.  The commit channel's
+        capacity must be at least ``ke`` for liveness (Section 3.4); it is
+        sized ``max(ke, commit_capacity)``.
+    ag_window:
+        ``AG-WIN`` — how far agreement may run ahead of its last stable
+        checkpoint (must be >= ``ka``).
+    z:
+        Global flow control: how many trailing execution groups the
+        agreement group may leave behind per sequence number (Section 3.5).
+    admins:
+        Principals allowed to reconfigure the system (Section 3.6).
+    """
+
+    fa: int = 1
+    fe: int = 1
+    irmc_kind: str = "rc"
+    request_capacity: int = 2
+    commit_capacity: int = 64
+    ka: int = 16
+    ke: int = 16
+    ag_window: int = 64
+    z: int = 0
+    client_retry_ms: float = 4000.0
+    fetch_retry_ms: float = 50.0
+    pbft: PbftConfig = field(default_factory=lambda: PbftConfig(view_timeout_ms=1000.0))
+    admins: tuple = ("admin",)
+
+    def validate(self) -> None:
+        if self.fa < 0 or self.fe < 1:
+            # fa = 0 degenerates the agreement group to a single sequencer
+            # (useful with non-BFT agreement black-boxes in tests/demos).
+            raise ConfigurationError("fa must be >= 0 and fe >= 1")
+        if self.irmc_kind not in ("rc", "sc"):
+            raise ConfigurationError(f"unknown IRMC kind {self.irmc_kind!r}")
+        if self.ag_window < self.ka:
+            raise ConfigurationError("ag_window must be >= ka (Fig. 17 L. 4)")
+        if self.commit_channel_capacity < self.ke:
+            raise ConfigurationError("commit capacity must be >= ke (Section 3.4)")
+        if self.z < 0:
+            raise ConfigurationError("z must be >= 0")
+        if self.request_capacity < 1:
+            raise ConfigurationError("request_capacity must be >= 1")
+
+    @property
+    def agreement_size(self) -> int:
+        return 3 * self.fa + 1
+
+    @property
+    def execution_size(self) -> int:
+        return 2 * self.fe + 1
+
+    @property
+    def commit_channel_capacity(self) -> int:
+        return max(self.ke, self.commit_capacity)
+
+    def pbft_config(self) -> PbftConfig:
+        config = PbftConfig(
+            f=self.fa,
+            view_timeout_ms=self.pbft.view_timeout_ms,
+            window=max(self.pbft.window, self.ag_window * 4),
+            weights=self.pbft.weights,
+            fetch_delay_ms=self.pbft.fetch_delay_ms,
+        )
+        return config

@@ -1,0 +1,233 @@
+"""Spider execution replicas (paper Figs. 5 and 16).
+
+An execution replica validates client requests, forwards them to the
+agreement group through the request channel, processes the totally ordered
+``Execute`` stream from the commit channel, answers weakly consistent reads
+locally, and checkpoints its state every ``k_e`` sequence numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.app.statemachine import StateMachine, is_read_only
+from repro.checkpoints import CheckpointComponent
+from repro.core.config import SpiderConfig
+from repro.core.messages import (
+    ClientRequest,
+    Execute,
+    Reply,
+    RequestWrapper,
+    WeakRead,
+    WeakReadReply,
+)
+from repro.crypto.primitives import make_mac, verify, verify_mac_vector
+from repro.irmc import IrmcConfig, TooOld
+from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
+from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
+from repro.sim.process import Process, sleep
+from repro.sim.routing import RoutedNode
+
+
+class ExecutionReplica(RoutedNode):
+    """One member of an execution group.
+
+    Lifecycle: construct, then :meth:`setup` once the group membership and
+    the agreement group are known; the main loop starts immediately.
+    """
+
+    def __init__(self, sim, name, site, group_id: str, app: StateMachine, config: SpiderConfig):
+        super().__init__(sim, name, site)
+        self.group_id = group_id
+        self.app = app
+        self.config = config
+
+        self.sn = 0  # sequence number of last processed Execute
+        self.t: Dict[str, int] = {}  # latest forwarded counter per client
+        #: reply cache: client -> (counter, result | PLACEHOLDER)
+        self.u: Dict[str, Tuple[int, Any]] = {}
+
+        self.group_nodes = []
+        self.request_tx = None  # request-channel sender endpoint
+        self.commit_rx = None  # commit-channel receiver endpoint
+        self.cp: Optional[CheckpointComponent] = None
+        self._main: Optional[Process] = None
+        self.executed_count = 0
+        self.weak_read_count = 0
+        self.checkpoints_applied = 0
+
+        self.set_default_handler(self._on_client_message)
+
+    PLACEHOLDER = "__placeholder__"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def setup(self, group_nodes, agreement_nodes) -> None:
+        """Create IRMC endpoints and the checkpoint component, start loops."""
+        self.group_nodes = list(group_nodes)
+        config = self.config
+        request_cfg = IrmcConfig(fs=config.fe, fr=config.fa, capacity=config.request_capacity)
+        commit_cfg = IrmcConfig(fs=config.fa, fr=config.fe, capacity=config.commit_channel_capacity)
+        if config.irmc_kind == "rc":
+            sender_cls, receiver_cls = RcSenderEndpoint, RcReceiverEndpoint
+        else:
+            sender_cls, receiver_cls = ScSenderEndpoint, ScReceiverEndpoint
+        self.request_tx = sender_cls(
+            self, f"req-{self.group_id}", group_nodes, agreement_nodes, request_cfg
+        )
+        self.commit_rx = receiver_cls(
+            self, f"com-{self.group_id}", group_nodes, agreement_nodes, commit_cfg
+        )
+        # All execution groups share one checkpoint routing tag so that a
+        # trailing group can fetch stable checkpoints from *other* groups
+        # (Section 3.5); certificates remain group-scoped via signatures.
+        self.cp = CheckpointComponent(
+            self,
+            "cp-exec",
+            group_nodes,
+            config.fe,
+            self._on_stable_checkpoint,
+            state_size_fn=self._checkpoint_size,
+        )
+        self._main = Process(self.sim, self._main_loop(), node=self, name=f"{self.name}.main")
+
+    def set_checkpoint_providers(self, providers) -> None:
+        """Nodes (possibly in other groups) to query for missed checkpoints."""
+        if self.cp is not None:
+            self.cp.providers = list(providers)
+
+    # ------------------------------------------------------------------
+    # Client-facing handlers (Fig. 16 L. 8-22)
+    # ------------------------------------------------------------------
+    def _on_client_message(self, src, message: Any) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif isinstance(message, WeakRead):
+            self._on_weak_read(src, message)
+
+    def _on_request(self, src, message: ClientRequest) -> None:
+        body = message.body
+        if body.client != src.name:
+            return
+        if not verify_mac_vector(
+            message.auth, body.signed_content(), body.client, self.name
+        ):
+            return
+        cached = self.u.get(body.client)
+        if body.counter <= self.t.get(body.client, 0):
+            if cached is not None and cached[0] == body.counter and cached[1] is not self.PLACEHOLDER:
+                self._send_reply(body.client, cached[0], cached[1])
+            elif body.counter == self.t.get(body.client, 0):
+                # Retry for the latest request with no result yet: re-offer
+                # it to the request channel (idempotent there) in case the
+                # original forward was lost on the wide-area link.
+                if verify(message.signature, body.signed_content(), signer=body.client):
+                    wrapper = RequestWrapper(
+                        body=body, signature=message.signature, group=self.group_id
+                    )
+                    self.request_tx.send(body.client, body.counter, wrapper)
+            return
+        if not verify(message.signature, body.signed_content(), signer=body.client):
+            return
+        self.t[body.client] = body.counter
+        self.request_tx.move_window(body.client, body.counter)
+        wrapper = RequestWrapper(
+            body=body, signature=message.signature, group=self.group_id
+        )
+        self.request_tx.send(body.client, body.counter, wrapper)
+
+    def _on_weak_read(self, src, message: WeakRead) -> None:
+        if message.client != src.name:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.client, self.name
+        ):
+            return
+        if not is_read_only(message.operation):
+            return
+        result = self.app.execute(message.operation)
+        self.weak_read_count += 1
+        reply = WeakReadReply(result=result, nonce=message.nonce, sender=self.name)
+        reply = WeakReadReply(
+            result=reply.result,
+            nonce=reply.nonce,
+            sender=reply.sender,
+            mac=make_mac(self.name, message.client, reply.signed_content()),
+        )
+        self.send(src, reply)
+
+    # ------------------------------------------------------------------
+    # Main loop (Fig. 16 L. 24-40)
+    # ------------------------------------------------------------------
+    def _main_loop(self):
+        while True:
+            result = yield self.commit_rx.receive(0, self.sn + 1)
+            if isinstance(result, TooOld):
+                # We missed Executes: find a stable checkpoint, possibly in
+                # another group (Section 3.5), then retry.
+                self.cp.fetch_cp(self.sn + 1)
+                yield sleep(self.config.fetch_retry_ms)
+                continue
+            self._process_execute(result)
+
+    def _process_execute(self, execute: Execute) -> None:
+        self.sn += 1
+        if execute.request is not None:
+            self._apply_request(execute.request)
+        elif execute.placeholder is not None and execute.placeholder[0] == "read":
+            # Strong read handled by another group: remember the counter so
+            # duplicate filtering stays consistent (paper Section 3.3).
+            _, client, counter = execute.placeholder
+            cached = self.u.get(client)
+            if cached is None or cached[0] < counter:
+                self.u[client] = (counter, self.PLACEHOLDER)
+        if self.sn % self.config.ke == 0:
+            self.cp.gen_cp(self.sn, self._snapshot())
+
+    def _apply_request(self, wrapper: RequestWrapper) -> None:
+        body = wrapper.body
+        client, counter = body.client, body.counter
+        cached = self.u.get(client)
+        if cached is not None and cached[0] >= counter:
+            result = None if cached[0] > counter else cached[1]
+        else:
+            result = self.app.execute(body.operation)
+            self.executed_count += 1
+            self.u[client] = (counter, result)
+            self.t[client] = max(self.t.get(client, 0), counter)
+        if wrapper.group == self.group_id and result is not None and result is not self.PLACEHOLDER:
+            self._send_reply(client, counter, result)
+
+    def _send_reply(self, client: str, counter: int, result: Any) -> None:
+        target = self.network.nodes.get(client) if self.network else None
+        if target is None:
+            return
+        reply = Reply(result=result, counter=counter, sender=self.name, group=self.group_id)
+        reply = Reply(
+            result=reply.result,
+            counter=reply.counter,
+            sender=reply.sender,
+            group=reply.group,
+            mac=make_mac(self.name, client, reply.signed_content()),
+        )
+        self.send(target, reply)
+
+    # ------------------------------------------------------------------
+    # Checkpoints (Fig. 16 L. 39-48)
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> Tuple:
+        return (tuple(sorted(self.u.items())), self.app.snapshot())
+
+    def _checkpoint_size(self, state) -> int:
+        reply_cache, _app_state = state
+        return 64 * max(1, len(reply_cache)) + self.app.state_size_bytes()
+
+    def _on_stable_checkpoint(self, seq: int, state: Tuple) -> None:
+        self.commit_rx.move_window(0, seq + 1)
+        if seq >= self.sn:
+            reply_cache, app_state = state
+            self.sn = seq
+            self.u = dict(reply_cache)
+            self.app.restore(app_state)
+            self.checkpoints_applied += 1

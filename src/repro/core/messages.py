@@ -1,0 +1,196 @@
+"""Spider protocol messages (paper Figs. 5 and 15-17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.crypto.primitives import Mac, MacVector, Signature
+from repro.net.message import Message
+
+#: Request kinds.
+WRITE = "write"
+STRONG_READ = "strong-read"
+
+
+@dataclass(frozen=True)
+class RequestBody(Message):
+    """``<Write, w, c, t_c>`` — the client-signed core of a request.
+
+    ``kind`` distinguishes writes from strongly consistent reads; both
+    follow the same path through the system (Section 3.3).
+    """
+
+    operation: Tuple
+    client: str
+    counter: int
+    kind: str = WRITE
+
+    def signed_content(self) -> Tuple:
+        return ("req", self.operation, self.client, self.counter, self.kind)
+
+    def payload_size(self) -> int:
+        return 16 + len(repr(self.operation))
+
+
+@dataclass(frozen=True)
+class ClientRequest(Message):
+    """A request as transmitted from client to execution group:
+    ``mac_{c,E}(sign_c(<Write, w, c, t_c>))``."""
+
+    body: RequestBody
+    signature: Optional[Signature]
+    auth: Optional[MacVector]
+    group: str
+
+    def payload_size(self) -> int:
+        return (
+            self.body.payload_size()
+            + 128
+            + (self.auth.size_bytes() if self.auth else 0)
+        )
+
+
+@dataclass(frozen=True)
+class RequestWrapper(Message):
+    """``<Request, r, e>`` — a validated request forwarded via the request
+    channel by execution group ``group``."""
+
+    body: RequestBody
+    signature: Optional[Signature]
+    group: str
+
+    def signed_content(self) -> Tuple:
+        return ("wrap", self.body.signed_content(), self.group)
+
+    def payload_size(self) -> int:
+        return self.body.payload_size() + 128 + 8
+
+
+@dataclass(frozen=True)
+class Execute(Message):
+    """``<Execute, r, s>`` — an agreed request at sequence number ``seq``.
+
+    ``placeholder`` replaces the full request for strongly consistent reads
+    at execution groups other than the client's (Section 3.3), and for
+    consensus no-ops introduced by view changes.
+    """
+
+    seq: int
+    request: Optional[RequestWrapper]
+    placeholder: Optional[Tuple] = None  # e.g. ("read", client, counter) / ("noop",)
+
+    def payload_size(self) -> int:
+        if self.request is not None:
+            return 8 + self.request.payload_size()
+        return 8 + 24
+
+
+@dataclass(frozen=True)
+class Reply(Message):
+    """``<Result, u_c, t_c>`` — one execution replica's reply to a client."""
+
+    result: Any
+    counter: int
+    sender: str
+    group: str
+    mac: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return ("reply", repr(self.result), self.counter, self.sender, self.group)
+
+    def payload_size(self) -> int:
+        return 16 + len(repr(self.result)) + 32
+
+
+@dataclass(frozen=True)
+class WeakRead(Message):
+    """A weakly consistent read, answered directly by an execution group."""
+
+    operation: Tuple
+    client: str
+    nonce: int
+    auth: Optional[MacVector] = None
+
+    def signed_content(self) -> Tuple:
+        return ("weak-read", self.operation, self.client, self.nonce)
+
+    def payload_size(self) -> int:
+        return 16 + len(repr(self.operation)) + (self.auth.size_bytes() if self.auth else 0)
+
+
+@dataclass(frozen=True)
+class WeakReadReply(Message):
+    result: Any
+    nonce: int
+    sender: str
+    mac: Optional[Mac] = None
+
+    def signed_content(self) -> Tuple:
+        return ("weak-reply", repr(self.result), self.nonce, self.sender)
+
+    def payload_size(self) -> int:
+        return 16 + len(repr(self.result)) + 32
+
+
+# ----------------------------------------------------------------------
+# Reconfiguration (Section 3.6) and the execution-replica registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddGroup(Message):
+    """``<AddGroup, e, E>`` submitted by a privileged admin client."""
+
+    group: str
+    members: Tuple[str, ...]
+    admin: str
+    nonce: int
+    signature: Optional[Signature] = None
+
+    def signed_content(self) -> Tuple:
+        return ("add-group", self.group, self.members, self.admin, self.nonce)
+
+    def payload_size(self) -> int:
+        return 16 + 32 * len(self.members) + 128
+
+
+@dataclass(frozen=True)
+class RemoveGroup(Message):
+    """``<RemoveGroup, e>`` submitted by a privileged admin client."""
+
+    group: str
+    admin: str
+    nonce: int
+    signature: Optional[Signature] = None
+
+    def signed_content(self) -> Tuple:
+        return ("remove-group", self.group, self.admin, self.nonce)
+
+    def payload_size(self) -> int:
+        return 24 + 128
+
+
+@dataclass(frozen=True)
+class RegistryQuery(Message):
+    """A client asks the agreement group for the active execution groups."""
+
+    client: str
+    nonce: int
+
+    def payload_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class RegistryInfo(Message):
+    """One agreement replica's signed view of the registry."""
+
+    groups: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    nonce: int
+    sender: str
+    signature: Optional[Signature] = None
+
+    def signed_content(self) -> Tuple:
+        return ("registry", self.groups, self.nonce, self.sender)
+
+    def payload_size(self) -> int:
+        return 16 + sum(8 + 32 * len(members) for _, members in self.groups) + 128

@@ -1,0 +1,67 @@
+"""CPU cost model for cryptographic operations.
+
+Costs are in simulated milliseconds and are calibrated to measurements on
+small cloud VMs of the paper's era (t3.small, 2 vCPUs): RSA-1024 signing is
+a fraction of a millisecond, verification an order of magnitude cheaper,
+HMACs are micro-second range, and Shoup threshold-RSA operations cost
+several milliseconds.  Every primitive charges its cost to the node whose
+CPU invoked it (:func:`repro.sim.node.charge`), which is how crypto load
+shows up as latency, queueing and CPU utilisation in experiments.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU costs (ms) for one invocation of each primitive."""
+
+    rsa_sign: float = 0.25
+    rsa_verify: float = 0.016
+    hmac: float = 0.003
+    hash_per_kb: float = 0.002
+    threshold_sign_share: float = 3.0
+    threshold_combine: float = 2.5
+    threshold_verify: float = 0.5
+    execute_request: float = 0.02
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every cost multiplied by ``factor`` (0 disables)."""
+        return CostModel(
+            **{name: getattr(self, name) * factor for name in self.__dataclass_fields__}
+        )
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        return replace(self, **overrides)
+
+
+_ACTIVE = CostModel()
+
+#: A model with all costs zeroed, handy for logic-only unit tests.
+FREE = CostModel().scaled(0.0)
+
+
+def active_cost_model() -> CostModel:
+    """The cost model charged by crypto primitives right now."""
+    return _ACTIVE
+
+
+def set_cost_model(model: CostModel) -> CostModel:
+    """Install ``model`` globally; returns the previous model."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = model
+    return previous
+
+
+@contextmanager
+def use_cost_model(model: CostModel):
+    """Temporarily install ``model`` (restores the previous one on exit)."""
+    previous = set_cost_model(model)
+    try:
+        yield model
+    finally:
+        set_cost_model(previous)

@@ -1,0 +1,86 @@
+"""Threshold signatures (Shoup-style), used by the HFT/Steward baseline.
+
+A ``(k, n)`` threshold scheme lets any ``k`` members of a group jointly
+produce a signature verifiable against the single group key.  Steward uses
+this so an entire site can vouch for a message with one constant-size
+authenticator.  Costs are substantial (several ms per share on small VMs),
+which is faithfully charged and visible in HFT's response times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+from repro.crypto.costs import active_cost_model
+from repro.crypto.primitives import SIGNATURE_BYTES, digest
+from repro.errors import ConfigurationError
+from repro.sim.node import charge
+
+
+@dataclass(frozen=True)
+class ThresholdSigShare:
+    """One member's share of a threshold signature over an object."""
+
+    group: str
+    signer: str
+    object_digest: int
+
+    def size_bytes(self) -> int:
+        return SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class ThresholdSignature:
+    """A combined ``k``-of-``n`` signature for group ``group``."""
+
+    group: str
+    object_digest: int
+    threshold: int
+
+    def size_bytes(self) -> int:
+        return SIGNATURE_BYTES
+
+
+def sign_share(group: str, signer: str, obj: Any) -> ThresholdSigShare:
+    """Produce this member's share (charges share-generation cost)."""
+    charge(active_cost_model().threshold_sign_share)
+    return ThresholdSigShare(group=group, signer=signer, object_digest=digest(obj))
+
+
+def combine_shares(
+    shares: Iterable[ThresholdSigShare], threshold: int, obj: Any
+) -> Optional[ThresholdSignature]:
+    """Combine ``threshold`` matching shares into a group signature.
+
+    Returns ``None`` when fewer than ``threshold`` shares from distinct
+    signers match the object; mirrors a failed Lagrange combination.
+    """
+    if threshold < 1:
+        raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+    charge(active_cost_model().threshold_combine)
+    obj_digest = digest(obj)
+    groups = {share.group for share in shares}
+    if len(groups) > 1:
+        return None
+    matching: List[ThresholdSigShare] = []
+    seen = set()
+    for share in shares:
+        if share.object_digest == obj_digest and share.signer not in seen:
+            seen.add(share.signer)
+            matching.append(share)
+    if len(matching) < threshold:
+        return None
+    return ThresholdSignature(
+        group=matching[0].group, object_digest=obj_digest, threshold=threshold
+    )
+
+
+def verify_threshold(
+    signature: Optional[ThresholdSignature], obj: Any, group: str
+) -> bool:
+    """Verify a combined threshold signature against the group key."""
+    charge(active_cost_model().threshold_verify)
+    if signature is None:
+        return False
+    return signature.group == group and signature.object_digest == digest(obj)

@@ -1,0 +1,39 @@
+"""Exception hierarchy shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the simulator can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state (programming error)."""
+
+
+class ConfigurationError(ReproError):
+    """A system was configured with inconsistent or unsupported parameters."""
+
+
+class AuthenticationError(ReproError):
+    """A message failed signature or MAC validation."""
+
+
+class ChannelClosedError(ReproError):
+    """An IRMC endpoint was used after the channel had been closed."""
+
+
+class TooOldError(ReproError):
+    """A requested IRMC position lies before the current subchannel window.
+
+    Mirrors the ``<TooOld, p'>`` return of the paper's ``receive()`` call:
+    the ``new_start`` attribute carries the new lower bound of the window.
+    """
+
+    def __init__(self, new_start: int):
+        super().__init__(f"position is below the window start {new_start}")
+        self.new_start = new_start

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(quick=False, seed=1) -> ExperimentResult``;
+``quick`` shrinks client counts and durations for CI/benchmark runs without
+changing the experiment's structure.  The CLI mirrors this::
+
+    python -m repro.experiments fig7          # full run
+    python -m repro.experiments fig9_irmc --quick
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+paper-vs-measured comparisons.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS = {
+    "fig7": "repro.experiments.fig7_writes",
+    "fig8": "repro.experiments.fig8_reads",
+    "fig9_modularity": "repro.experiments.fig9_modularity",
+    "fig9_irmc": "repro.experiments.fig9_irmc",
+    "fig10": "repro.experiments.fig10_adaptability",
+    "fig11": "repro.experiments.fig11_f2",
+}
+
+__all__ = ["ExperimentResult", "EXPERIMENTS"]

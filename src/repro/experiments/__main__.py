@@ -1,0 +1,41 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--quick] [--seed N]
+    python -m repro.experiments all [--quick]
+
+Experiments: fig7, fig8, fig9_modularity, fig9_irmc, fig10, fig11.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--quick", action="store_true", help="reduced scale")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        started = time.time()
+        result = module.run(quick=args.quick, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.format())
+        print(f"({name} finished in {elapsed:.1f} s wall time)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Shared experiment scaffolding: system builders, drivers, result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.app import KVStore
+from repro.baselines import BftSystem, HftSystem
+from repro.core import SpiderConfig, SpiderSystem
+from repro.metrics import LatencySummary, summarize
+from repro.net import Network, Topology
+from repro.sim import Simulator
+from repro.workload import ClosedLoopDriver, OperationMix
+
+REGIONS = ["virginia", "oregon", "ireland", "tokyo"]
+REGION_LABEL = {
+    "virginia": "V",
+    "oregon": "O",
+    "ireland": "I",
+    "tokyo": "T",
+    "saopaulo": "S",
+    "ohio": "OH",
+    "california": "CA",
+    "london": "LO",
+    "seoul": "SE",
+}
+#: Nearby extra fault domains used when tolerating f=2 (paper Fig. 11).
+NEARBY = {
+    "virginia": "ohio",
+    "oregon": "california",
+    "ireland": "london",
+    "tokyo": "seoul",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """A printable table of experiment output."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def format(self) -> str:
+        widths = {
+            column: max(
+                len(column),
+                *(len(_fmt(row.get(column, ""))) for row in self.rows),
+            )
+            if self.rows
+            else len(column)
+            for column in self.columns
+        }
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(column, "")).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def fresh_env(seed: int = 1, jitter: float = 0.05):
+    sim = Simulator(seed=seed)
+    network = Network(sim, Topology(), jitter=jitter)
+    return sim, network
+
+
+# ----------------------------------------------------------------------
+# System builders (the paper's standard 4-region deployment, f=1)
+# ----------------------------------------------------------------------
+def build_spider(
+    sim,
+    network,
+    regions: Sequence[str] = tuple(REGIONS),
+    leader_zone_order: Optional[List[int]] = None,
+    config: Optional[SpiderConfig] = None,
+) -> SpiderSystem:
+    """Spider: agreement group in Virginia AZs, one execution group per
+    region.  ``leader_zone_order`` rotates which AZ hosts the initial
+    consensus leader (paper: V-1 / V-2 / V-4 / V-6)."""
+    system = SpiderSystem(
+        sim,
+        config=config or SpiderConfig(),
+        network=network,
+        agreement_region="virginia",
+        agreement_zones=leader_zone_order or [1, 2, 4, 6, 3, 5, 7, 8, 9, 10],
+    )
+    for region in regions:
+        system.add_execution_group(region, region)
+    return system
+
+
+def build_bft(sim, network, leader: str = "virginia", regions=None, weights=None, f=1):
+    """BFT: one replica per region; first region is the leader."""
+    regions = list(regions or REGIONS)
+    ordered = [leader] + [region for region in regions if region != leader]
+    return BftSystem(sim, ordered, KVStore, network=network, weights=weights, f=f)
+
+
+def build_hft(sim, network, leader: str = "virginia", regions=None, f=1):
+    """HFT: one 3f+1 cluster per region; first region is the leader site."""
+    regions = list(regions or REGIONS)
+    ordered = [leader] + [region for region in regions if region != leader]
+    return HftSystem(sim, ordered, KVStore, network=network, f=f)
+
+
+# ----------------------------------------------------------------------
+# Workload execution
+# ----------------------------------------------------------------------
+@dataclass
+class RunScale:
+    """Knobs shrinking an experiment for quick runs."""
+
+    clients_per_region: int = 3
+    duration_ms: float = 15_000.0
+    warmup_ms: float = 2_000.0
+    think_ms: float = 300.0
+
+    @classmethod
+    def quick(cls) -> "RunScale":
+        return cls(clients_per_region=2, duration_ms=6_000.0, warmup_ms=1_000.0, think_ms=250.0)
+
+
+def measure_latency(
+    sim,
+    make_client: Callable[[str, str], object],
+    regions: Sequence[str],
+    scale: RunScale,
+    mix: Optional[OperationMix] = None,
+    kinds: Optional[Sequence[str]] = None,
+    strong_read_quorum: Optional[int] = None,
+) -> Dict[str, LatencySummary]:
+    """Run closed-loop clients in each region; return per-region summaries."""
+    mix = mix or OperationMix(write=1.0)
+    clients = []
+    for region in regions:
+        for index in range(scale.clients_per_region):
+            client = make_client(f"cl-{region}-{index}", region)
+            clients.append((region, client))
+            ClosedLoopDriver(
+                sim,
+                client,
+                think_ms=scale.think_ms,
+                mix=mix,
+                duration_ms=scale.duration_ms,
+                strong_read_quorum=strong_read_quorum,
+            )
+    sim.run(until=scale.duration_ms + 20_000.0)
+    summaries: Dict[str, LatencySummary] = {}
+    for region in regions:
+        samples = [
+            sample
+            for r, client in clients
+            if r == region
+            for sample in client.completed
+        ]
+        summaries[region] = summarize(samples, kinds=kinds, after_ms=scale.warmup_ms)
+    return summaries

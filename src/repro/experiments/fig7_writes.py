@@ -1,0 +1,79 @@
+"""Figure 7: write latency per client location and leader placement.
+
+For BFT and HFT the leader (site) rotates through Virginia, Oregon,
+Ireland and Tokyo; for Spider the consensus leader rotates through four
+Virginia availability zones — which, per the paper, should barely matter.
+
+Expected shape: Spider is far below BFT/HFT for every client location and
+insensitive to leader placement; BFT/HFT swing strongly with it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    REGION_LABEL,
+    REGIONS,
+    ExperimentResult,
+    RunScale,
+    build_bft,
+    build_hft,
+    build_spider,
+    fresh_env,
+    measure_latency,
+)
+
+SPIDER_LEADER_ZONES = {
+    "V-1": [1, 2, 4, 6],
+    "V-2": [2, 1, 4, 6],
+    "V-4": [4, 1, 2, 6],
+    "V-6": [6, 1, 2, 4],
+}
+
+
+def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
+    scale = RunScale.quick() if quick else RunScale()
+    result = ExperimentResult(
+        title="Fig. 7 - 50th/90th percentile write latency [ms]",
+        columns=["system", "leader"]
+        + [f"{REGION_LABEL[r]} p50" for r in REGIONS]
+        + [f"{REGION_LABEL[r]} p90" for r in REGIONS],
+    )
+
+    leaders = REGIONS if not quick else ["virginia", "tokyo"]
+    for leader in leaders:
+        for system_name, builder in (("BFT", build_bft), ("HFT", build_hft)):
+            sim, network = fresh_env(seed=seed)
+            system = builder(sim, network, leader=leader)
+            summaries = measure_latency(
+                sim, system.make_client, REGIONS, scale, kinds=["write"]
+            )
+            _record(result, system_name, REGION_LABEL[leader], summaries)
+
+    zone_items = list(SPIDER_LEADER_ZONES.items())
+    if quick:
+        zone_items = zone_items[:2]
+    for label, zones in zone_items:
+        sim, network = fresh_env(seed=seed)
+        system = build_spider(sim, network, leader_zone_order=zones)
+        summaries = measure_latency(
+            sim, system.make_client, REGIONS, scale, kinds=["write"]
+        )
+        _record(result, "SPIDER", label, summaries)
+
+    result.notes.append(
+        "paper shape: SPIDER well below BFT/HFT everywhere; SPIDER rows "
+        "nearly identical across leader zones"
+    )
+    return result
+
+
+def _record(result: ExperimentResult, system: str, leader: str, summaries) -> None:
+    row = {"system": system, "leader": leader}
+    for region in REGIONS:
+        row[f"{REGION_LABEL[region]} p50"] = summaries[region].p50
+        row[f"{REGION_LABEL[region]} p90"] = summaries[region].p90
+    result.add_row(**row)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,87 @@
+"""Figure 8: latency of strongly and weakly consistent reads.
+
+* Strong reads: BFT uses its read-only quorum fast path (2f+1 matching
+  replies); HFT and Spider order the read (HFT through the hierarchy,
+  Spider through the agreement group, executed only at the client's
+  group).
+* Weak reads: answered by the replicas the client can reach with f_e+1
+  (Spider/HFT: local; BFT: at least one WAN reply needed).
+
+Expected shape: HFT and Spider weak reads ~2 ms, BFT weak reads WAN-bound;
+Spider strong reads below BFT/HFT except for Tokyo clients.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    REGION_LABEL,
+    REGIONS,
+    ExperimentResult,
+    RunScale,
+    build_bft,
+    build_hft,
+    build_spider,
+    fresh_env,
+    measure_latency,
+)
+from repro.workload import OperationMix
+
+
+def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
+    scale = RunScale.quick() if quick else RunScale()
+    result = ExperimentResult(
+        title="Fig. 8 - 50th/90th percentile read latency [ms]",
+        columns=["system", "consistency"]
+        + [f"{REGION_LABEL[r]} p50" for r in REGIONS]
+        + [f"{REGION_LABEL[r]} p90" for r in REGIONS],
+    )
+
+    configurations = [
+        ("BFT", build_bft, dict(strong_read_quorum=3)),
+        ("HFT", build_hft, {}),
+        ("SPIDER", build_spider, {}),
+    ]
+    for system_name, builder, extra in configurations:
+        # Strongly consistent reads.
+        sim, network = fresh_env(seed=seed)
+        system = builder(sim, network)
+        summaries = measure_latency(
+            sim,
+            system.make_client,
+            REGIONS,
+            scale,
+            mix=OperationMix(write=0.0, strong_read=1.0),
+            kinds=["strong-read", "quorum-read"],
+            **extra,
+        )
+        _record(result, system_name, "strong", summaries)
+        # Weakly consistent reads.
+        sim, network = fresh_env(seed=seed + 1)
+        system = builder(sim, network)
+        summaries = measure_latency(
+            sim,
+            system.make_client,
+            REGIONS,
+            scale,
+            mix=OperationMix(write=0.0, weak_read=1.0),
+            kinds=["weak-read"],
+        )
+        _record(result, system_name, "weak", summaries)
+
+    result.notes.append(
+        "paper shape: weak reads <= ~2 ms for HFT and SPIDER, WAN-bound for "
+        "BFT; SPIDER strong reads beat BFT/HFT except in Tokyo"
+    )
+    return result
+
+
+def _record(result: ExperimentResult, system: str, consistency: str, summaries) -> None:
+    row = {"system": system, "consistency": consistency}
+    for region in REGIONS:
+        row[f"{REGION_LABEL[region]} p50"] = summaries[region].p50
+        row[f"{REGION_LABEL[region]} p90"] = summaries[region].p90
+    result.add_row(**row)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,24 @@
+"""Byzantine fault injection.
+
+The simulator's structural crypto prevents forgery, so Byzantine behaviour
+is expressed as *protocol-level* misbehaviour of otherwise-authenticated
+nodes: staying silent, delaying, equivocating, corrupting state machines,
+or flooding.  :class:`FaultInjector` wraps live nodes with these
+behaviours; tests use it to check the paper's f-tolerance claims.
+"""
+
+from repro.faults.behaviours import (
+    FaultInjector,
+    make_delayer,
+    make_dropper,
+    make_equivocating_kvstore,
+    make_silent,
+)
+
+__all__ = [
+    "FaultInjector",
+    "make_silent",
+    "make_delayer",
+    "make_dropper",
+    "make_equivocating_kvstore",
+]

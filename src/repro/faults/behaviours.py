@@ -1,0 +1,142 @@
+"""Concrete Byzantine behaviours applied to live nodes.
+
+All behaviours work by interposing on a node's messaging surface
+(``send`` / ``deliver``) or by corrupting its application, never by
+forging other principals' authenticators — mirroring what a compromised
+but key-isolated machine could actually do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.app.statemachine import Operation, StateMachine
+from repro.sim.node import Node
+
+
+def make_silent(node: Node, to: Optional[Callable[[Node], bool]] = None) -> None:
+    """The node stops sending (selected) messages but keeps receiving.
+
+    More insidious than a crash: peers cannot distinguish it from a slow
+    node, so timeout-based fault handling must kick in.
+    """
+    original_send = node.send
+
+    def muted_send(dst, message):
+        if to is None or to(dst):
+            return  # swallow
+        original_send(dst, message)
+
+    node.send = muted_send  # type: ignore[method-assign]
+    node.byzantine = True
+
+
+def make_delayer(node: Node, delay_ms: float) -> None:
+    """The node delays every outgoing message by ``delay_ms``."""
+    original_send = node.send
+
+    def delayed_send(dst, message):
+        node.sim.schedule(delay_ms, original_send, dst, message)
+
+    node.send = delayed_send  # type: ignore[method-assign]
+    node.byzantine = True
+
+
+def make_dropper(node: Node, drop_fraction: float) -> None:
+    """The node randomly drops a fraction of its outgoing messages."""
+    original_send = node.send
+
+    def lossy_send(dst, message):
+        if node.sim.rng.random() < drop_fraction:
+            return
+        original_send(dst, message)
+
+    node.send = lossy_send  # type: ignore[method-assign]
+    node.byzantine = True
+
+
+class _EquivocatingKVStore(StateMachine):
+    """A corrupted application returning wrong results to some requests.
+
+    Models a compromised execution replica lying about results: the
+    underlying state still evolves (so later honest answers stay
+    plausible), but replies are altered.  Clients defeat it by requiring
+    ``f_e + 1`` matching replies.
+    """
+
+    def __init__(self, inner: StateMachine, lie_every: int = 1, salt: str = ""):
+        self.inner = inner
+        self.lie_every = lie_every
+        self.salt = salt
+        self._calls = 0
+
+    def apply(self, operation: Operation) -> Any:
+        result = self.inner.apply(operation)
+        self._calls += 1
+        if self._calls % self.lie_every == 0:
+            # The salt makes independent liars produce distinct forgeries;
+            # colluding liars can pass salt="" to fabricate matching ones.
+            return ("forged", self.salt, self._calls)
+        return result
+
+    def snapshot(self) -> Any:
+        return self.inner.snapshot()
+
+    def restore(self, state: Any) -> None:
+        self.inner.restore(state)
+
+    def state_size_bytes(self) -> int:
+        return self.inner.state_size_bytes()
+
+
+def make_equivocating_kvstore(replica, lie_every: int = 1, colluding: bool = False) -> None:
+    """Replace an execution replica's application with a lying wrapper.
+
+    ``colluding=True`` makes all liars fabricate *identical* results —
+    enough of them can then outvote honest replicas (the fault budget).
+    """
+    salt = "" if colluding else replica.name
+    replica.app = _EquivocatingKVStore(replica.app, lie_every=lie_every, salt=salt)
+    replica.byzantine = True
+
+
+class FaultInjector:
+    """Applies and tracks fault behaviours over a set of nodes.
+
+    Keeps the experiment/test code declarative::
+
+        injector = FaultInjector()
+        injector.silence(system.agreement_replicas[0])
+        injector.corrupt_application(system.groups["g0"].replicas[1])
+        ...
+        assert injector.summary()["silent"] == 1
+    """
+
+    def __init__(self):
+        self.applied: Dict[str, List[str]] = {}
+
+    def _record(self, behaviour: str, node: Node) -> None:
+        self.applied.setdefault(behaviour, []).append(node.name)
+
+    def crash(self, node: Node) -> None:
+        node.crash()
+        self._record("crash", node)
+
+    def silence(self, node: Node, to=None) -> None:
+        make_silent(node, to=to)
+        self._record("silent", node)
+
+    def delay(self, node: Node, delay_ms: float) -> None:
+        make_delayer(node, delay_ms)
+        self._record("delay", node)
+
+    def drop(self, node: Node, fraction: float) -> None:
+        make_dropper(node, fraction)
+        self._record("drop", node)
+
+    def corrupt_application(self, replica, lie_every: int = 1, colluding: bool = False) -> None:
+        make_equivocating_kvstore(replica, lie_every=lie_every, colluding=colluding)
+        self._record("corrupt-app", replica)
+
+    def summary(self) -> Dict[str, int]:
+        return {behaviour: len(names) for behaviour, names in self.applied.items()}

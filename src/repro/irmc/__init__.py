@@ -1,0 +1,49 @@
+"""Inter-regional message channels (IRMCs), paper Sections 3.2 and 4.
+
+Two implementations with identical semantics and interfaces:
+
+* **IRMC-RC** (:mod:`repro.irmc.rc`) — receiver-side collection; every
+  sender ships a signed copy to every receiver.  Cheapest per-message
+  sender CPU, highest WAN volume.
+* **IRMC-SC** (:mod:`repro.irmc.sc`) — sender-side collection; collectors
+  assemble ``f_s + 1`` signature shares into a certificate and ship one WAN
+  message per receiver.  Much lower WAN volume at higher sender CPU.
+
+Use :func:`make_channel` to build either kind.
+"""
+
+from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase, TooOld
+from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint, make_rc_channel
+from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint, make_sc_channel
+
+KINDS = ("rc", "sc")
+
+
+def make_channel(kind, tag, sender_nodes, receiver_nodes, config=None):
+    """Create an IRMC of ``kind`` ("rc" or "sc") between two node groups.
+
+    Returns ``(senders, receivers)``: dicts mapping node name to the
+    endpoint hosted on that node.
+    """
+    config = config or IrmcConfig()
+    if kind == "rc":
+        return make_rc_channel(tag, sender_nodes, receiver_nodes, config)
+    if kind == "sc":
+        return make_sc_channel(tag, sender_nodes, receiver_nodes, config)
+    raise ValueError(f"unknown IRMC kind {kind!r}; expected one of {KINDS}")
+
+
+__all__ = [
+    "IrmcConfig",
+    "TooOld",
+    "SenderEndpointBase",
+    "ReceiverEndpointBase",
+    "RcSenderEndpoint",
+    "RcReceiverEndpoint",
+    "ScSenderEndpoint",
+    "ScReceiverEndpoint",
+    "make_rc_channel",
+    "make_sc_channel",
+    "make_channel",
+    "KINDS",
+]

@@ -1,0 +1,398 @@
+"""Shared machinery of both IRMC implementations.
+
+An IRMC forwards messages from a group of sender replicas to a group of
+receiver replicas in another region (paper Section 3.2).  Key semantics:
+
+* **Subchannels** are independent FIFO queues addressed by position; each
+  has a bounded window of ``capacity`` positions starting at 1.
+* **f_s + 1 vouching** — a message is delivered only once ``f_s + 1``
+  distinct senders submitted identical content for the same subchannel and
+  position, so at least one correct sender vouches for it.
+* **Flow control** — a sender endpoint's window advances to the
+  ``f_r + 1``-highest position requested by receiver endpoints; a receiver
+  endpoint's window advances on local ``move_window`` calls or once
+  ``f_s + 1`` sender endpoints request it.
+* **TooOld** — operations on positions below the window resolve with a
+  :class:`TooOld` marker carrying the new lower bound, which is how trailing
+  replicas learn they must fetch a checkpoint.
+
+Blocking calls are futures: ``send`` and ``receive`` return a
+:class:`~repro.sim.futures.SimFuture` resolving with ``"ok"`` / the message,
+or with :class:`TooOld`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.primitives import make_mac_vector, verify_mac_vector
+from repro.irmc.messages import MoveMsg
+from repro.sim.futures import SimFuture
+from repro.sim.routing import Component, RoutedNode
+
+
+@dataclass(frozen=True)
+class TooOld:
+    """Result marker: the requested position is below the window.
+
+    ``new_start`` is the window's new lower bound (the paper's
+    ``<TooOld, p'>``).
+    """
+
+    new_start: int
+
+
+@dataclass
+class IrmcConfig:
+    """Channel-wide parameters.
+
+    ``fs`` / ``fr`` are the numbers of Byzantine senders / receivers
+    tolerated; ``capacity`` is the per-subchannel window size (the paper
+    uses 2 for request channels — one in-flight request per client plus the
+    next — and at least the execution checkpoint interval for commit
+    channels).
+    """
+
+    fs: int = 1
+    fr: int = 1
+    capacity: int = 2
+    #: IRMC-SC: period of Progress messages (ms).
+    progress_interval_ms: float = 200.0
+    #: IRMC-SC: how long a receiver waits for a certificate its peers claim
+    #: exists before switching collectors (ms).
+    collector_timeout_ms: float = 500.0
+    #: Stored positions are bounded to ``capacity * overflow_factor`` ahead
+    #: of the window start to cap memory under Byzantine floods.
+    overflow_factor: int = 8
+    #: Senders periodically re-announce their latest window Move so that
+    #: receivers cut off by partitions eventually learn they fell behind
+    #: (the paper assumes reliable links; this heartbeat provides the
+    #: equivalent over a lossy simulated network).  0 disables.
+    move_heartbeat_ms: float = 500.0
+
+
+class _WindowBook:
+    """Tracks per-subchannel window positions requested by remote endpoints."""
+
+    def __init__(self, quorum_rank: int):
+        # quorum_rank = f + 1: the window start is the (f+1)-highest request.
+        self.quorum_rank = quorum_rank
+        self._requests: Dict[Any, Dict[str, int]] = {}
+
+    def record(self, subchannel: Any, endpoint: str, position: int) -> None:
+        per_channel = self._requests.setdefault(subchannel, {})
+        if position > per_channel.get(endpoint, 1):
+            per_channel[endpoint] = position
+
+    def agreed_start(self, subchannel: Any, member_names: Sequence[str]) -> int:
+        per_channel = self._requests.get(subchannel, {})
+        positions = sorted(
+            (per_channel.get(name, 1) for name in member_names), reverse=True
+        )
+        if len(positions) < self.quorum_rank:
+            return 1
+        return positions[self.quorum_rank - 1]
+
+
+class IrmcEndpoint(Component):
+    """Common state of sender and receiver endpoints."""
+
+    def __init__(
+        self,
+        node: RoutedNode,
+        tag: str,
+        local_group: Sequence[RoutedNode],
+        remote_group: Sequence[RoutedNode],
+        config: IrmcConfig,
+    ):
+        super().__init__(node, tag)
+        self.local_group = list(local_group)
+        self.remote_group = list(remote_group)
+        self.local_names = [n.name for n in self.local_group]
+        self.remote_names = [n.name for n in self.remote_group]
+        self.config = config
+        self.closed = False
+        #: per-subchannel active window start (all windows begin at 1)
+        self.window_start: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    # Window helpers
+    # ------------------------------------------------------------------
+    def start_of(self, subchannel: Any) -> int:
+        return self.window_start.get(subchannel, 1)
+
+    def max_of(self, subchannel: Any) -> int:
+        return self.start_of(subchannel) + self.config.capacity - 1
+
+    def in_window(self, subchannel: Any, position: int) -> bool:
+        return self.start_of(subchannel) <= position <= self.max_of(subchannel)
+
+    def storable(self, subchannel: Any, position: int) -> bool:
+        """Positions we are willing to buffer (bounded look-ahead)."""
+        start = self.start_of(subchannel)
+        limit = start + self.config.capacity * self.config.overflow_factor
+        return start <= position < limit
+
+    # ------------------------------------------------------------------
+    # Move messages
+    # ------------------------------------------------------------------
+    def _make_move(self, subchannel: Any, position: int, collector: Optional[str] = None) -> MoveMsg:
+        content = ("irmc-move", self.tag, subchannel, position, self.node.name, collector)
+        auth = make_mac_vector(self.node.name, self.remote_names, content)
+        return MoveMsg(
+            tag=self.tag,
+            subchannel=subchannel,
+            position=position,
+            sender=self.node.name,
+            collector=collector,
+            auth=auth,
+        )
+
+    def _valid_move(self, message: MoveMsg, expected_group: Sequence[str]) -> bool:
+        if message.sender not in expected_group:
+            return False
+        return verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.node.name
+        )
+
+    def close(self) -> None:
+        self.closed = True
+        super().close()
+
+
+class SenderEndpointBase(IrmcEndpoint):
+    """Sender-side window handling shared by IRMC-RC and IRMC-SC.
+
+    The active window is governed by receiver Moves: its start is the
+    ``f_r + 1``-highest position any receiver requested (Fig. 18 L. 22).
+    """
+
+    def __init__(self, node, tag, local_group, remote_group, config):
+        super().__init__(node, tag, local_group, remote_group, config)
+        self._receiver_moves = _WindowBook(quorum_rank=config.fr + 1)
+        self._own_moves: Dict[Any, int] = {}
+        #: sends parked until the window reaches their position:
+        #: subchannel -> list of (position, payload, future)
+        self._parked: Dict[Any, List[Tuple[int, Any, SimFuture]]] = {}
+        self.sent_count = 0
+        #: in-window transmissions kept for retransmission (the paper
+        #: assumes reliable links; Fig. 18 L. 24 garbage-collects buffered
+        #: messages only once the window moves past them).
+        self._buffer: Dict[Any, Dict[int, Any]] = {}
+        self._activity = False
+        self._idle_rounds = 0
+        self._heartbeat_timer = None
+        if config.move_heartbeat_ms > 0:
+            self._schedule_heartbeat()
+
+    def _schedule_heartbeat(self) -> None:
+        if self.closed:
+            return
+        self._heartbeat_timer = self.node.set_timeout(
+            self.config.move_heartbeat_ms, self._heartbeat
+        )
+
+    def _heartbeat(self) -> None:
+        if self.closed:
+            return
+        for subchannel, position in self._own_moves.items():
+            move = self._make_move(subchannel, position)
+            for receiver in self.remote_group:
+                self.send_msg(receiver, move)
+        # Idle-channel recovery: if nothing moved since the last heartbeat
+        # yet undelivered messages sit in the window, retransmit them (the
+        # reliable-transport equivalent over a lossy simulated network).
+        # Exponential backoff bounds the chatter on permanently idle
+        # channels: retransmit on idle rounds 1, 2, 4, 8, ...
+        if self._activity:
+            self._idle_rounds = 0
+        else:
+            self._idle_rounds += 1
+            if self._idle_rounds & (self._idle_rounds - 1) == 0:
+                for subchannel, entries in self._buffer.items():
+                    start = self.start_of(subchannel)
+                    for position in sorted(entries):
+                        if position >= start:
+                            self._retransmit(subchannel, position, entries[position])
+        self._activity = False
+        self._schedule_heartbeat()
+
+    def close(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+        super().close()
+
+    # -- public API (paper Fig. 14) -----------------------------------
+    def send(self, subchannel: Any, position: int, payload: Any) -> SimFuture:
+        """Submit ``payload`` at ``position``; resolves "ok" or TooOld."""
+        future = SimFuture(name=f"{self.tag}.send@{position}")
+        if self.closed:
+            future.resolve(TooOld(self.start_of(subchannel)))
+            return future
+        start = self.start_of(subchannel)
+        self._activity = True
+        if position < start:
+            future.resolve(TooOld(start))
+        elif position <= self.max_of(subchannel):
+            self._transmit(subchannel, position, payload)
+            self._buffer.setdefault(subchannel, {})[position] = payload
+            self.sent_count += 1
+            future.resolve("ok")
+        else:
+            self._parked.setdefault(subchannel, []).append((position, payload, future))
+        return future
+
+    def move_window(self, subchannel: Any, position: int) -> None:
+        """Ask the receiver side to advance the window (Fig. 18 L. 10-14)."""
+        if self.closed or position <= self._own_moves.get(subchannel, 0):
+            return
+        self._own_moves[subchannel] = position
+        move = self._make_move(subchannel, position)
+        for receiver in self.remote_group:
+            self.send_msg(receiver, move)
+
+    # -- implementation hooks ------------------------------------------
+    def _transmit(self, subchannel: Any, position: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _retransmit(self, subchannel: Any, position: int, payload: Any) -> None:
+        """Re-offer a buffered message (default: transmit again)."""
+        self._transmit(subchannel, position, payload)
+
+    def send_msg(self, dst, message) -> None:
+        self.node.send(dst, message)
+
+    # -- receiver Move processing --------------------------------------
+    def _on_receiver_move(self, message: MoveMsg) -> None:
+        if not self._valid_move(message, self.remote_names):
+            return
+        self._receiver_moves.record(message.subchannel, message.sender, message.position)
+        new_start = self._receiver_moves.agreed_start(message.subchannel, self.remote_names)
+        if new_start > self.start_of(message.subchannel):
+            self._activity = True
+            self.window_start[message.subchannel] = new_start
+            buffered = self._buffer.get(message.subchannel)
+            if buffered:
+                for old in [p for p in buffered if p < new_start]:
+                    del buffered[old]
+            self._garbage_collect(message.subchannel, new_start)
+            self._release_parked(message.subchannel)
+
+    def _release_parked(self, subchannel: Any) -> None:
+        parked = self._parked.get(subchannel)
+        if not parked:
+            return
+        start = self.start_of(subchannel)
+        window_max = self.max_of(subchannel)
+        still_parked: List[Tuple[int, Any, SimFuture]] = []
+        for position, payload, future in parked:
+            if position < start:
+                future.resolve(TooOld(start))
+            elif position <= window_max:
+                self._transmit(subchannel, position, payload)
+                self._buffer.setdefault(subchannel, {})[position] = payload
+                self.sent_count += 1
+                future.resolve("ok")
+            else:
+                still_parked.append((position, payload, future))
+        if still_parked:
+            self._parked[subchannel] = still_parked
+        else:
+            self._parked.pop(subchannel, None)
+
+    def _garbage_collect(self, subchannel: Any, new_start: int) -> None:
+        """Drop sender-side buffers below the window (subclass hook)."""
+
+
+class ReceiverEndpointBase(IrmcEndpoint):
+    """Receiver-side window handling shared by IRMC-RC and IRMC-SC."""
+
+    def __init__(self, node, tag, local_group, remote_group, config):
+        super().__init__(node, tag, local_group, remote_group, config)
+        self._sender_moves = _WindowBook(quorum_rank=config.fs + 1)
+        #: delivered payloads: subchannel -> position -> payload
+        self._delivered: Dict[Any, Dict[int, Any]] = {}
+        #: outstanding receive calls: subchannel -> position -> [futures]
+        self._waiters: Dict[Any, Dict[int, List[SimFuture]]] = {}
+        self.delivered_count = 0
+        #: optional callback fired once per previously unseen subchannel;
+        #: Spider's agreement replicas use it to spawn per-client loops.
+        self.on_new_subchannel = None
+        self._known_subchannels: set = set()
+
+    def _note_subchannel(self, subchannel: Any) -> None:
+        if subchannel in self._known_subchannels:
+            return
+        self._known_subchannels.add(subchannel)
+        if self.on_new_subchannel is not None:
+            self.on_new_subchannel(subchannel)
+
+    # -- public API (paper Fig. 14) -----------------------------------
+    def receive(self, subchannel: Any, position: int) -> SimFuture:
+        """Await the message at ``position``; resolves payload or TooOld."""
+        future = SimFuture(name=f"{self.tag}.recv@{position}")
+        start = self.start_of(subchannel)
+        if position < start:
+            future.resolve(TooOld(start))
+            return future
+        ready = self._delivered.get(subchannel, {}).get(position)
+        if ready is not None:
+            future.resolve(ready)
+            return future
+        self._waiters.setdefault(subchannel, {}).setdefault(position, []).append(future)
+        return future
+
+    def move_window(self, subchannel: Any, position: int) -> None:
+        """Advance the local window and tell the senders (Fig. 18 L. 38-43)."""
+        if self.closed or position <= self.start_of(subchannel):
+            return
+        move = self._make_move(subchannel, position, collector=self._collector_for(subchannel))
+        for sender in self.remote_group:
+            self.node.send(sender, move)
+        self._advance_window(subchannel, position)
+
+    # -- shared internals ----------------------------------------------
+    def _collector_for(self, subchannel: Any) -> Optional[str]:
+        return None
+
+    def _advance_window(self, subchannel: Any, position: int) -> None:
+        if position <= self.start_of(subchannel):
+            return
+        self.window_start[subchannel] = position
+        delivered = self._delivered.get(subchannel)
+        if delivered:
+            for old in [p for p in delivered if p < position]:
+                del delivered[old]
+        waiters = self._waiters.get(subchannel)
+        if waiters:
+            for old in [p for p in waiters if p < position]:
+                for future in waiters.pop(old):
+                    future.try_resolve(TooOld(position))
+        self._purge_below(subchannel, position)
+
+    def _purge_below(self, subchannel: Any, position: int) -> None:
+        """Drop partially collected evidence below the window (hook)."""
+
+    def _on_sender_move(self, message: MoveMsg) -> None:
+        if not self._valid_move(message, self.remote_names):
+            return
+        self._sender_moves.record(message.subchannel, message.sender, message.position)
+        agreed = self._sender_moves.agreed_start(message.subchannel, self.remote_names)
+        if agreed > self.start_of(message.subchannel):
+            # fs+1 senders vouch for the move: adopt it and confirm to the
+            # sender side so their windows advance too (Fig. 18 L. 50-57).
+            self.move_window(message.subchannel, agreed)
+
+    def _deliver(self, subchannel: Any, position: int, payload: Any) -> None:
+        if position < self.start_of(subchannel):
+            return
+        delivered = self._delivered.setdefault(subchannel, {})
+        if position in delivered:
+            return
+        delivered[position] = payload
+        self.delivered_count += 1
+        waiters = self._waiters.get(subchannel, {}).pop(position, None)
+        if waiters:
+            for future in waiters:
+                future.try_resolve(payload)

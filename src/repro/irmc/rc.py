@@ -1,0 +1,121 @@
+"""IRMC with receiver-side collection (paper Section 4, Fig. 18).
+
+Every sender endpoint signs and transmits its own copy of each message to
+every receiver endpoint; a receiver delivers once it collected ``f_s + 1``
+matching copies from distinct senders.  Simple and CPU-cheap on the sender
+side (one signature per message), but transfers ``senders x receivers``
+copies over the WAN.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.crypto.primitives import digest, sign, verify
+from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
+from repro.irmc.messages import MoveMsg, SendMsg
+
+
+class RcSenderEndpoint(SenderEndpointBase):
+    """Sender endpoint of an IRMC-RC."""
+
+    def _transmit(self, subchannel: Any, position: int, payload: Any) -> None:
+        content = (
+            "irmc-send",
+            self.tag,
+            subchannel,
+            position,
+            repr(payload),
+            self.node.name,
+        )
+        message = SendMsg(
+            tag=self.tag,
+            subchannel=subchannel,
+            position=position,
+            payload=payload,
+            sender=self.node.name,
+            signature=sign(self.node.name, content),
+        )
+        for receiver in self.remote_group:
+            self.send_msg(receiver, message)
+
+    def handle(self, src, message: Any) -> None:
+        if self.closed:
+            return
+        if isinstance(message, MoveMsg):
+            self._on_receiver_move(message)
+
+
+class RcReceiverEndpoint(ReceiverEndpointBase):
+    """Receiver endpoint of an IRMC-RC."""
+
+    def __init__(self, node, tag, local_group, remote_group, config):
+        super().__init__(node, tag, local_group, remote_group, config)
+        #: subchannel -> position -> sender -> payload digest (votes)
+        self._votes: Dict[Any, Dict[int, Dict[str, int]]] = {}
+        #: first full payload seen per digest, for delivery
+        self._payloads: Dict[Any, Dict[int, Dict[int, Any]]] = {}
+
+    def handle(self, src, message: Any) -> None:
+        if self.closed:
+            return
+        if isinstance(message, SendMsg):
+            self._on_send(message)
+        elif isinstance(message, MoveMsg):
+            self._on_sender_move(message)
+
+    def _on_send(self, message: SendMsg) -> None:
+        if message.sender not in self.remote_names:
+            return
+        if not verify(
+            message.signature,
+            message.signed_content(),
+            signer=message.sender,
+            group=self.remote_names,
+        ):
+            return
+        subchannel, position = message.subchannel, message.position
+        self._note_subchannel(subchannel)
+        if not self.storable(subchannel, position):
+            return
+        if position in self._delivered.get(subchannel, {}):
+            return
+        payload_digest = digest(message.payload)
+        votes = self._votes.setdefault(subchannel, {}).setdefault(position, {})
+        if message.sender in votes:
+            return  # only the first copy per sender counts
+        votes[message.sender] = payload_digest
+        payloads = self._payloads.setdefault(subchannel, {}).setdefault(position, {})
+        payloads.setdefault(payload_digest, message.payload)
+        matching = sum(1 for d in votes.values() if d == payload_digest)
+        if matching >= self.config.fs + 1:
+            payload = payloads[payload_digest]
+            self._cleanup_position(subchannel, position)
+            self._deliver(subchannel, position, payload)
+
+    def _cleanup_position(self, subchannel: Any, position: int) -> None:
+        self._votes.get(subchannel, {}).pop(position, None)
+        self._payloads.get(subchannel, {}).pop(position, None)
+
+    def _purge_below(self, subchannel: Any, position: int) -> None:
+        for book in (self._votes, self._payloads):
+            per_channel = book.get(subchannel)
+            if per_channel:
+                for old in [p for p in per_channel if p < position]:
+                    del per_channel[old]
+
+
+def make_rc_channel(tag, sender_nodes, receiver_nodes, config: IrmcConfig):
+    """Instantiate RC endpoints on every sender and receiver node.
+
+    Returns ``(senders, receivers)`` — dicts keyed by node name.
+    """
+    senders = {
+        node.name: RcSenderEndpoint(node, tag, sender_nodes, receiver_nodes, config)
+        for node in sender_nodes
+    }
+    receivers = {
+        node.name: RcReceiverEndpoint(node, tag, receiver_nodes, sender_nodes, config)
+        for node in receiver_nodes
+    }
+    return senders, receivers

@@ -1,0 +1,357 @@
+"""IRMC with sender-side collection (paper Section 4, Figs. 19-20).
+
+Senders exchange signature shares inside their (LAN-local) group; one
+sender per receiver — its *collector* — assembles ``f_s + 1`` matching
+shares into a certificate and forwards a single WAN message per receiver.
+Receivers detect failed collectors through periodic Progress messages and
+switch collectors with Select messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.primitives import (
+    digest,
+    make_mac_vector,
+    sign,
+    verify,
+    verify_mac_vector,
+)
+from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
+from repro.irmc.messages import CertificateMsg, MoveMsg, ProgressMsg, SelectMsg, SigShare
+
+
+class ScSenderEndpoint(SenderEndpointBase):
+    """Sender endpoint of an IRMC-SC (collector pattern)."""
+
+    def __init__(self, node, tag, local_group, remote_group, config):
+        super().__init__(node, tag, local_group, remote_group, config)
+        #: (subchannel, position) -> (payload, payload digest) awaiting shares
+        self._pending: Dict[Tuple[Any, int], Tuple[Any, int]] = {}
+        #: (subchannel, position) -> sender -> SigShare
+        self._shares: Dict[Tuple[Any, int], Dict[str, SigShare]] = {}
+        #: subchannel -> position -> CertificateMsg (assembled bundles)
+        self._bundles: Dict[Any, Dict[int, CertificateMsg]] = {}
+        #: subchannel -> receiver name -> chosen collector name
+        self._collector: Dict[Any, Dict[str, str]] = {}
+        self._progress_timer = None
+        self._last_progress: Tuple = ()
+        self._schedule_progress()
+
+    # ------------------------------------------------------------------
+    # Collector bookkeeping
+    # ------------------------------------------------------------------
+    def collector_for(self, subchannel: Any, receiver: str) -> str:
+        return self._collector.get(subchannel, {}).get(receiver, self.local_names[0])
+
+    def _set_collector(self, subchannel: Any, receiver: str, collector: str) -> None:
+        previous = self.collector_for(subchannel, receiver)
+        self._collector.setdefault(subchannel, {})[receiver] = collector
+        if collector == self.node.name and previous != self.node.name:
+            # Newly responsible: push all queued bundles for this receiver.
+            receiver_node = self._node_by_name(receiver)
+            if receiver_node is not None:
+                for bundle in self._bundles.get(subchannel, {}).values():
+                    self.send_msg(receiver_node, bundle)
+
+    def _node_by_name(self, name: str):
+        for node in self.remote_group:
+            if node.name == name:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _transmit(self, subchannel: Any, position: int, payload: Any) -> None:
+        key = (subchannel, position)
+        payload_digest = digest(payload)
+        self._pending[key] = (payload, payload_digest)
+        content = (
+            "irmc-share",
+            self.tag,
+            subchannel,
+            position,
+            payload_digest,
+            self.node.name,
+        )
+        share = SigShare(
+            tag=self.tag,
+            subchannel=subchannel,
+            position=position,
+            payload_digest=payload_digest,
+            sender=self.node.name,
+            signature=sign(self.node.name, content),
+        )
+        # The share is also processed locally (Fig. 19 L. 12-13).
+        self.broadcast(self.local_group, share, include_self=True)
+
+    def _on_share(self, message: SigShare) -> None:
+        if message.sender not in self.local_names:
+            return
+        if not verify(message.signature, message.signed_content(), signer=message.sender):
+            return
+        key = (message.subchannel, message.position)
+        shares = self._shares.setdefault(key, {})
+        if message.sender in shares:
+            return  # only the first share per sender counts (Fig. 19 L. 17)
+        shares[message.sender] = message
+        self._try_assemble(key)
+
+    def _try_assemble(self, key: Tuple[Any, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:
+            return
+        subchannel, position = key
+        if position in self._bundles.get(subchannel, {}):
+            return
+        payload, payload_digest = pending
+        matching = [
+            share
+            for share in self._shares.get(key, {}).values()
+            if share.payload_digest == payload_digest
+        ]
+        if len(matching) < self.config.fs + 1:
+            return
+        shares = tuple(matching[: self.config.fs + 1])
+        content = (
+            "irmc-cert",
+            self.tag,
+            subchannel,
+            position,
+            repr(payload),
+            tuple(share.signed_content() for share in shares),
+            self.node.name,
+        )
+        bundle = CertificateMsg(
+            tag=self.tag,
+            subchannel=subchannel,
+            position=position,
+            payload=payload,
+            shares=shares,
+            sender=self.node.name,
+            signature=sign(self.node.name, content),
+        )
+        self._bundles.setdefault(subchannel, {})[position] = bundle
+        for receiver in self.remote_group:
+            if self.collector_for(subchannel, receiver.name) == self.node.name:
+                self.send_msg(receiver, bundle)
+
+    def _retransmit(self, subchannel: Any, position: int, payload: Any) -> None:
+        bundle = self._bundles.get(subchannel, {}).get(position)
+        if bundle is not None:
+            # Certificate already assembled: just re-offer it to the
+            # receivers that chose us as their collector.
+            for receiver in self.remote_group:
+                if self.collector_for(subchannel, receiver.name) == self.node.name:
+                    self.send_msg(receiver, bundle)
+        else:
+            self._transmit(subchannel, position, payload)
+
+    # ------------------------------------------------------------------
+    # Progress heartbeat (Fig. 19 L. 26-30)
+    # ------------------------------------------------------------------
+    def _schedule_progress(self) -> None:
+        if self.closed:
+            return
+        self._progress_timer = self.node.set_timeout(
+            self.config.progress_interval_ms, self._send_progress
+        )
+
+    def _send_progress(self) -> None:
+        if self.closed:
+            return
+        positions: List[Tuple[Any, int]] = []
+        for subchannel, bundles in self._bundles.items():
+            start = self.start_of(subchannel)
+            highest = start - 1
+            while (highest + 1) in bundles:
+                highest += 1
+            if highest >= start:
+                positions.append((subchannel, highest))
+        frozen = tuple(sorted(positions, key=repr))
+        # Suppress heartbeats that carry no news; receivers only need
+        # Progress to detect collectors withholding *existing* certificates.
+        if frozen and frozen != self._last_progress:
+            self._last_progress = frozen
+            content = ("irmc-progress", self.tag, frozen, self.node.name)
+            message = ProgressMsg(
+                tag=self.tag,
+                positions=frozen,
+                sender=self.node.name,
+                auth=make_mac_vector(self.node.name, self.remote_names, content),
+            )
+            for receiver in self.remote_group:
+                self.send_msg(receiver, message)
+        self._schedule_progress()
+
+    # ------------------------------------------------------------------
+    # Dispatch and GC
+    # ------------------------------------------------------------------
+    def handle(self, src, message: Any) -> None:
+        if self.closed:
+            return
+        if isinstance(message, SigShare):
+            self._on_share(message)
+        elif isinstance(message, MoveMsg):
+            if message.collector is not None and message.sender in self.remote_names:
+                if self._valid_move(message, self.remote_names):
+                    self._set_collector(message.subchannel, message.sender, message.collector)
+            self._on_receiver_move(message)
+        elif isinstance(message, SelectMsg):
+            self._on_select(message)
+
+    def _on_select(self, message: SelectMsg) -> None:
+        if message.sender not in self.remote_names:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.node.name
+        ):
+            return
+        self._set_collector(message.subchannel, message.sender, message.collector)
+
+    def _garbage_collect(self, subchannel: Any, new_start: int) -> None:
+        bundles = self._bundles.get(subchannel)
+        if bundles:
+            for old in [p for p in bundles if p < new_start]:
+                del bundles[old]
+        for key in [k for k in self._pending if k[0] == subchannel and k[1] < new_start]:
+            del self._pending[key]
+        for key in [k for k in self._shares if k[0] == subchannel and k[1] < new_start]:
+            del self._shares[key]
+
+    def close(self) -> None:
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+        super().close()
+
+
+class ScReceiverEndpoint(ReceiverEndpointBase):
+    """Receiver endpoint of an IRMC-SC."""
+
+    def __init__(self, node, tag, local_group, remote_group, config):
+        super().__init__(node, tag, local_group, remote_group, config)
+        #: sender -> subchannel -> claimed certified position
+        self._peer_progress: Dict[str, Dict[Any, int]] = {}
+        #: subchannel -> merged (fs+1-highest) progress
+        self._merged_progress: Dict[Any, int] = {}
+        #: subchannel -> index of current collector in the sender group
+        self._collector_index: Dict[Any, int] = {}
+        #: subchannel -> pending timeout handle
+        self._timers: Dict[Any, Any] = {}
+        self.collector_switches = 0
+
+    # ------------------------------------------------------------------
+    def _collector_for(self, subchannel: Any) -> Optional[str]:
+        index = self._collector_index.get(subchannel, 0)
+        return self.remote_names[index % len(self.remote_names)]
+
+    def handle(self, src, message: Any) -> None:
+        if self.closed:
+            return
+        if isinstance(message, CertificateMsg):
+            self._on_certificate(message)
+        elif isinstance(message, ProgressMsg):
+            self._on_progress(message)
+        elif isinstance(message, MoveMsg):
+            self._on_sender_move(message)
+
+    def _on_certificate(self, message: CertificateMsg) -> None:
+        if message.sender not in self.remote_names:
+            return
+        if not verify(message.signature, message.signed_content(), signer=message.sender):
+            return
+        subchannel, position = message.subchannel, message.position
+        self._note_subchannel(subchannel)
+        if not self.storable(subchannel, position):
+            return
+        if position in self._delivered.get(subchannel, {}):
+            return
+        payload_digest = digest(message.payload)
+        signers = set()
+        for share in message.shares:
+            if share.payload_digest != payload_digest:
+                return
+            if share.sender not in self.remote_names or share.sender in signers:
+                return
+            if not verify(share.signature, share.signed_content(), signer=share.sender):
+                return
+            signers.add(share.sender)
+        if len(signers) < self.config.fs + 1:
+            return
+        self._deliver(subchannel, position, message.payload)
+
+    # ------------------------------------------------------------------
+    # Collector failover (Fig. 20 L. 20-35)
+    # ------------------------------------------------------------------
+    def _on_progress(self, message: ProgressMsg) -> None:
+        if message.sender not in self.remote_names:
+            return
+        if not verify_mac_vector(
+            message.auth, message.signed_content(), message.sender, self.node.name
+        ):
+            return
+        per_sender = self._peer_progress.setdefault(message.sender, {})
+        for subchannel, position in message.positions:
+            per_sender[subchannel] = max(per_sender.get(subchannel, 0), position)
+            claims = sorted(
+                (
+                    self._peer_progress.get(name, {}).get(subchannel, 0)
+                    for name in self.remote_names
+                ),
+                reverse=True,
+            )
+            merged = claims[self.config.fs] if len(claims) > self.config.fs else 0
+            self._merged_progress[subchannel] = merged
+            if self._has_missing(subchannel) and subchannel not in self._timers:
+                self._timers[subchannel] = self.node.set_timeout(
+                    self.config.collector_timeout_ms, self._on_collector_timeout, subchannel
+                )
+
+    def _has_missing(self, subchannel: Any) -> bool:
+        merged = self._merged_progress.get(subchannel, 0)
+        start = self.start_of(subchannel)
+        delivered = self._delivered.get(subchannel, {})
+        return any(p not in delivered for p in range(start, merged + 1))
+
+    def _on_collector_timeout(self, subchannel: Any) -> None:
+        self._timers.pop(subchannel, None)
+        if self.closed or not self._has_missing(subchannel):
+            return
+        self._collector_index[subchannel] = self._collector_index.get(subchannel, 0) + 1
+        self.collector_switches += 1
+        collector = self._collector_for(subchannel)
+        content = ("irmc-select", self.tag, subchannel, collector, self.node.name)
+        select = SelectMsg(
+            tag=self.tag,
+            subchannel=subchannel,
+            collector=collector,
+            sender=self.node.name,
+            auth=make_mac_vector(self.node.name, self.remote_names, content),
+        )
+        for sender in self.remote_group:
+            self.node.send(sender, select)
+        # Keep watching until the gap closes.
+        self._timers[subchannel] = self.node.set_timeout(
+            self.config.collector_timeout_ms, self._on_collector_timeout, subchannel
+        )
+
+    def close(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        super().close()
+
+
+def make_sc_channel(tag, sender_nodes, receiver_nodes, config: IrmcConfig):
+    """Instantiate SC endpoints on every sender and receiver node."""
+    senders = {
+        node.name: ScSenderEndpoint(node, tag, sender_nodes, receiver_nodes, config)
+        for node in sender_nodes
+    }
+    receivers = {
+        node.name: ScReceiverEndpoint(node, tag, receiver_nodes, sender_nodes, config)
+        for node in receiver_nodes
+    }
+    return senders, receivers

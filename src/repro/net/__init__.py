@@ -1,0 +1,25 @@
+"""Simulated cloud network: regions, availability zones, WAN/LAN links.
+
+The topology mirrors the structure Spider is designed for (paper Section 3.1):
+regions contain several availability zones; zone-to-zone links inside a
+region are short-distance (~1 ms RTT), region-to-region links are wide-area
+(tens to hundreds of ms RTT, calibrated from published EC2 measurements).
+"""
+
+from repro.net.latency import EC2_REGION_RTT_MS, REGIONS, region_rtt_ms
+from repro.net.message import Message, Payload
+from repro.net.network import LinkStats, Network, TransferSnapshot
+from repro.net.topology import Site, Topology
+
+__all__ = [
+    "EC2_REGION_RTT_MS",
+    "REGIONS",
+    "region_rtt_ms",
+    "Message",
+    "Payload",
+    "Network",
+    "LinkStats",
+    "TransferSnapshot",
+    "Site",
+    "Topology",
+]

@@ -1,0 +1,96 @@
+"""Region-to-region round-trip times calibrated from public EC2 data.
+
+The paper deployed on Amazon EC2 in Virginia (us-east-1), Oregon
+(us-west-2), Ireland (eu-west-1) and Tokyo (ap-northeast-1), added Sao Paulo
+(sa-east-1) for the adaptability experiment (Fig. 10), and used the nearby
+regions Ohio, California, London and Seoul for the f=2 experiment (Fig. 11).
+
+Values below are representative public round-trip measurements between those
+regions (cloudping-style data, circa 2020), in milliseconds.  The simulator
+uses half of the RTT as the one-way link latency.  Absolute reproduction
+numbers shift with this table; the protocol comparisons do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+VIRGINIA = "virginia"
+OREGON = "oregon"
+IRELAND = "ireland"
+TOKYO = "tokyo"
+SAOPAULO = "saopaulo"
+OHIO = "ohio"
+CALIFORNIA = "california"
+LONDON = "london"
+SEOUL = "seoul"
+
+REGIONS = (
+    VIRGINIA,
+    OREGON,
+    IRELAND,
+    TOKYO,
+    SAOPAULO,
+    OHIO,
+    CALIFORNIA,
+    LONDON,
+    SEOUL,
+)
+
+_RTT_PAIRS = {
+    (VIRGINIA, OREGON): 75.0,
+    (VIRGINIA, IRELAND): 80.0,
+    (VIRGINIA, TOKYO): 160.0,
+    (VIRGINIA, SAOPAULO): 120.0,
+    (VIRGINIA, OHIO): 12.0,
+    (VIRGINIA, CALIFORNIA): 62.0,
+    (VIRGINIA, LONDON): 76.0,
+    (VIRGINIA, SEOUL): 185.0,
+    (OREGON, IRELAND): 135.0,
+    (OREGON, TOKYO): 100.0,
+    (OREGON, SAOPAULO): 180.0,
+    (OREGON, OHIO): 50.0,
+    (OREGON, CALIFORNIA): 22.0,
+    (OREGON, LONDON): 140.0,
+    (OREGON, SEOUL): 125.0,
+    (IRELAND, TOKYO): 220.0,
+    (IRELAND, SAOPAULO): 185.0,
+    (IRELAND, OHIO): 88.0,
+    (IRELAND, CALIFORNIA): 150.0,
+    (IRELAND, LONDON): 10.0,
+    (IRELAND, SEOUL): 240.0,
+    (TOKYO, SAOPAULO): 270.0,
+    (TOKYO, OHIO): 155.0,
+    (TOKYO, CALIFORNIA): 110.0,
+    (TOKYO, LONDON): 230.0,
+    (TOKYO, SEOUL): 35.0,
+    (SAOPAULO, OHIO): 130.0,
+    (SAOPAULO, CALIFORNIA): 195.0,
+    (SAOPAULO, LONDON): 190.0,
+    (SAOPAULO, SEOUL): 295.0,
+    (OHIO, CALIFORNIA): 52.0,
+    (OHIO, LONDON): 85.0,
+    (OHIO, SEOUL): 175.0,
+    (CALIFORNIA, LONDON): 145.0,
+    (CALIFORNIA, SEOUL): 135.0,
+    (LONDON, SEOUL): 245.0,
+}
+
+EC2_REGION_RTT_MS: Dict[FrozenSet[str], float] = {
+    frozenset(pair): rtt for pair, rtt in _RTT_PAIRS.items()
+}
+
+#: Round trip between two availability zones of the same region.
+INTRA_REGION_RTT_MS = 1.2
+#: Round trip between two machines in the same availability zone.
+INTRA_ZONE_RTT_MS = 0.3
+
+
+def region_rtt_ms(region_a: str, region_b: str) -> float:
+    """Round-trip time between two regions (0 inside the same region)."""
+    if region_a == region_b:
+        return 0.0
+    try:
+        return EC2_REGION_RTT_MS[frozenset((region_a, region_b))]
+    except KeyError:
+        raise KeyError(f"no latency data for {region_a!r} <-> {region_b!r}") from None

@@ -1,0 +1,43 @@
+"""Base class for simulated protocol messages.
+
+Messages carry an explicit wire-size estimate so the network can model
+bandwidth effects and so experiments can account WAN/LAN transfer volume
+(paper Fig. 9d).  Subclasses override :meth:`payload_size`.
+"""
+
+from __future__ import annotations
+
+
+class Message:
+    """Root of all protocol message classes.
+
+    ``HEADER_BYTES`` approximates transport framing plus type and routing
+    metadata common to every message.
+    """
+
+    HEADER_BYTES = 64
+
+    def size_bytes(self) -> int:
+        """Total simulated wire size."""
+        return self.HEADER_BYTES + self.payload_size()
+
+    def payload_size(self) -> int:
+        """Size of the message body; subclasses add their fields here."""
+        return 0
+
+    def type_name(self) -> str:
+        return type(self).__name__
+
+
+class Payload(Message):
+    """An opaque payload of ``size`` bytes, useful for load generators."""
+
+    def __init__(self, size: int, label: str = "payload"):
+        self.size = int(size)
+        self.label = label
+
+    def payload_size(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Payload {self.label} {self.size}B>"

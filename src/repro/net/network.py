@@ -1,0 +1,188 @@
+"""Message delivery with latency, jitter, fault injection and accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.net.topology import Site, Topology
+from repro.sim.core import Simulator
+from repro.sim.node import Node
+
+
+@dataclass
+class LinkStats:
+    """Cumulative transfer counters for one link category."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+@dataclass
+class TransferSnapshot:
+    """Point-in-time copy of the network counters, for interval measurement."""
+
+    time_ms: float
+    wan_messages: int
+    wan_bytes: int
+    lan_messages: int
+    lan_bytes: int
+
+
+@dataclass
+class _FaultState:
+    """Mutable fault-injection configuration."""
+
+    partitions: Set[frozenset] = field(default_factory=set)
+    drop_rate: float = 0.0
+    crashed_links: Set[Tuple[str, str]] = field(default_factory=set)
+    extra_delay: Optional[Callable[[Node, Node, Any], float]] = None
+    filter: Optional[Callable[[Node, Node, Any], bool]] = None
+
+
+class Network:
+    """Delivers messages between registered nodes.
+
+    Delivery latency for a message of size ``s`` from site ``a`` to ``b``::
+
+        one_way(a, b) * (1 + jitter * U)  +  serialization(a, b, s)
+
+    with ``U`` uniform in [0, 1) from the simulator's seeded RNG.
+
+    Fault-injection hooks (all usable mid-simulation):
+
+    * :meth:`partition` / :meth:`heal` — cut traffic between region groups.
+    * :meth:`set_drop_rate` — i.i.d. message loss.
+    * :meth:`block_link` / :meth:`unblock_link` — cut one node pair.
+    * ``fault.filter`` — arbitrary predicate, dropped when it returns False.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology, jitter: float = 0.05):
+        self.sim = sim
+        self.topology = topology
+        self.jitter = jitter
+        self.nodes: Dict[str, Node] = {}
+        self.wan = LinkStats()
+        self.lan = LinkStats()
+        self.per_region_pair: Dict[frozenset, LinkStats] = {}
+        self.fault = _FaultState()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node: Node) -> Node:
+        """Attach ``node`` to this network (idempotent for the same object)."""
+        existing = self.nodes.get(node.name)
+        if existing is not None and existing is not node:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.network = self
+        return node
+
+    def unregister(self, node: Node) -> None:
+        self.nodes.pop(node.name, None)
+        node.network = None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: Node, dst: Node, message: Any) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` (maybe dropped)."""
+        if dst.name not in self.nodes:
+            return  # destination left the system (e.g. removed group)
+        if src.site is None or dst.site is None:
+            raise SimulationError("network sends require nodes with sites")
+        if self._is_blocked(src, dst, message):
+            self.dropped += 1
+            return
+        size = message.size_bytes() if hasattr(message, "size_bytes") else 256
+        self._account(src.site, dst.site, size)
+        delay = src.nic_delay(size) + self._delay(src.site, dst.site, size, message)
+        self.sim.schedule(delay, dst.deliver, src, message)
+
+    def _delay(self, a: Site, b: Site, size: int, message: Any) -> float:
+        base = self.topology.one_way_ms(a, b)
+        if self.jitter:
+            base *= 1.0 + self.jitter * self.sim.rng.random()
+        delay = base + self.topology.serialization_ms(a, b, size)
+        if self.fault.extra_delay is not None:
+            delay += self.fault.extra_delay(a, b, message)
+        return delay
+
+    def _account(self, a: Site, b: Site, size: int) -> None:
+        if self.topology.is_wan(a, b):
+            self.wan.add(size)
+            key = frozenset((a.region, b.region))
+            self.per_region_pair.setdefault(key, LinkStats()).add(size)
+        else:
+            self.lan.add(size)
+
+    def _is_blocked(self, src: Node, dst: Node, message: Any) -> bool:
+        fault = self.fault
+        if (src.name, dst.name) in fault.crashed_links:
+            return True
+        if fault.partitions:
+            for partition in fault.partitions:
+                src_in = src.site.region in partition
+                dst_in = dst.site.region in partition
+                if src_in != dst_in:
+                    return True
+        if fault.drop_rate and self.sim.rng.random() < fault.drop_rate:
+            return True
+        if fault.filter is not None and not fault.filter(src, dst, message):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def partition(self, regions) -> None:
+        """Isolate ``regions`` (iterable of region names) from everyone else."""
+        self.fault.partitions.add(frozenset(regions))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self.fault.partitions.clear()
+
+    def set_drop_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(f"drop rate must be in [0, 1), got {rate}")
+        self.fault.drop_rate = rate
+
+    def block_link(self, src: Node, dst: Node) -> None:
+        self.fault.crashed_links.add((src.name, dst.name))
+
+    def unblock_link(self, src: Node, dst: Node) -> None:
+        self.fault.crashed_links.discard((src.name, dst.name))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TransferSnapshot:
+        """Copy the counters; subtract two snapshots to measure an interval."""
+        return TransferSnapshot(
+            time_ms=self.sim.now,
+            wan_messages=self.wan.messages,
+            wan_bytes=self.wan.bytes,
+            lan_messages=self.lan.messages,
+            lan_bytes=self.lan.bytes,
+        )
+
+    @staticmethod
+    def interval_mbps(before: TransferSnapshot, after: TransferSnapshot, wan: bool = True) -> float:
+        """Average megabytes/second transferred between two snapshots."""
+        elapsed_ms = after.time_ms - before.time_ms
+        if elapsed_ms <= 0:
+            return 0.0
+        transferred = (
+            after.wan_bytes - before.wan_bytes
+            if wan
+            else after.lan_bytes - before.lan_bytes
+        )
+        return (transferred / 1e6) / (elapsed_ms / 1e3)

@@ -1,0 +1,88 @@
+"""Sites (region + availability zone) and the latency model between them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.net import latency as latency_data
+
+
+@dataclass(frozen=True, order=True)
+class Site:
+    """A location in the cloud: a region and an availability-zone index.
+
+    Availability zones within a region are distinct fault domains hosted at
+    distinct physical sites (paper Section 3.1); the simulator gives them a
+    small but non-zero mutual latency.
+    """
+
+    region: str
+    zone: int = 1
+
+    def same_region(self, other: "Site") -> bool:
+        return self.region == other.region
+
+    def __str__(self) -> str:
+        return f"{self.region}-{self.zone}"
+
+
+class Topology:
+    """Latency oracle between sites.
+
+    Parameters
+    ----------
+    region_rtt_ms:
+        Mapping from ``frozenset({region_a, region_b})`` to round-trip time;
+        defaults to the EC2-calibrated table.
+    intra_region_rtt_ms / intra_zone_rtt_ms:
+        Round trips between zones of one region / within one zone.
+    wan_bandwidth_mbps / lan_bandwidth_mbps:
+        Per-flow serialization bandwidth; adds ``bits / bandwidth`` to each
+        message's delivery latency so large messages cost more than small
+        ones.
+    """
+
+    def __init__(
+        self,
+        region_rtt_ms: Optional[Dict[FrozenSet[str], float]] = None,
+        intra_region_rtt_ms: float = latency_data.INTRA_REGION_RTT_MS,
+        intra_zone_rtt_ms: float = latency_data.INTRA_ZONE_RTT_MS,
+        wan_bandwidth_mbps: float = 300.0,
+        lan_bandwidth_mbps: float = 2000.0,
+    ):
+        self.region_rtt_ms = dict(
+            latency_data.EC2_REGION_RTT_MS if region_rtt_ms is None else region_rtt_ms
+        )
+        self.intra_region_rtt_ms = intra_region_rtt_ms
+        self.intra_zone_rtt_ms = intra_zone_rtt_ms
+        self.wan_bandwidth_mbps = wan_bandwidth_mbps
+        self.lan_bandwidth_mbps = lan_bandwidth_mbps
+
+    def rtt_ms(self, a: Site, b: Site) -> float:
+        """Round-trip time between two sites."""
+        if a.region != b.region:
+            key = frozenset((a.region, b.region))
+            try:
+                return self.region_rtt_ms[key]
+            except KeyError:
+                raise KeyError(f"no latency data for {a} <-> {b}") from None
+        if a.zone != b.zone:
+            return self.intra_region_rtt_ms
+        return self.intra_zone_rtt_ms
+
+    def one_way_ms(self, a: Site, b: Site) -> float:
+        """One-way propagation latency between two sites."""
+        return self.rtt_ms(a, b) / 2.0
+
+    def is_wan(self, a: Site, b: Site) -> bool:
+        """Whether traffic between the sites crosses region boundaries."""
+        return a.region != b.region
+
+    def serialization_ms(self, a: Site, b: Site, size_bytes: int) -> float:
+        """Transmission delay contributed by message size."""
+        bandwidth = (
+            self.wan_bandwidth_mbps if self.is_wan(a, b) else self.lan_bandwidth_mbps
+        )
+        # mbps -> bits per millisecond is numerically the same factor (1e3).
+        return (size_bytes * 8.0) / (bandwidth * 1000.0)

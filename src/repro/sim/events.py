@@ -1,0 +1,44 @@
+"""Event-queue plumbing for the simulator.
+
+Events are ordered by ``(time, sequence)`` where the sequence number breaks
+ties deterministically in insertion order.  Cancellation is lazy: cancelled
+entries stay in the heap and are skipped when popped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin object graphs alive
+        # while they wait to be popped from the heap.
+        self.fn = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None

@@ -1,0 +1,94 @@
+"""One-shot resolvable values used to express blocking calls.
+
+The paper's pseudocode is written in terms of blocking methods such as
+``IRMC.receive()``.  In the simulator those methods return a
+:class:`SimFuture`; the calling :class:`~repro.sim.process.Process` yields it
+and is resumed with the result once another event resolves it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class SimFuture:
+    """A single-assignment value with resolution callbacks.
+
+    Unlike ``asyncio`` futures there is no event loop affinity; callbacks run
+    synchronously inside :meth:`resolve` (the simulator's event handlers are
+    already serialised, so this is safe and keeps the event count low).
+    """
+
+    __slots__ = ("_done", "_value", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self._done = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"future {self.name!r} read before resolution")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Assign the result and fire callbacks.  Resolving twice is an error."""
+        if self._done:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def try_resolve(self, value: Any = None) -> bool:
+        """Resolve if still pending; return whether this call resolved it."""
+        if self._done:
+            return False
+        self.resolve(value)
+        return True
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` on resolution (immediately if already done)."""
+        if self._done:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done={self._value!r}" if self._done else "pending"
+        return f"<SimFuture {self.name!r} {state}>"
+
+
+def gather(futures: List[SimFuture], count: Optional[int] = None) -> SimFuture:
+    """Return a future resolving once ``count`` of ``futures`` resolved.
+
+    ``count`` defaults to all of them.  The result is the list of resolved
+    values in completion order.  Used, e.g., by the agreement replica that
+    waits for ``n_e - z`` commit-channel sends to complete (paper L. 17.37).
+    """
+    needed = len(futures) if count is None else count
+    result = SimFuture(name=f"gather({needed}/{len(futures)})")
+    if needed <= 0:
+        result.resolve([])
+        return result
+    collected: List[Any] = []
+
+    def on_done(value: Any) -> None:
+        if result.done:
+            return
+        collected.append(value)
+        if len(collected) >= needed:
+            result.resolve(list(collected))
+
+    for future in futures:
+        future.add_callback(on_done)
+    return result

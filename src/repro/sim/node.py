@@ -1,0 +1,214 @@
+"""Simulated machines with a serial CPU.
+
+A :class:`Node` models one virtual machine (the paper used t3.small
+instances).  All work on a node — message handlers, process resumptions,
+timer callbacks — executes serially.  Work items *charge* CPU time (crypto
+operations, request execution) through :func:`charge`; the charged time
+
+* delays every message the work item sends (outgoing messages leave the node
+  only once its CPU finished the work that produced them), and
+* delays all subsequently queued work,
+
+which is what produces CPU-bound saturation in the IRMC throughput
+experiments (paper Fig. 9b/9c) and queueing delay under load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.errors import SimulationError
+
+_current: Optional["Node"] = None
+
+
+def current_node() -> Optional["Node"]:
+    """The node whose CPU is executing right now (``None`` outside nodes).
+
+    Crypto primitives use this to charge their CPU cost to whichever node
+    invoked them, without every call site having to thread a node handle.
+    """
+    return _current
+
+
+def charge(cost_ms: float) -> None:
+    """Charge ``cost_ms`` of CPU time to the currently executing node.
+
+    A no-op outside node context, so library code (e.g. crypto helpers) can
+    be exercised from plain unit tests without a simulator.
+    """
+    node = _current
+    if node is not None and cost_ms > 0:
+        node._pending_cost += cost_ms
+
+
+class Node:
+    """A machine in a specific availability zone with a serial CPU.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Unique human-readable identifier (also used as the node's principal
+        for signatures).
+    site:
+        A :class:`repro.net.topology.Site` giving region and availability
+        zone; ``None`` is allowed for substrate-level unit tests.
+    """
+
+    def __init__(self, sim, name: str, site=None):
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.network = None  # assigned by Network.register
+        self.crashed = False
+        self.byzantine = False
+        self.busy_until: float = 0.0
+        self.busy_ms: float = 0.0
+        #: NIC egress model: outgoing messages serialise through the NIC at
+        #: this rate, one after another (t3.small-class burst bandwidth).
+        #: ``None`` disables the model.
+        self.egress_mbps: float = 500.0
+        self.nic_busy_until: float = 0.0
+        self._pending_cost: float = 0.0
+        self._tasks: Deque[Tuple[Callable[..., Any], tuple]] = deque()
+        self._dispatch_scheduled = False
+        self._executing = False
+        self._outbox: list = []
+
+    # ------------------------------------------------------------------
+    # CPU scheduling
+    # ------------------------------------------------------------------
+    def run_task(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Queue ``fn(*args)`` for execution on this node's CPU."""
+        if self.crashed:
+            return
+        self._tasks.append((fn, args))
+        self._schedule_dispatch()
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled or self._executing or not self._tasks:
+            return
+        self._dispatch_scheduled = True
+        start = max(self.sim.now, self.busy_until)
+        self.sim.schedule_at(start, self._dispatch)
+
+    def _dispatch(self) -> None:
+        global _current
+        self._dispatch_scheduled = False
+        if self.crashed or not self._tasks:
+            return
+        fn, args = self._tasks.popleft()
+        start = self.sim.now
+        previous = _current
+        _current = self
+        self._executing = True
+        self._pending_cost = 0.0
+        try:
+            fn(*args)
+        finally:
+            _current = previous
+            self._executing = False
+        cost = self._pending_cost
+        self._pending_cost = 0.0
+        self.busy_until = start + cost
+        self.busy_ms += cost
+        self._flush_outbox(self.busy_until)
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: "Node", message: Any) -> None:
+        """Transmit ``message`` to ``dst`` over the network.
+
+        When called from within a CPU task, the transmission is deferred
+        until the task's charged CPU time has elapsed.
+        """
+        if self.crashed:
+            return
+        if self.network is None:
+            raise SimulationError(f"node {self.name} is not attached to a network")
+        if self._executing:
+            self._outbox.append((dst, message))
+        else:
+            self.network.send(self, dst, message)
+
+    def send_all(self, destinations, message: Any) -> None:
+        """Send one copy of ``message`` to each node in ``destinations``."""
+        for dst in destinations:
+            if dst is not self:
+                self.send(dst, message)
+
+    def _flush_outbox(self, at_time: float) -> None:
+        if not self._outbox:
+            return
+        pending, self._outbox = self._outbox, []
+        if at_time <= self.sim.now:
+            for dst, message in pending:
+                self.network.send(self, dst, message)
+        else:
+            self.sim.schedule_at(at_time, self._transmit_batch, pending)
+
+    def _transmit_batch(self, pending) -> None:
+        if self.crashed:
+            return
+        for dst, message in pending:
+            self.network.send(self, dst, message)
+
+    def deliver(self, src: "Node", message: Any) -> None:
+        """Entry point used by the network; dispatches to ``on_message``."""
+        if self.crashed:
+            return
+        self.run_task(self.on_message, src, message)
+
+    def on_message(self, src: "Node", message: Any) -> None:
+        """Override in subclasses: handle one received message."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timeout(self, delay: float, fn: Callable[..., Any], *args: Any):
+        """Run ``fn(*args)`` on this CPU after ``delay`` ms; returns a handle."""
+        return self.sim.schedule(delay, self.run_task, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the node: pending work and future messages are dropped."""
+        self.crashed = True
+        self._tasks.clear()
+        self._outbox.clear()
+
+    def recover(self) -> None:
+        """Clear the crash flag (state is whatever the subclass preserved)."""
+        self.crashed = False
+
+    def nic_delay(self, size_bytes: int) -> float:
+        """Queueing + serialization delay of sending ``size_bytes`` now.
+
+        Advances the NIC busy horizon, so back-to-back large messages queue
+        behind each other — this is what caps IRMC throughput for big
+        payloads (paper Fig. 9b).
+        """
+        if not self.egress_mbps:
+            return 0.0
+        serialization = (size_bytes * 8.0) / (self.egress_mbps * 1000.0)
+        start = max(self.sim.now, self.nic_busy_until)
+        departure = start + serialization
+        self.nic_busy_until = departure
+        return departure - self.sim.now
+
+    def cpu_utilisation(self, window_start: float, busy_at_start: float) -> float:
+        """Fraction of [window_start, now] this node's CPU spent busy."""
+        elapsed = self.sim.now - window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.busy_ms - busy_at_start) / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} site={self.site}>"

@@ -1,0 +1,86 @@
+"""Message routing from nodes to protocol components.
+
+A simulated machine usually hosts several protocol *components* — e.g. a
+Spider agreement replica runs a PBFT instance, a checkpoint component and a
+pair of IRMC endpoints per execution group.  Components stamp every message
+they send with their ``tag`` (a deterministic string identical on all nodes
+participating in that component instance), and :class:`RoutedNode` dispatches
+incoming messages to the component registered for the tag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.node import Node
+
+Handler = Callable[[Node, Any], None]
+
+
+class RoutedNode(Node):
+    """A node that dispatches messages to registered component handlers."""
+
+    def __init__(self, sim, name: str, site=None):
+        super().__init__(sim, name, site)
+        self._routes: Dict[str, Handler] = {}
+        self._default_handler: Optional[Handler] = None
+
+    def register_route(self, tag: str, handler: Handler) -> None:
+        if tag in self._routes:
+            raise ValueError(f"duplicate route tag {tag!r} on node {self.name}")
+        self._routes[tag] = handler
+
+    def unregister_route(self, tag: str) -> None:
+        self._routes.pop(tag, None)
+
+    def set_default_handler(self, handler: Handler) -> None:
+        """Handler for messages without a tag (e.g. client requests)."""
+        self._default_handler = handler
+
+    def on_message(self, src: Node, message: Any) -> None:
+        tag = getattr(message, "tag", None)
+        handler = self._routes.get(tag) if tag is not None else None
+        if handler is None:
+            handler = self._default_handler
+        if handler is not None:
+            handler(src, message)
+        # Messages for unknown components are silently dropped, matching a
+        # real system discarding traffic for closed channels.
+
+
+class Component:
+    """Base class for protocol components hosted on a :class:`RoutedNode`.
+
+    Subclasses implement :meth:`handle` and send through :meth:`send` /
+    :meth:`broadcast`; the component's ``tag`` must already be embedded in
+    the messages they construct (messages are immutable dataclasses).
+    """
+
+    def __init__(self, node: RoutedNode, tag: str):
+        self.node = node
+        self.tag = tag
+        node.register_route(tag, self.handle)
+
+    @property
+    def sim(self):
+        return self.node.sim
+
+    def handle(self, src: Node, message: Any) -> None:
+        raise NotImplementedError
+
+    def send(self, dst: Node, message: Any) -> None:
+        self.node.send(dst, message)
+
+    def broadcast(self, nodes, message: Any, include_self: bool = False) -> None:
+        for dst in nodes:
+            if dst is self.node and not include_self:
+                continue
+            if dst is self.node:
+                # Local delivery still goes through the CPU queue for
+                # fairness, but skips the network.
+                self.node.run_task(self.handle, self.node, message)
+            else:
+                self.node.send(dst, message)
+
+    def close(self) -> None:
+        self.node.unregister_route(self.tag)

@@ -1,0 +1,5 @@
+"""Workload generation: closed-loop client populations per region."""
+
+from repro.workload.clients import ClosedLoopDriver, OperationMix, drive_clients
+
+__all__ = ["ClosedLoopDriver", "OperationMix", "drive_clients"]

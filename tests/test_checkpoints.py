@@ -1,0 +1,131 @@
+"""Tests for the checkpoint component (CP-Safety / CP-Liveness)."""
+
+from repro.checkpoints import CheckpointComponent
+
+from tests.conftest import Cluster
+
+
+def build_group(cluster, n=3, f=1, prefix="e", providers=None):
+    nodes = cluster.add_group(prefix, n)
+    stables = {node.name: [] for node in nodes}
+    components = []
+    for node in nodes:
+        def on_stable(seq, state, name=node.name):
+            stables[name].append((seq, state))
+        components.append(
+            CheckpointComponent(node, f"cp-{prefix}", nodes, f, on_stable, providers=providers)
+        )
+    return nodes, components, stables
+
+
+class TestStability:
+    def test_two_matching_checkpoints_become_stable(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        for component in components[:2]:
+            component.node.run_task(component.gen_cp, 10, {"k": "v"})
+        cluster.run(until=100.0)
+        for name, delivered in stables.items():
+            assert delivered == [(10, {"k": "v"})]
+
+    def test_single_checkpoint_is_not_stable(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        components[0].node.run_task(components[0].gen_cp, 10, {"k": "v"})
+        cluster.run(until=100.0)
+        assert all(not delivered for delivered in stables.values())
+
+    def test_mismatching_states_do_not_stabilise(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        components[0].node.run_task(components[0].gen_cp, 10, {"k": "v1"})
+        components[1].node.run_task(components[1].gen_cp, 10, {"k": "v2"})
+        cluster.run(until=100.0)
+        assert all(not delivered for delivered in stables.values())
+
+    def test_older_checkpoint_skipped_after_newer(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        for component in components[:2]:
+            component.node.run_task(component.gen_cp, 20, "late")
+        cluster.run(until=50.0)
+        for component in components[:2]:
+            component.node.run_task(component.gen_cp, 10, "early")
+        cluster.run(until=100.0)
+        assert stables["e0"] == [(20, "late")]
+
+    def test_forged_checkpoint_message_rejected(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        from repro.checkpoints.messages import CheckpointMsg
+        from repro.crypto.primitives import digest, sign
+
+        # An outsider fabricates votes claiming to be group members but can
+        # only sign as itself.
+        outsider = cluster.add_node("evil")
+        state_digest = digest("forged")
+        for victim_name in ("e0", "e1"):
+            body = CheckpointMsg(tag="cp-e", seq=99, state_digest=state_digest, sender=victim_name)
+            forged = CheckpointMsg(
+                tag="cp-e",
+                seq=99,
+                state_digest=state_digest,
+                sender=victim_name,
+                signature=sign("evil", body.signed_content()),
+            )
+            for node in nodes:
+                outsider.send(node, forged)
+        cluster.run(until=100.0)
+        assert all(not delivered for delivered in stables.values())
+
+
+class TestFetch:
+    def test_trailing_replica_fetches_full_state(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        # e0 and e1 checkpoint; e2 is partitioned away and misses everything.
+        cluster.network.block_link(nodes[0], nodes[2])
+        cluster.network.block_link(nodes[1], nodes[2])
+        for component in components[:2]:
+            component.node.run_task(component.gen_cp, 10, {"x": 1})
+        cluster.run(until=100.0)
+        assert stables["e2"] == []
+        cluster.network.unblock_link(nodes[0], nodes[2])
+        cluster.network.unblock_link(nodes[1], nodes[2])
+        components[2].node.run_task(components[2].fetch_cp, 5)
+        cluster.run(until=200.0)
+        assert stables["e2"] == [(10, {"x": 1})]
+
+    def test_fetch_ignores_too_old_checkpoints(self):
+        cluster = Cluster()
+        nodes, components, stables = build_group(cluster)
+        for component in components[:2]:
+            component.node.run_task(component.gen_cp, 10, "s10")
+        cluster.run(until=100.0)
+        components[2].node.run_task(components[2].fetch_cp, 11)
+        cluster.run(until=200.0)
+        # Peers hold seq 10 < 11; nothing newer must be delivered to e2
+        # beyond what it already has.
+        assert stables["e2"] == [(10, "s10")]
+
+    def test_cross_group_fetch_via_providers(self):
+        cluster = Cluster()
+        nodes_a, components_a, stables_a = build_group(cluster, prefix="a")
+        # Group b checkpoints nothing itself but can fetch from group a.
+        nodes_b = cluster.add_group("b", 3)
+        stables_b = {node.name: [] for node in nodes_b}
+        components_b = []
+        for node in nodes_b:
+            def on_stable(seq, state, name=node.name):
+                stables_b[name].append((seq, state))
+            components_b.append(
+                CheckpointComponent(
+                    node, "cp-a", nodes_a, 1, on_stable, providers=nodes_a
+                )
+            )
+        for component in components_a[:2]:
+            component.node.run_task(component.gen_cp, 10, "shared")
+        cluster.run(until=100.0)
+        components_b[0].node.run_task(components_b[0].fetch_cp, 1)
+        cluster.run(until=200.0)
+        assert stables_b["b0"] == [(10, "shared")]

@@ -1,0 +1,123 @@
+"""Tests for the structural crypto primitives and cost accounting."""
+
+from dataclasses import dataclass
+
+from repro.crypto import (
+    CostModel,
+    combine_shares,
+    digest,
+    make_mac,
+    make_mac_vector,
+    sign,
+    sign_share,
+    use_cost_model,
+    verify,
+    verify_mac,
+    verify_mac_vector,
+    verify_threshold,
+)
+from repro.net import Site
+from repro.sim import Node, Simulator
+
+
+@dataclass(frozen=True)
+class Doc:
+    body: str
+    counter: int = 0
+
+
+class TestDigest:
+    def test_equal_objects_equal_digests(self):
+        assert digest(Doc("hello")) == digest(Doc("hello"))
+
+    def test_different_objects_differ(self):
+        assert digest(Doc("hello")) != digest(Doc("hello!"))
+        assert digest(Doc("a", 1)) != digest(Doc("a", 2))
+
+
+class TestSignatures:
+    def test_roundtrip(self):
+        signature = sign("alice", Doc("x"))
+        assert verify(signature, Doc("x"))
+        assert verify(signature, Doc("x"), signer="alice")
+
+    def test_wrong_content_fails(self):
+        signature = sign("alice", Doc("x"))
+        assert not verify(signature, Doc("y"))
+
+    def test_wrong_signer_fails(self):
+        signature = sign("alice", Doc("x"))
+        assert not verify(signature, Doc("x"), signer="bob")
+
+    def test_group_membership(self):
+        signature = sign("alice", Doc("x"))
+        assert verify(signature, Doc("x"), group={"alice", "bob"})
+        assert not verify(signature, Doc("x"), group={"bob", "carol"})
+
+    def test_none_signature_fails(self):
+        assert not verify(None, Doc("x"))
+
+
+class TestMacs:
+    def test_single_mac(self):
+        mac = make_mac("a", "b", Doc("m"))
+        assert verify_mac(mac, Doc("m"), sender="a", receiver="b")
+        assert not verify_mac(mac, Doc("m"), sender="a", receiver="c")
+        assert not verify_mac(mac, Doc("n"), sender="a", receiver="b")
+        assert not verify_mac(None, Doc("m"), sender="a", receiver="b")
+
+    def test_mac_vector(self):
+        vector = make_mac_vector("a", ["b", "c"], Doc("m"))
+        assert verify_mac_vector(vector, Doc("m"), sender="a", receiver="b")
+        assert verify_mac_vector(vector, Doc("m"), sender="a", receiver="c")
+        assert not verify_mac_vector(vector, Doc("m"), sender="a", receiver="d")
+        assert not verify_mac_vector(vector, Doc("x"), sender="a", receiver="b")
+        assert vector.size_bytes() == 64
+
+
+class TestThreshold:
+    def test_combine_requires_threshold_matching_shares(self):
+        shares = [sign_share("siteA", f"r{i}", Doc("m")) for i in range(3)]
+        signature = combine_shares(shares, threshold=3, obj=Doc("m"))
+        assert signature is not None
+        assert verify_threshold(signature, Doc("m"), group="siteA")
+        assert not verify_threshold(signature, Doc("m"), group="siteB")
+        assert not verify_threshold(signature, Doc("n"), group="siteA")
+
+    def test_combine_fails_with_too_few(self):
+        shares = [sign_share("siteA", f"r{i}", Doc("m")) for i in range(2)]
+        assert combine_shares(shares, threshold=3, obj=Doc("m")) is None
+
+    def test_duplicate_signers_do_not_count_twice(self):
+        shares = [sign_share("siteA", "r0", Doc("m")) for _ in range(3)]
+        assert combine_shares(shares, threshold=2, obj=Doc("m")) is None
+
+    def test_mismatching_share_rejected(self):
+        shares = [
+            sign_share("siteA", "r0", Doc("m")),
+            sign_share("siteA", "r1", Doc("other")),
+        ]
+        assert combine_shares(shares, threshold=2, obj=Doc("m")) is None
+
+
+class TestCostCharging:
+    def test_sign_charges_node_cpu(self):
+        sim = Simulator()
+        node = Node(sim, "n", Site("virginia"))
+        model = CostModel(rsa_sign=2.0, hash_per_kb=0.0)
+
+        def work():
+            with use_cost_model(model):
+                sign("n", Doc("x"))
+
+        node.run_task(work)
+        sim.run()
+        assert node.busy_ms == 2.0
+
+    def test_scaled_model(self):
+        model = CostModel().scaled(0.0)
+        assert model.rsa_sign == 0.0 and model.hmac == 0.0
+
+    def test_outside_node_context_costs_are_noops(self):
+        # Calling crypto from plain test code must not blow up.
+        sign("x", Doc("y"))

@@ -1,0 +1,69 @@
+"""Smoke tests for the experiment harness (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import ExperimentResult, RunScale
+
+
+class TestExperimentResult:
+    def test_format_renders_all_columns(self):
+        result = ExperimentResult(title="T", columns=["a", "b"])
+        result.add_row(a=1.234, b="x")
+        result.notes.append("hello")
+        text = result.format()
+        assert "T" in text and "1.2" in text and "x" in text and "note: hello" in text
+
+    def test_empty_table(self):
+        result = ExperimentResult(title="empty", columns=["a"])
+        assert "empty" in result.format()
+
+    def test_run_scale_quick_is_smaller(self):
+        assert RunScale.quick().duration_ms < RunScale().duration_ms
+
+
+class TestRegistryOfExperiments:
+    def test_all_experiments_importable(self):
+        import importlib
+
+        for name, module_path in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert callable(module.run), name
+
+
+class TestQuickRuns:
+    """Tiny end-to-end runs; full shape checks are in benchmarks/."""
+
+    def test_fig8_quick(self):
+        from repro.experiments.fig8_reads import run
+
+        result = run(quick=True)
+        systems = {row["system"] for row in result.rows}
+        assert systems == {"BFT", "HFT", "SPIDER"}
+        spider_weak = next(
+            row for row in result.rows
+            if row["system"] == "SPIDER" and row["consistency"] == "weak"
+        )
+        assert 0 < spider_weak["T p50"] < 5.0
+
+    def test_fig9_modularity_quick(self):
+        from repro.experiments.fig9_modularity import run
+
+        result = run(quick=True)
+        variants = [row["variant"] for row in result.rows]
+        assert variants == ["SPIDER-0E", "SPIDER-1E", "SPIDER"]
+        for row in result.rows:
+            assert row["V p50"] > 0
+
+    def test_cli_runs_one_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig9_modularity", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 9a" in captured.out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

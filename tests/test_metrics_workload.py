@@ -1,0 +1,142 @@
+"""Tests for the metrics helpers and the closed-loop workload driver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import percentile, summarize, time_series
+from repro.workload import ClosedLoopDriver, OperationMix
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 90) == 7.0
+
+    def test_median_of_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounded_by_min_max(self, values):
+        for p in (0, 25, 50, 90, 99, 100):
+            assert min(values) <= percentile(values, p) <= max(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+    def test_monotone_in_p(self, values):
+        points = [percentile(values, p) for p in (10, 50, 90)]
+        assert points == sorted(points)
+
+
+class TestSummarize:
+    SAMPLES = [
+        ("write", 0.0, 10.0),
+        ("write", 1000.0, 20.0),
+        ("write", 2000.0, 30.0),
+        ("weak-read", 1500.0, 1.0),
+    ]
+
+    def test_kind_filter(self):
+        summary = summarize(self.SAMPLES, kind="write")
+        assert summary.count == 3
+        assert summary.p50 == 20.0
+
+    def test_warmup_filter(self):
+        summary = summarize(self.SAMPLES, kind="write", after_ms=500.0)
+        assert summary.count == 2
+        assert summary.mean == 25.0
+
+    def test_before_filter(self):
+        summary = summarize(self.SAMPLES, kind="write", before_ms=1500.0)
+        assert summary.count == 2
+
+    def test_multiple_kinds(self):
+        summary = summarize(self.SAMPLES, kinds=["write", "weak-read"])
+        assert summary.count == 4
+
+    def test_empty(self):
+        summary = summarize([], kind="write")
+        assert summary.count == 0 and summary.p99 == 0.0
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        samples = [("write", t, float(t)) for t in (0.0, 100.0, 5100.0)]
+        series = time_series(samples, bucket_ms=5000.0, kind="write")
+        assert series == {0.0: 50.0, 5000.0: 5100.0}
+
+    def test_kind_filtering(self):
+        samples = [("write", 0.0, 10.0), ("weak-read", 0.0, 1.0)]
+        assert time_series(samples, 1000.0, kind="weak-read") == {0.0: 1.0}
+
+
+class TestOperationMix:
+    def test_pure_write(self):
+        import random
+
+        mix = OperationMix(write=1.0)
+        rng = random.Random(1)
+        assert all(mix.choose(rng) == "write" for _ in range(20))
+
+    def test_proportions_roughly_respected(self):
+        import random
+
+        mix = OperationMix(write=1.0, weak_read=1.0)
+        rng = random.Random(1)
+        picks = [mix.choose(rng) for _ in range(400)]
+        writes = picks.count("write")
+        assert 120 < writes < 280
+
+
+class TestDriver:
+    def test_driver_issues_until_deadline(self):
+        from tests.test_spider_basic import build_system
+
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        driver = ClosedLoopDriver(
+            sim, client, think_ms=100.0, duration_ms=4000.0
+        )
+        sim.run(until=30000.0)
+        assert driver.issued >= 5
+        assert all(kind == "write" for kind, _, _ in client.completed)
+        # No operations issued after the deadline.
+        assert all(start < 4000.0 for _, start, _ in client.completed)
+
+    def test_driver_delayed_start(self):
+        from tests.test_spider_basic import build_system
+
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        ClosedLoopDriver(
+            sim, client, think_ms=100.0, start_ms=2000.0, duration_ms=2000.0
+        )
+        sim.run(until=30000.0)
+        assert client.completed
+        assert min(start for _, start, _ in client.completed) >= 2000.0
+
+    def test_mixed_workload_records_all_kinds(self):
+        from tests.test_spider_basic import build_system
+
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        ClosedLoopDriver(
+            sim,
+            client,
+            think_ms=50.0,
+            mix=OperationMix(write=1.0, weak_read=1.0),
+            duration_ms=6000.0,
+        )
+        sim.run(until=40000.0)
+        kinds = {kind for kind, _, _ in client.completed}
+        assert "write" in kinds and "weak-read" in kinds

@@ -1,0 +1,78 @@
+"""Tests for the topology, latency data and message size model."""
+
+import pytest
+
+from repro.net import EC2_REGION_RTT_MS, REGIONS, Message, Payload, Site, Topology, region_rtt_ms
+
+
+class TestLatencyData:
+    def test_all_region_pairs_covered(self):
+        for a in REGIONS:
+            for b in REGIONS:
+                if a != b:
+                    assert region_rtt_ms(a, b) > 0
+
+    def test_symmetry(self):
+        assert region_rtt_ms("virginia", "tokyo") == region_rtt_ms("tokyo", "virginia")
+
+    def test_same_region_is_zero(self):
+        assert region_rtt_ms("virginia", "virginia") == 0.0
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            region_rtt_ms("virginia", "atlantis")
+
+    def test_nearby_regions_are_close(self):
+        # The f=2 fault domains must be far closer than cross-continent.
+        assert region_rtt_ms("virginia", "ohio") < 20
+        assert region_rtt_ms("tokyo", "seoul") < 50
+        assert region_rtt_ms("virginia", "tokyo") > 100
+
+    def test_triangle_inequality_mostly_holds(self):
+        # Direct paths should not be wildly worse than two-hop detours for
+        # the regions the experiments rely on.
+        direct = region_rtt_ms("virginia", "ireland")
+        detour = region_rtt_ms("virginia", "ohio") + region_rtt_ms("ohio", "ireland")
+        assert direct <= detour + 1.0
+
+
+class TestTopology:
+    def test_zone_vs_region_vs_wan(self):
+        topo = Topology()
+        same_zone = topo.one_way_ms(Site("virginia", 1), Site("virginia", 1))
+        cross_zone = topo.one_way_ms(Site("virginia", 1), Site("virginia", 2))
+        wan = topo.one_way_ms(Site("virginia", 1), Site("ireland", 1))
+        assert same_zone < cross_zone < wan
+
+    def test_is_wan(self):
+        topo = Topology()
+        assert topo.is_wan(Site("virginia", 1), Site("ireland", 1))
+        assert not topo.is_wan(Site("virginia", 1), Site("virginia", 3))
+
+    def test_serialization_scales_with_size(self):
+        topo = Topology()
+        a, b = Site("virginia", 1), Site("ireland", 1)
+        small = topo.serialization_ms(a, b, 256)
+        big = topo.serialization_ms(a, b, 16384)
+        assert big == pytest.approx(small * 64)
+
+    def test_lan_faster_serialization_than_wan(self):
+        topo = Topology()
+        wan = topo.serialization_ms(Site("virginia", 1), Site("ireland", 1), 4096)
+        lan = topo.serialization_ms(Site("virginia", 1), Site("virginia", 2), 4096)
+        assert lan < wan
+
+
+class TestMessages:
+    def test_base_message_size(self):
+        assert Message().size_bytes() == Message.HEADER_BYTES
+
+    def test_payload_size(self):
+        assert Payload(1000).size_bytes() == Message.HEADER_BYTES + 1000
+
+    def test_protocol_message_sizes_grow_with_content(self):
+        from repro.core.messages import RequestBody
+
+        small = RequestBody(("put", "k", "v"), "c", 1)
+        large = RequestBody(("put", "k", "v" * 500), "c", 1)
+        assert large.size_bytes() > small.size_bytes()

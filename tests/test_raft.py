@@ -1,0 +1,161 @@
+"""Tests for the Raft agreement black-box and Spider-over-Raft."""
+
+from repro.consensus.raft import RaftConfig, RaftReplica
+from repro.sim import Process
+
+from tests.conftest import Cluster
+
+
+class RaftHarness:
+    def __init__(self, cluster, n=3, **cfg):
+        self.cluster = cluster
+        self.nodes = cluster.add_group("n", n)
+        config = RaftConfig(**cfg)
+        self.replicas = [
+            RaftReplica(node, "raft", self.nodes, config) for node in self.nodes
+        ]
+        self.delivered = {node.name: [] for node in self.nodes}
+        for node, replica in zip(self.nodes, self.replicas):
+            Process(cluster.sim, self._drain(replica), node=node)
+
+    def _drain(self, replica):
+        while True:
+            seq, payload = yield replica.next_delivery()
+            self.delivered[replica.node.name].append((seq, payload))
+
+    def leader(self):
+        for replica in self.replicas:
+            if replica.role == "leader" and not replica.node.crashed:
+                return replica
+        return None
+
+
+class TestElections:
+    def test_exactly_one_leader_emerges(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        leaders = [r for r in harness.replicas if r.role == "leader"]
+        assert len(leaders) == 1
+        term = leaders[0].term
+        assert all(r.term == term for r in harness.replicas)
+
+    def test_leader_crash_triggers_reelection(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        old_leader = harness.leader()
+        old_leader.node.crash()
+        cluster.run(until=10000.0)
+        new_leader = harness.leader()
+        assert new_leader is not None and new_leader is not old_leader
+        assert new_leader.term > old_leader.term
+
+    def test_five_node_cluster(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster, n=5)
+        cluster.run(until=3000.0)
+        assert harness.leader() is not None
+
+
+class TestReplication:
+    def test_ordered_delivery_on_all_replicas(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        for index in range(5):
+            harness.leader().order(("op", index))
+        cluster.run(until=8000.0)
+        reference = harness.delivered[harness.leader().node.name]
+        assert [payload for _, payload in reference] == [("op", i) for i in range(5)]
+        assert [seq for seq, _ in reference] == [1, 2, 3, 4, 5]
+        for delivered in harness.delivered.values():
+            assert delivered == reference
+
+    def test_order_via_follower_forwards(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        follower = next(r for r in harness.replicas if r.role == "follower")
+        follower.order(("forwarded",))
+        cluster.run(until=8000.0)
+        assert ("forwarded",) in [p for _, p in harness.delivered[follower.node.name]]
+
+    def test_order_before_any_leader_is_buffered(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        harness.replicas[0].order(("early",))  # no leader exists yet
+        cluster.run(until=8000.0)
+        assert ("early",) in [p for _, p in harness.delivered["n0"]]
+
+    def test_progress_with_one_crashed_follower(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        follower = next(r for r in harness.replicas if r.role == "follower")
+        follower.node.crash()
+        harness.leader().order(("survives",))
+        cluster.run(until=8000.0)
+        live = [r for r in harness.replicas if not r.node.crashed]
+        for replica in live:
+            assert ("survives",) in [
+                p for _, p in harness.delivered[replica.node.name]
+            ]
+
+    def test_entries_survive_leader_change(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        harness.leader().order(("first",))
+        cluster.run(until=5000.0)
+        harness.leader().node.crash()
+        cluster.run(until=12000.0)
+        harness.leader().order(("second",))
+        cluster.run(until=20000.0)
+        survivor = harness.leader()
+        payloads = [p for _, p in harness.delivered[survivor.node.name]]
+        assert payloads.index(("first",)) < payloads.index(("second",))
+
+    def test_gc_compacts_log(self):
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        for index in range(6):
+            harness.leader().order(("op", index))
+        cluster.run(until=8000.0)
+        leader = harness.leader()
+        leader.gc(5)
+        assert leader.offset >= 4
+        assert leader.low_water == 5
+        leader.order(("after-gc",))
+        cluster.run(until=12000.0)
+        assert ("after-gc",) in [p for _, p in harness.delivered[leader.node.name]]
+
+
+class TestSpiderOverRaft:
+    def test_full_spider_system_on_raft_agreement(self):
+        """The modularity payoff: Spider's execution groups and IRMCs run
+        unchanged over a crash-tolerant agreement group."""
+        from repro.consensus.raft import RaftConfig, RaftReplica
+        from repro.core import SpiderConfig, SpiderSystem
+        from repro.net import Network, Topology
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=9)
+        network = Network(sim, Topology(), jitter=0.0)
+        system = SpiderSystem(
+            sim,
+            config=SpiderConfig(),
+            network=network,
+            agreement_factory=lambda node, peers: RaftReplica(
+                node, "raft-ag", peers, RaftConfig()
+            ),
+        )
+        system.add_execution_group("us", "virginia")
+        system.add_execution_group("jp", "tokyo")
+        client = system.make_client("c1", "tokyo", group_id="jp")
+        future = client.write(("put", "k", "v"))
+        sim.run(until=20_000.0)
+        assert future.done and future.value == ("ok", 1)
+        for replica in system.groups["us"].replicas:
+            assert replica.app.apply(("get", "k")) == ("value", "v")

@@ -1,0 +1,156 @@
+"""Unit tests for message routing and client edge cases."""
+
+import pytest
+
+from repro.net import Site
+from repro.sim import Simulator
+from repro.sim.routing import Component, RoutedNode
+
+from tests.conftest import Cluster
+from tests.test_spider_basic import build_system
+
+
+class Echo(Component):
+    def __init__(self, node, tag):
+        super().__init__(node, tag)
+        self.received = []
+
+    def handle(self, src, message):
+        self.received.append((src.name, message))
+
+
+class Tagged:
+    def __init__(self, tag, body):
+        self.tag = tag
+        self.body = body
+
+    def size_bytes(self):
+        return 64
+
+
+class TestRoutedNode:
+    def test_dispatch_by_tag(self):
+        cluster = Cluster()
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        alpha = Echo(b, "alpha")
+        beta = Echo(b, "beta")
+        a.send(b, Tagged("alpha", 1))
+        a.send(b, Tagged("beta", 2))
+        cluster.run()
+        assert alpha.received == [("a", alpha.received[0][1])]
+        assert beta.received[0][1].body == 2
+
+    def test_unknown_tag_falls_back_to_default(self):
+        cluster = Cluster()
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        fallback = []
+        b.set_default_handler(lambda src, message: fallback.append(message))
+        a.send(b, Tagged("nobody-home", 3))
+        cluster.run()
+        assert len(fallback) == 1
+
+    def test_duplicate_tag_rejected(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        Echo(node, "t")
+        with pytest.raises(ValueError):
+            Echo(node, "t")
+
+    def test_closed_component_stops_receiving(self):
+        cluster = Cluster()
+        a = cluster.add_node("a")
+        b = cluster.add_node("b")
+        echo = Echo(b, "t")
+        echo.close()
+        a.send(b, Tagged("t", 1))
+        cluster.run()
+        assert echo.received == []
+
+    def test_broadcast_excludes_self_by_default(self):
+        cluster = Cluster()
+        nodes = cluster.add_group("n", 3)
+        echoes = [Echo(node, "t") for node in nodes]
+        echoes[0].broadcast(nodes, Tagged("t", "hello"))
+        cluster.run()
+        assert echoes[0].received == []
+        assert len(echoes[1].received) == 1
+        assert len(echoes[2].received) == 1
+
+    def test_broadcast_include_self_uses_cpu_queue(self):
+        cluster = Cluster()
+        nodes = cluster.add_group("n", 2)
+        echoes = [Echo(node, "t") for node in nodes]
+        echoes[0].broadcast(nodes, Tagged("t", "x"), include_self=True)
+        cluster.run()
+        assert len(echoes[0].received) == 1
+
+
+class TestClientEdgeCases:
+    def test_second_write_while_pending_raises(self):
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        client.write(("put", "a", 1))
+        with pytest.raises(RuntimeError):
+            client.write(("put", "b", 2))
+
+    def test_duplicate_replies_from_same_replica_ignored(self):
+        """One replica cannot fake a quorum by replying twice."""
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        # Cut two replicas off from the client so only one reply source
+        # remains; it will reply (and re-reply on retries) but never twice
+        # count toward the fe+1 quorum.
+        for replica in system.groups["g0"].replicas[1:]:
+            system.network.block_link(replica, client)
+        client.retry_ms = 300.0
+        future = client.write(("put", "k", "v"))
+        sim.run(until=5000.0)
+        assert not future.done
+
+    def test_unauthenticated_reply_ignored(self):
+        from repro.core.messages import Reply
+
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        future = client.write(("put", "k", "v"))
+        outsider = system.make_client("evil", "virginia", group_id="g0")
+        # Two forged replies claiming success with no valid MACs.
+        for sender in ("g0-e0", "g0-e1"):
+            outsider.run_task(
+                outsider.send,
+                client,
+                Reply(result=("ok", 99), counter=1, sender=sender, group="g0"),
+            )
+        sim.run(until=50.0)
+        assert not future.done or future.value != ("ok", 99)
+        sim.run(until=5000.0)
+        assert future.value == ("ok", 1)  # the honest result wins
+
+    def test_counter_monotonicity_across_operations(self):
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        counters = []
+
+        def issue(index=0):
+            if index >= 3:
+                return
+            counters.append(client.counter + 1)
+            client.write(("put", "k", index)).add_callback(
+                lambda _: issue(index + 1)
+            )
+
+        issue()
+        sim.run(until=10000.0)
+        assert counters == [1, 2, 3]
+
+    def test_completed_samples_have_kinds(self):
+        sim, system = build_system(regions=("virginia",))
+        client = system.make_client("c1", "virginia", group_id="g0")
+        client.write(("put", "k", "v"))
+        sim.run(until=3000.0)
+        client.weak_read(("get", "k"))
+        sim.run(until=6000.0)
+        kinds = [kind for kind, _, _ in client.completed]
+        assert kinds == ["write", "weak-read"]

@@ -1,0 +1,198 @@
+"""Unit tests for the simulator event loop, futures and processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Process, SimFuture, Simulator, gather, sleep
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+        assert sim.now == 5.0
+
+    def test_ties_break_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(2.0, fired.append, label)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "x")
+        sim.run(until=4.0)
+        assert fired == []
+        assert sim.now == 4.0
+        sim.run()
+        assert fired == ["x"]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cannot_schedule_into_the_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_events_run(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            sim = Simulator(seed=42)
+            values = []
+            for index in range(20):
+                sim.schedule(sim.rng.random() * 10, values.append, index)
+            sim.run()
+            return values, sim.now
+
+        assert run_once() == run_once()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+
+class TestSimFuture:
+    def test_resolve_delivers_value_to_callbacks(self):
+        future = SimFuture()
+        seen = []
+        future.add_callback(seen.append)
+        future.resolve(41)
+        assert seen == [41]
+        assert future.done and future.value == 41
+
+    def test_late_callback_runs_immediately(self):
+        future = SimFuture()
+        future.resolve("v")
+        seen = []
+        future.add_callback(seen.append)
+        assert seen == ["v"]
+
+    def test_double_resolve_rejected(self):
+        future = SimFuture()
+        future.resolve(1)
+        with pytest.raises(SimulationError):
+            future.resolve(2)
+        assert future.try_resolve(3) is False
+
+    def test_reading_pending_value_is_an_error(self):
+        with pytest.raises(SimulationError):
+            SimFuture().value
+
+    def test_gather_partial_count(self):
+        futures = [SimFuture() for _ in range(4)]
+        combined = gather(futures, count=2)
+        futures[3].resolve("d")
+        assert not combined.done
+        futures[0].resolve("a")
+        assert combined.done
+        assert combined.value == ["d", "a"]
+        futures[1].resolve("b")  # late resolutions are ignored
+        assert combined.value == ["d", "a"]
+
+    def test_gather_zero_count_resolves_immediately(self):
+        assert gather([SimFuture()], count=0).done
+
+
+class TestProcess:
+    def test_process_sleeps_and_finishes(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield sleep(5.0)
+            trace.append(("woke", sim.now))
+            return "done"
+
+        process = Process(sim, body())
+        sim.run()
+        assert trace == [("start", 0.0), ("woke", 5.0)]
+        assert process.finished and process.result == "done"
+        assert process.completion.value == "done"
+
+    def test_process_waits_on_future(self):
+        sim = Simulator()
+        gate = SimFuture()
+        seen = []
+
+        def body():
+            value = yield gate
+            seen.append((value, sim.now))
+
+        Process(sim, body())
+        sim.schedule(7.0, gate.resolve, "payload")
+        sim.run()
+        assert seen == [("payload", 7.0)]
+
+    def test_numeric_yield_is_a_sleep(self):
+        sim = Simulator()
+        times = []
+
+        def body():
+            yield 2.5
+            times.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert times == [2.5]
+
+    def test_stop_prevents_resumption(self):
+        sim = Simulator()
+        gate = SimFuture()
+        seen = []
+
+        def body():
+            seen.append("started")
+            yield gate
+            seen.append("resumed")
+
+        process = Process(sim, body())
+        sim.run()
+        process.stop()
+        gate.resolve(None)
+        sim.run()
+        assert seen == ["started"]
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield "nonsense"
+
+        Process(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()

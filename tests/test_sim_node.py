@@ -1,0 +1,168 @@
+"""Tests for the serial-CPU node model and its interaction with the network."""
+
+from repro.net import Network, Site, Topology
+from repro.sim import Node, Simulator, charge
+
+
+class Recorder(Node):
+    """Test node that records received messages and charges a fixed cost."""
+
+    def __init__(self, sim, name, site, cost_ms=0.0):
+        super().__init__(sim, name, site)
+        self.cost_ms = cost_ms
+        self.received = []
+
+    def on_message(self, src, message):
+        charge(self.cost_ms)
+        self.received.append((self.sim.now, src.name, message))
+
+
+def make_pair(cost_ms=0.0, jitter=0.0):
+    sim = Simulator(seed=1)
+    network = Network(sim, Topology(), jitter=jitter)
+    a = network.register(Recorder(sim, "a", Site("virginia", 1), cost_ms))
+    b = network.register(Recorder(sim, "b", Site("virginia", 2), cost_ms))
+    return sim, network, a, b
+
+
+class Ping:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def size_bytes(self):
+        return 200
+
+    def __repr__(self):
+        return f"Ping({self.tag})"
+
+
+class TestNodeCpu:
+    def test_tasks_run_serially_with_cost(self):
+        sim = Simulator()
+        node = Node(sim, "n", Site("virginia"))
+        times = []
+
+        def work(tag):
+            charge(3.0)
+            times.append((tag, sim.now))
+
+        node.run_task(work, "first")
+        node.run_task(work, "second")
+        sim.run()
+        # The second task starts only after the first's 3 ms of CPU.
+        assert times == [("first", 0.0), ("second", 3.0)]
+        assert node.busy_ms == 6.0
+
+    def test_crashed_node_ignores_work(self):
+        sim = Simulator()
+        node = Recorder(sim, "n", Site("virginia"))
+        node.crash()
+        node.run_task(lambda: node.received.append("ran"))
+        sim.run()
+        assert node.received == []
+
+    def test_timeout_fires_on_cpu(self):
+        sim = Simulator()
+        node = Node(sim, "n", Site("virginia"))
+        fired = []
+        node.set_timeout(4.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [4.0]
+
+    def test_cancelled_timeout_does_not_fire(self):
+        sim = Simulator()
+        node = Node(sim, "n", Site("virginia"))
+        fired = []
+        handle = node.set_timeout(4.0, lambda: fired.append(sim.now))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestNetworkDelivery:
+    def test_intra_region_delivery_latency(self):
+        sim, network, a, b = make_pair()
+        a.send(b, Ping(1))
+        sim.run()
+        assert len(b.received) == 1
+        arrival = b.received[0][0]
+        # One-way zone-to-zone is 0.6 ms plus a little serialization delay.
+        assert 0.6 <= arrival < 0.8
+
+    def test_wan_latency_dominates(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter=0.0)
+        a = network.register(Recorder(sim, "a", Site("virginia", 1)))
+        b = network.register(Recorder(sim, "b", Site("tokyo", 1)))
+        a.send(b, Ping(1))
+        sim.run()
+        assert 80.0 <= b.received[0][0] < 81.0  # RTT 160 -> one-way 80
+
+    def test_sends_during_task_leave_after_cpu_cost(self):
+        sim, network, a, b = make_pair()
+
+        def work():
+            charge(10.0)
+            a.send(b, Ping("after-cost"))
+
+        a.run_task(work)
+        sim.run()
+        # message leaves at t=10 and takes ~0.6 ms
+        assert b.received[0][0] >= 10.6
+
+    def test_partition_blocks_and_heals(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter=0.0)
+        a = network.register(Recorder(sim, "a", Site("virginia", 1)))
+        b = network.register(Recorder(sim, "b", Site("tokyo", 1)))
+        network.partition({"tokyo"})
+        a.send(b, Ping(1))
+        sim.run()
+        assert b.received == [] and network.dropped == 1
+        network.heal()
+        a.send(b, Ping(2))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_block_single_link_is_directional(self):
+        sim, network, a, b = make_pair()
+        network.block_link(a, b)
+        a.send(b, Ping(1))
+        b.send(a, Ping(2))
+        sim.run()
+        assert b.received == []
+        assert len(a.received) == 1
+
+    def test_byte_accounting_wan_vs_lan(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter=0.0)
+        a = network.register(Recorder(sim, "a", Site("virginia", 1)))
+        b = network.register(Recorder(sim, "b", Site("virginia", 2)))
+        c = network.register(Recorder(sim, "c", Site("ireland", 1)))
+        a.send(b, Ping(1))
+        a.send(c, Ping(2))
+        sim.run()
+        assert network.lan.messages == 1 and network.wan.messages == 1
+        assert network.lan.bytes == network.wan.bytes == 200
+
+    def test_interval_mbps(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter=0.0)
+        a = network.register(Recorder(sim, "a", Site("virginia", 1)))
+        b = network.register(Recorder(sim, "b", Site("ireland", 1)))
+        before = network.snapshot()
+        for _ in range(10):
+            a.send(b, Ping(0))
+        sim.run(until=1000.0)
+        after = network.snapshot()
+        mbps = Network.interval_mbps(before, after, wan=True)
+        assert abs(mbps - (10 * 200 / 1e6)) < 1e-9  # 2000 bytes over 1 s
+
+    def test_drop_rate_loses_messages(self):
+        sim, network, a, b = make_pair()
+        network.set_drop_rate(0.5)
+        for index in range(100):
+            a.send(b, Ping(index))
+        sim.run()
+        assert 20 < len(b.received) < 80
+        assert network.dropped == 100 - len(b.received)
