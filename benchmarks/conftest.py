@@ -10,6 +10,21 @@ reports (who wins, roughly by how much, where crossovers fall).  Run with::
 import pytest
 
 
+import pathlib
+
+BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so CI can deselect it with
+    ``-m "not bench"`` (the tier-1 suite) while a dedicated job runs a
+    fast smoke of the benchmarks.  The hook sees the whole session's
+    items, so filter to this directory explicitly."""
+    for item in items:
+        if BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+
+
 def run_experiment(benchmark, run_fn, **kwargs):
     """Execute an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(lambda: run_fn(quick=True, **kwargs), rounds=1, iterations=1)

@@ -10,13 +10,22 @@
   agnostic to the agreement implementation (modularity claim, Section 3).
 """
 
-from repro.consensus.interface import Agreement, SingleSequencer
+from repro.consensus.interface import (
+    Agreement,
+    Batch,
+    SingleSequencer,
+    batch_items,
+    is_batch,
+)
 from repro.consensus.pbft.config import PbftConfig
 from repro.consensus.pbft.replica import PbftReplica
 from repro.consensus.raft import RaftConfig, RaftReplica
 
 __all__ = [
     "Agreement",
+    "Batch",
+    "batch_items",
+    "is_batch",
     "SingleSequencer",
     "PbftConfig",
     "PbftReplica",

@@ -21,9 +21,122 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Deque, Optional, Tuple
 
+from repro.net.message import Message
 from repro.sim.futures import SimFuture
+
+
+@dataclass(frozen=True)
+class Batch(Message):
+    """Several to-be-ordered messages agreed as one consensus value.
+
+    Leaders of batching-capable implementations (PBFT, Raft) cut a batch
+    when either the configured ``batch_size`` cap is reached or the
+    ``batch_timeout_ms`` timer fires, amortising one agreement round over
+    all contained items.  Hosts must treat a delivered ``Batch`` as its
+    items applied in order.
+    """
+
+    items: Tuple[Any, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def payload_size(self) -> int:
+        return 8 + sum(
+            item.payload_size() if hasattr(item, "payload_size") else len(repr(item))
+            for item in self.items
+        )
+
+
+def is_batch(payload: Any) -> bool:
+    """Whether a delivered value carries multiple batched messages."""
+    return isinstance(payload, Batch)
+
+
+def batch_items(payload: Any) -> Tuple[Any, ...]:
+    """The individual messages of a delivered value (batched or not)."""
+    if isinstance(payload, Batch):
+        return payload.items
+    return (payload,)
+
+
+def is_batchable(payload: Any) -> bool:
+    """Whether a batching leader may pack ``payload`` with other messages.
+
+    Messages that mutate how the host interprets the *rest* of a batch
+    (e.g. Spider's reconfiguration commands, which change the group set)
+    opt out by setting a class attribute ``BATCHABLE = False``; leaders
+    then cut any open batch and propose them alone.
+    """
+    return getattr(payload, "BATCHABLE", True)
+
+
+class BatchAccumulator:
+    """The shared adaptive batch-cut machinery of batching leaders.
+
+    Owns the cut policy: payloads buffer until either the size cap is
+    reached or ``timeout_ms`` elapsed since the first buffered payload —
+    whichever fires first — then ``on_cut(payload, items)`` receives the
+    proposal-ready value (a bare payload for a single item, a
+    :class:`Batch` otherwise) plus the individual items.  What proposing
+    means (broadcast a pre-prepare, append to a log, hand items back on
+    leadership loss) stays with the caller.
+    """
+
+    def __init__(self, node, size: int, timeout_ms: float, on_cut):
+        self.node = node
+        self.size = size
+        self.timeout_ms = timeout_ms
+        self.on_cut = on_cut
+        self.buffer: list = []
+        self._timer = None
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def intake(self, payload: Any) -> bool:
+        """Admit a payload under the batching policy.
+
+        Returns False when the caller must propose it alone: batching is
+        disabled (size <= 1), or the payload is unbatchable — any open
+        batch is cut first so FIFO intake order is preserved.
+        """
+        if self.size <= 1:
+            return False
+        if not is_batchable(payload):
+            self.cut()
+            return False
+        self.buffer.append(payload)
+        if len(self.buffer) >= self.size:
+            self.cut()
+        elif self._timer is None:
+            self._timer = self.node.set_timeout(self.timeout_ms, self._on_timeout)
+        return True
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        self.cut()
+
+    def cut(self) -> None:
+        """Flush the buffer through ``on_cut`` (no-op when empty)."""
+        buffered = self.flush()
+        if buffered:
+            payload = buffered[0] if len(buffered) == 1 else Batch(items=tuple(buffered))
+            self.on_cut(payload, buffered)
+
+    def flush(self) -> list:
+        """Cancel the timer and hand back the buffer without cutting."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        buffered, self.buffer = self.buffer, []
+        return buffered
 
 
 class Agreement(ABC):

@@ -1,9 +1,12 @@
 """PBFT (Castro & Liskov, OSDI '99) as a reusable component.
 
-One consensus instance per client message (no batching); sequence numbers
-are assigned contiguously from 1.  Supports weighted voting (WHEAT-style)
-through per-replica vote weights, which is how the BFT-WV baseline of the
-paper's Fig. 10 is realised.
+Sequence numbers are assigned contiguously from 1.  With the default
+``batch_size=1`` each consensus instance orders one client message; larger
+values let the leader cut :class:`~repro.consensus.interface.Batch` values
+adaptively (size cap or ``batch_timeout_ms`` timer, whichever fires first),
+amortising one three-phase round over many messages.  Supports weighted
+voting (WHEAT-style) through per-replica vote weights, which is how the
+BFT-WV baseline of the paper's Fig. 10 is realised.
 """
 
 from repro.consensus.pbft.config import PbftConfig, quorum_weight

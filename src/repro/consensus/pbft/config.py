@@ -40,6 +40,14 @@ class PbftConfig:
     fetch_delay_ms:
         How long a delivery gap may persist before the replica asks a peer
         to retransmit the missing instance.
+    batch_size:
+        Maximum number of ordered messages the leader amortises over one
+        consensus instance.  ``1`` (the default) proposes every message
+        immediately in its own instance — the pre-batching behaviour.
+    batch_timeout_ms:
+        Adaptive batch cut: an incomplete batch is proposed at most this
+        long after its first message arrived, so low offered load keeps
+        low latency while high load fills batches to ``batch_size``.
     """
 
     f: int = 1
@@ -47,6 +55,8 @@ class PbftConfig:
     window: int = 1024
     weights: Optional[Dict[str, float]] = None
     fetch_delay_ms: float = 500.0
+    batch_size: int = 1
+    batch_timeout_ms: float = 10.0
     extra: dict = field(default_factory=dict)
 
     def validate(self, replica_names: Sequence[str]) -> None:
@@ -55,6 +65,10 @@ class PbftConfig:
             raise ConfigurationError(
                 f"PBFT with f={self.f} needs >= {3 * self.f + 1} replicas, got {n}"
             )
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_timeout_ms < 0:
+            raise ConfigurationError("batch_timeout_ms must be >= 0")
         if self.weights is not None:
             unknown = set(self.weights) - set(replica_names)
             if unknown:

@@ -6,8 +6,14 @@ pull-based :class:`~repro.consensus.interface.Agreement` interface.
 
 Fidelity notes
 --------------
-* One consensus instance per ordered message (the paper's prototype orders
-  per-request as well; adaptive batching is related work there).
+* With the default ``batch_size=1``, one consensus instance per ordered
+  message (matching the paper's prototype, which orders per-request).
+  Larger ``batch_size`` enables adaptive request batching on top: the
+  leader accumulates to-be-ordered messages and cuts a
+  :class:`~repro.consensus.interface.Batch` when either the size cap is
+  reached or ``batch_timeout_ms`` elapsed since the batch's first message
+  — one pre-prepare/prepare/commit round then amortises over up to
+  ``batch_size`` messages while low load keeps per-message latency.
 * Normal-case messages carry MAC vectors, view-change messages signatures,
   matching the prototype's HMAC-SHA-256 / RSA-1024 split.
 * The new-view message re-proposes prepared instances and fills gaps with
@@ -19,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence
 
-from repro.consensus.interface import Agreement, DeliveryQueue
+from repro.consensus.interface import Agreement, Batch, BatchAccumulator, DeliveryQueue
 from repro.consensus.pbft.config import PbftConfig
 from repro.consensus.pbft.log import PbftLog, Slot
 from repro.consensus.pbft.messages import (
@@ -40,6 +46,13 @@ from repro.sim.routing import Component, RoutedNode
 
 def _key(payload: Any) -> str:
     return repr(payload)
+
+
+def _payload_keys(payload: Any) -> List[str]:
+    """Dedup keys a proposal occupies: the batch itself plus every item."""
+    if isinstance(payload, Batch):
+        return [_key(payload)] + [_key(item) for item in payload.items]
+    return [_key(payload)]
 
 
 class PbftReplica(Component, Agreement):
@@ -79,6 +92,7 @@ class PbftReplica(Component, Agreement):
         self.log = PbftLog()
         self.queue = DeliveryQueue()
         self.backlog: Deque[Any] = deque()
+        self._backlog_keys: set = set()  # mirrors backlog for O(1) dedup
         self.pending: Dict[str, Any] = {}  # awaiting delivery (liveness watch)
         self.live_keys: set = set()  # payload keys occupying live slots
 
@@ -87,6 +101,15 @@ class PbftReplica(Component, Agreement):
         self._view_timer = None
         self._timeout_factor = 1.0
         self._fetch_timer = None
+
+        #: leader-side batch under construction (batch_size > 1 only);
+        #: _batch_keys mirrors the accumulator buffer for O(1) dedup and
+        #: is cleared whenever the buffer empties (cut or flush).
+        self._accumulator = BatchAccumulator(
+            node, self.config.batch_size, self.config.batch_timeout_ms, self._cut_batch
+        )
+        self._batch_keys: set = set()
+        self.batches_cut = 0
 
         self.delivered_count = 0
         self.view_changes_completed = 0
@@ -122,7 +145,7 @@ class PbftReplica(Component, Agreement):
         self.pending[key] = message
         self._arm_view_timer()
         if self.is_leader() and not self.in_view_change:
-            self._propose(message)
+            self._enqueue(message)
         else:
             self.send(
                 self._leader_node(), Forward(tag=self.tag, payload=message, sender=self.name)
@@ -140,19 +163,57 @@ class PbftReplica(Component, Agreement):
         self.delivered_seq = max(self.delivered_seq, before_seq - 1)
         self.next_propose_seq = max(self.next_propose_seq, before_seq)
         self.live_keys = {
-            _key(slot.pre_prepare.payload)
+            key
             for slot in self.log.slots.values()
             if slot.pre_prepare is not None
+            for key in _payload_keys(slot.pre_prepare.payload)
         }
         self._drain_backlog()
         self._try_deliver()
 
     # ------------------------------------------------------------------
-    # Proposing (leader)
+    # Proposing (leader) and batch accumulation
     # ------------------------------------------------------------------
+    def _enqueue(self, payload: Any) -> None:
+        """Leader intake: propose immediately, or accumulate into a batch.
+
+        The adaptive cut rule (Fig.-7-style amortisation): the batch is
+        proposed as soon as it holds ``batch_size`` messages, or once
+        ``batch_timeout_ms`` elapsed since its first message — whichever
+        fires first.
+        """
+        key = _key(payload)
+        if key in self.live_keys or key in self._batch_keys:
+            return
+        if key in self._backlog_keys:
+            # Already parked behind the proposal window: proposing again
+            # (e.g. via the new-view re-introduction loop) would assign the
+            # payload a second sequence number once the window reopens.
+            return
+        if self._accumulator.intake(payload):
+            if self._accumulator.buffer:  # not cut synchronously
+                self._batch_keys.add(key)
+        else:
+            self._propose(payload)
+
+    def _cut_batch(self, payload: Any, items: List[Any]) -> None:
+        self._batch_keys = set()
+        if self.in_view_change or not self.is_leader():
+            # Leadership moved while the batch accumulated; the messages
+            # stay in ``pending`` and are re-introduced after the new view.
+            return
+        self.batches_cut += 1
+        self._propose(payload)
+
+    def _flush_batch_buffer(self) -> None:
+        """Abandon an in-progress batch (messages remain in ``pending``)."""
+        self._accumulator.flush()
+        self._batch_keys = set()
+
     def _propose(self, payload: Any) -> None:
         if self.next_propose_seq >= self.low_water + self.config.window:
             self.backlog.append(payload)
+            self._backlog_keys.update(_payload_keys(payload))
             return
         seq = self.next_propose_seq
         self.next_propose_seq += 1
@@ -165,7 +226,7 @@ class PbftReplica(Component, Agreement):
         slot.accept_pre_prepare(pre_prepare, digest(payload))
         slot.add_prepare(self.name, slot.payload_digest)
         slot.sent_prepare = True
-        self.live_keys.add(_key(payload))
+        self.live_keys.update(_payload_keys(payload))
         self.broadcast(self.peers, pre_prepare)
         self._check_prepared(slot)
 
@@ -176,7 +237,9 @@ class PbftReplica(Component, Agreement):
             and not self.in_view_change
             and self.next_propose_seq < self.low_water + self.config.window
         ):
-            self._propose(self.backlog.popleft())
+            payload = self.backlog.popleft()
+            self._backlog_keys.difference_update(_payload_keys(payload))
+            self._propose(payload)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -206,7 +269,7 @@ class PbftReplica(Component, Agreement):
         if self.is_leader() and not self.in_view_change:
             self.pending.setdefault(key, message.payload)
             self._arm_view_timer()
-            self._propose(message.payload)
+            self._enqueue(message.payload)
 
     def _on_pre_prepare(self, message: PrePrepare) -> None:
         if message.sender != self.leader_name(message.view):
@@ -226,7 +289,7 @@ class PbftReplica(Component, Agreement):
         payload_digest = digest(message.payload)
         if not slot.accept_pre_prepare(message, payload_digest):
             return  # equivocation or duplicate conflicting proposal
-        self.live_keys.add(_key(message.payload))
+        self.live_keys.update(_payload_keys(message.payload))
         slot.add_prepare(message.sender, payload_digest)
         if not slot.sent_prepare and message.sender != self.name:
             slot.sent_prepare = True
@@ -319,7 +382,8 @@ class PbftReplica(Component, Agreement):
             slot.delivered = True
             self.delivered_seq += 1
             payload = slot.pre_prepare.payload
-            self.pending.pop(_key(payload), None)
+            for key in _payload_keys(payload):
+                self.pending.pop(key, None)
             self.delivered_count += 1
             self.queue.push(slot.seq, payload)
             progressed = True
@@ -416,6 +480,13 @@ class PbftReplica(Component, Agreement):
         if new_view <= self.view and self.in_view_change:
             return
         self.in_view_change = True
+        self._flush_batch_buffer()
+        # Drop window-parked proposals too: they live on in ``pending`` and
+        # are re-introduced after the new view, whereas a stale backlog
+        # would re-propose them a second time if leadership ever rotated
+        # back here (double delivery at the Agreement layer).
+        self.backlog.clear()
+        self._backlog_keys = set()
         self.view = max(self.view, new_view)
         self._timeout_factor *= 2
         self._reset_view_timer()
@@ -521,12 +592,28 @@ class PbftReplica(Component, Agreement):
             max_seq = max(max_seq, pre_prepare.seq)
             self._on_pre_prepare(pre_prepare)
         self.next_propose_seq = max(self.next_propose_seq, max_seq + 1)
-        # Re-introduce our pending messages to the new leader.
+        # A slot superseded by this new view may have left the keys of a
+        # never-prepared payload (or whole batch) in ``live_keys``, which
+        # would make the loop below skip — and thereby stall — those
+        # messages.  Rebuild from slots that are actually live now: ones
+        # re-proposed in this view, plus committed ones from earlier views
+        # (their keys must stay to dedup client retries until gc).
+        self.live_keys = {
+            key
+            for slot in self.log.slots.values()
+            if slot.pre_prepare is not None
+            and (slot.view == self.view or slot.committed)
+            for key in _payload_keys(slot.pre_prepare.payload)
+        }
+        # Re-introduce our pending messages to the new leader.  Messages
+        # contained in a re-proposed Batch are already in ``live_keys``
+        # (pre-prepare processing registers every item), so in-flight
+        # batches survive the view change without duplication.
         for payload in list(self.pending.values()):
             if _key(payload) in self.live_keys:
                 continue
             if self.is_leader():
-                self._propose(payload)
+                self._enqueue(payload)
             else:
                 self.send(
                     self._leader_node(),

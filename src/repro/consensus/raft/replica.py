@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.consensus.interface import Agreement, DeliveryQueue
+from repro.consensus.interface import Agreement, BatchAccumulator, DeliveryQueue
 from repro.consensus.raft.messages import (
     AppendEntries,
     AppendReply,
@@ -15,6 +15,7 @@ from repro.consensus.raft.messages import (
     VoteGranted,
 )
 from repro.crypto.primitives import make_mac, verify_mac
+from repro.errors import ConfigurationError
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
 
@@ -32,6 +33,17 @@ class RaftConfig:
     heartbeat_ms: float = 100.0
     #: maximum entries shipped per AppendEntries
     batch_limit: int = 64
+    #: request batching, mirroring PbftConfig so ablations stay comparable:
+    #: the leader packs up to ``batch_size`` ordered payloads into one
+    #: Batch log entry, cutting early after ``batch_timeout_ms``.
+    batch_size: int = 1
+    batch_timeout_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_timeout_ms < 0:
+            raise ConfigurationError("batch_timeout_ms must be >= 0")
 
 
 class RaftReplica(Component, Agreement):
@@ -71,6 +83,10 @@ class RaftReplica(Component, Agreement):
         self._votes: set = set()
         self._pending: List[Any] = []  # ordered payloads awaiting a leader
         self._seen: set = set()
+        self._accumulator = BatchAccumulator(  # leader-side batch accumulation
+            node, self.config.batch_size, self.config.batch_timeout_ms, self._cut_batch
+        )
+        self.batches_cut = 0
         self._election_timer = None
         self._heartbeat_timer = None
         self.elections_won = 0
@@ -102,7 +118,7 @@ class RaftReplica(Component, Agreement):
             return
         self._seen.add(key)
         if self.role == LEADER:
-            self._append_local(message)
+            self._enqueue(message)
         elif self.leader is not None:
             leader_node = next((p for p in self.peers if p.name == self.leader), None)
             if leader_node is not None:
@@ -233,13 +249,16 @@ class RaftReplica(Component, Agreement):
         self.match_index[self.node.name] = self.last_index
         pending, self._pending = self._pending, []
         for payload in pending:
-            self._append_local(payload)
+            self._enqueue(payload)
         self._send_heartbeats()
 
     def _step_down(self, term: int) -> None:
         self.term = term
         self.role = FOLLOWER
         self.voted_for = None
+        if self.leader == self.node.name:
+            self.leader = None  # don't self-forward re-ordered batch items
+        self._accumulator.cut()  # returns buffered payloads to the order() path
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
             self._heartbeat_timer = None
@@ -248,6 +267,23 @@ class RaftReplica(Component, Agreement):
     # ------------------------------------------------------------------
     # Replication
     # ------------------------------------------------------------------
+    def _enqueue(self, payload: Any) -> None:
+        """Leader intake: append immediately, or accumulate into a batch
+        (same size-cap-or-timeout cut rule as the PBFT implementation)."""
+        if not self._accumulator.intake(payload):
+            self._append_local(payload)
+
+    def _cut_batch(self, payload: Any, items: List[Any]) -> None:
+        if self.role != LEADER:
+            # Leadership was lost while the batch accumulated; hand the
+            # items back so they reach the new leader.
+            for item in items:
+                self._seen.discard(repr(item))
+                self.order(item)
+            return
+        self.batches_cut += 1
+        self._append_local(payload)
+
     def _append_local(self, payload: Any) -> None:
         self.log.append(LogEntry(term=self.term, payload=payload))
         self.match_index[self.node.name] = self.last_index
@@ -423,4 +459,4 @@ class RaftReplica(Component, Agreement):
                 key = repr(message.payload)
                 if key not in self._seen:
                     self._seen.add(key)
-                    self._append_local(message.payload)
+                    self._enqueue(message.payload)

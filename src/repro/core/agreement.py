@@ -8,6 +8,20 @@ stream into every execution group's commit channel — waiting for only
 It also hosts the execution-replica registry and applies reconfiguration
 commands (Section 3.6).
 
+Request batching (``SpiderConfig.batch_size`` / ``batch_timeout_ms``): the
+per-client loops still submit each validated request to the black-box
+individually, but with ``batch_size > 1`` the consensus leader drains its
+intake queue into :class:`~repro.consensus.interface.Batch` values using
+the adaptive cut rule — propose when the size cap is reached or when
+``batch_timeout_ms`` elapsed since the batch's first request, whichever
+comes first.  A delivered batch occupies one sequence number; the replica
+classifies its items in order (duplicate filtering, strong-read
+placeholders, reconfiguration commands) and ships a single batched
+``Execute`` through each commit channel, so one IRMC message and one
+agreement checkpoint interval amortise over up to ``batch_size`` requests.
+With the default ``batch_size=1`` the behaviour is bit-for-bit identical
+to the unbatched protocol.
+
 For the paper's Spider-0E variant (Fig. 9a) the replica can additionally
 host the application itself (``execute_locally=True``): clients then talk
 to the agreement group directly and no IRMCs exist.
@@ -20,7 +34,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.app.statemachine import StateMachine
 from repro.checkpoints import CheckpointComponent
-from repro.consensus.interface import Agreement
+from repro.consensus.interface import Agreement, Batch
 from repro.consensus.pbft.messages import is_noop
 from repro.core.config import SpiderConfig
 from repro.core.messages import (
@@ -90,6 +104,7 @@ class AgreementReplica(RoutedNode):
         self._win_future = SimFuture(name=f"{name}.win")
         self._delivery: Optional[Process] = None
         self.delivered_count = 0
+        self.requests_delivered = 0  # individual requests across batches
         #: callbacks the system object installs to materialise topology
         #: changes (node lookup lives outside the protocol).
         self.resolve_nodes: Optional[Callable] = None
@@ -195,11 +210,12 @@ class AgreementReplica(RoutedNode):
             self.sn = seq
             executes = self._classify(seq, payload)
             self.delivered_count += 1
+            self.requests_delivered += (
+                len(payload.items) if isinstance(payload, Batch) else 1
+            )
             futures = []
             for group_id, channels in list(self.groups.items()):
-                futures.append(
-                    channels.commit_tx.send(0, seq, executes[group_id])
-                )
+                futures.append(channels.commit_tx.send(0, seq, executes[group_id]))
             if futures:
                 # Global flow control: proceed once n_e - z channels accepted
                 # the Execute (Section 3.5); stragglers continue in the
@@ -213,6 +229,8 @@ class AgreementReplica(RoutedNode):
 
     def _classify(self, seq: int, payload: Any) -> Dict[str, Execute]:
         """Build the per-group Execute messages for one agreed payload."""
+        if isinstance(payload, Batch):
+            return self._classify_batch(seq, payload)
         noop = Execute(seq=seq, request=None, placeholder=("noop",))
         if is_noop(payload) or not isinstance(payload, RequestWrapper):
             if isinstance(payload, (AddGroup, RemoveGroup)):
@@ -240,16 +258,128 @@ class AgreementReplica(RoutedNode):
             }
         return {group_id: full for group_id in self.groups}
 
+    def _classify_batch(self, seq: int, batch: Batch) -> Dict[str, Execute]:
+        """Classify a batch item-by-item into per-group batched Executes.
+
+        Applies the same rules as the single-request path — duplicate
+        filtering against ``t``, strong-read placeholders for non-home
+        groups, reconfiguration commands — but packs the per-item outcomes
+        into one ``Execute`` per group so the commit channel still carries
+        exactly one message per sequence number.
+        """
+        group_items: Dict[str, list] = {group_id: [] for group_id in self.groups}
+        full_items: list = []
+
+        def sync_groups() -> None:
+            # Correct leaders never batch reconfiguration commands (they
+            # are BATCHABLE = False), but a faulty leader may craft such a
+            # batch; handle it deterministically: later items must reach
+            # new groups (earlier slots are backfilled with no-ops),
+            # removed groups drop out.
+            for group_id in list(group_items):
+                if group_id not in self.groups:
+                    del group_items[group_id]
+            for group_id in self.groups:
+                group_items.setdefault(group_id, [("noop",)] * len(full_items))
+
+        for item in batch.items:
+            if is_noop(item) or not isinstance(item, RequestWrapper):
+                if isinstance(item, (AddGroup, RemoveGroup)) and self._apply_reconfiguration(item):
+                    sync_groups()
+                    # hist keeps the *effective* command itself (groups
+                    # only ever see a no-op slot) so replay can re-derive
+                    # the per-group backfill in _variant_for_group; an
+                    # ineffective duplicate stays a plain no-op slot so
+                    # replay doesn't backfill where live delivery didn't.
+                    full_items.append(item)
+                else:
+                    full_items.append(("noop",))
+                for items in group_items.values():
+                    items.append(("noop",))
+                continue
+            body = item.body
+            if body.counter <= self.t.get(body.client, 0):
+                # Old or duplicate request: a no-op slot (Fig. 17 L. 30).
+                full_items.append(("noop",))
+                for items in group_items.values():
+                    items.append(("noop",))
+                continue
+            self.t[body.client] = body.counter
+            self.t_plus[body.client] = max(
+                body.counter + 1, self.t_plus.get(body.client, 1)
+            )
+            full_items.append(item)
+            if body.kind == STRONG_READ:
+                placeholder = ("read", body.client, body.counter)
+                for group_id, items in group_items.items():
+                    items.append(item if group_id == item.group else placeholder)
+            else:
+                for items in group_items.values():
+                    items.append(item)
+        self.hist.append(Execute(seq=seq, request=None, batch=tuple(full_items)))
+        return {
+            group_id: Execute(seq=seq, request=None, batch=tuple(items))
+            for group_id, items in group_items.items()
+        }
+
+    def _variant_for_group(self, execute: Execute, group_id: str) -> Execute:
+        """Rebuild the per-group form of a hist entry for replay.
+
+        ``hist`` stores the full Execute, but strong reads are shipped in
+        full only to the client's home group (Section 3.3); replaying the
+        full form elsewhere would make recovered senders vouch different
+        bytes than normal-path senders for the same channel position.
+        """
+
+        def item_variant(item):
+            if (
+                isinstance(item, RequestWrapper)
+                and item.body.kind == STRONG_READ
+                and item.group != group_id
+            ):
+                return ("read", item.body.client, item.body.counter)
+            if isinstance(item, (AddGroup, RemoveGroup)):
+                return ("noop",)  # groups only ever saw a no-op slot
+            return item
+
+        if execute.batch is not None:
+            items = [item_variant(item) for item in execute.batch]
+            # A group added by this very batch saw no-op slots up to and
+            # including its AddGroup (the sync_groups backfill); reproduce
+            # it so replayed bytes match the live per-group classification.
+            for index, item in enumerate(execute.batch):
+                if isinstance(item, AddGroup) and item.group == group_id:
+                    items[: index + 1] = [("noop",)] * (index + 1)
+            items = tuple(items)
+            if items == execute.batch:
+                return execute
+            return Execute(seq=execute.seq, request=None, batch=items)
+        wrapper = execute.request
+        if (
+            wrapper is not None
+            and wrapper.body.kind == STRONG_READ
+            and wrapper.group != group_id
+        ):
+            return Execute(
+                seq=execute.seq,
+                request=None,
+                placeholder=("read", wrapper.body.client, wrapper.body.counter),
+            )
+        return execute
+
     # ------------------------------------------------------------------
     # Reconfiguration (Section 3.6)
     # ------------------------------------------------------------------
-    def _apply_reconfiguration(self, command) -> None:
+    def _apply_reconfiguration(self, command) -> bool:
+        """Apply an agreed group-set change; True iff it changed anything."""
+        changed = False
         if isinstance(command, AddGroup):
             if command.group in self.groups or self.resolve_nodes is None:
-                return
+                return False
             members = self.resolve_nodes(command.members)
             if members is None:
-                return
+                return False
+            changed = True
             self.connect_group(command.group, members)
             channels = self.groups[command.group]
             # Tell the new group how far the system has progressed: anchor
@@ -259,11 +389,15 @@ class AgreementReplica(RoutedNode):
             start = self.hist[0].seq if self.hist else max(1, self.sn)
             channels.commit_tx.move_window(0, start)
             for execute in self.hist:
-                channels.commit_tx.send(0, execute.seq, execute)
+                channels.commit_tx.send(
+                    0, execute.seq, self._variant_for_group(execute, command.group)
+                )
         elif isinstance(command, RemoveGroup):
+            changed = command.group in self.groups
             self.disconnect_group(command.group)
         if self.on_membership_change is not None:
             self.on_membership_change()
+        return changed
 
     # ------------------------------------------------------------------
     # Direct messages: admin commands, registry queries, 0E clients
@@ -311,6 +445,10 @@ class AgreementReplica(RoutedNode):
         self.ag.order(RequestWrapper(body=body, signature=message.signature, group="ag"))
 
     def _execute_payload(self, payload: Any) -> None:
+        if isinstance(payload, Batch):
+            for item in payload.items:
+                self._execute_payload(item)
+            return
         if not isinstance(payload, RequestWrapper) or self.app is None:
             return
         body = payload.body
@@ -365,11 +503,14 @@ class AgreementReplica(RoutedNode):
                 if self.app is not None and state[3] is not None:
                     self.app.restore(state[3])
             # Replay the Executes we skipped into the commit channels
-            # (Fig. 17 L. 52-56).
-            for channels in self.groups.values():
+            # (Fig. 17 L. 52-56), in the per-group form normal delivery
+            # would have sent (strong reads stay home-group-only).
+            for group_id, channels in self.groups.items():
                 for execute in hist_items:
                     if old_sn < execute.seq <= seq:
-                        channels.commit_tx.send(0, execute.seq, execute)
+                        channels.commit_tx.send(
+                            0, execute.seq, self._variant_for_group(execute, group_id)
+                        )
         # Advance the agreement window past the new stable checkpoint.
         self.win_upper = seq + self.config.ag_window
         previous, self._win_future = self._win_future, SimFuture(name=f"{self.name}.win")

@@ -69,18 +69,49 @@ class RequestWrapper(Message):
 
 @dataclass(frozen=True)
 class Execute(Message):
-    """``<Execute, r, s>`` — an agreed request at sequence number ``seq``.
+    """``<Execute, r, s>`` — the agreed value at sequence number ``seq``.
 
     ``placeholder`` replaces the full request for strongly consistent reads
     at execution groups other than the client's (Section 3.3), and for
     consensus no-ops introduced by view changes.
+
+    When request batching is enabled (``SpiderConfig.batch_size > 1``) the
+    sequence number covers a whole batch: ``batch`` then carries the items
+    in agreed order, each either a :class:`RequestWrapper` or a placeholder
+    tuple, and ``request``/``placeholder`` are unused.  One batched Execute
+    flows through the commit channel per sequence number, amortising the
+    channel's per-message cost over the batch.
     """
 
     seq: int
     request: Optional[RequestWrapper]
     placeholder: Optional[Tuple] = None  # e.g. ("read", client, counter) / ("noop",)
+    batch: Optional[Tuple] = None  # batched items: RequestWrapper | placeholder
+
+    def num_requests(self) -> int:
+        """How many agreed items this Execute covers (>= 1)."""
+        if self.batch is not None:
+            return max(1, len(self.batch))
+        return 1
+
+    def __repr__(self) -> str:
+        # Reprs feed digests and simulated hashing costs; omit the batch
+        # field when unused so batch_size=1 stays byte-identical to the
+        # pre-batching wire format.
+        base = (
+            f"Execute(seq={self.seq!r}, request={self.request!r}, "
+            f"placeholder={self.placeholder!r}"
+        )
+        if self.batch is None:
+            return base + ")"
+        return base + f", batch={self.batch!r})"
 
     def payload_size(self) -> int:
+        if self.batch is not None:
+            return 8 + sum(
+                item.payload_size() if isinstance(item, Message) else 24
+                for item in self.batch
+            )
         if self.request is not None:
             return 8 + self.request.payload_size()
         return 8 + 24
@@ -140,6 +171,10 @@ class WeakReadReply(Message):
 class AddGroup(Message):
     """``<AddGroup, e, E>`` submitted by a privileged admin client."""
 
+    #: never packed into a request batch: the command changes the group set
+    #: mid-sequence, which would desynchronise per-group Execute variants.
+    BATCHABLE = False
+
     group: str
     members: Tuple[str, ...]
     admin: str
@@ -156,6 +191,8 @@ class AddGroup(Message):
 @dataclass(frozen=True)
 class RemoveGroup(Message):
     """``<RemoveGroup, e>`` submitted by a privileged admin client."""
+
+    BATCHABLE = False  # see AddGroup
 
     group: str
     admin: str

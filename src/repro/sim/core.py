@@ -33,6 +33,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
         self._queue: List[EventHandle] = []
         self._seq = 0

@@ -8,6 +8,7 @@ configurable interval before issuing the next.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -54,6 +55,13 @@ class ClosedLoopDriver:
         Approximate write payload size (paper: 200 bytes).
     start_ms / duration_ms:
         When to start and how long to keep issuing.
+    rng:
+        Source of the driver's randomness (operation mix, key choice,
+        think-time jitter).  Defaults to a private ``random.Random`` seeded
+        from the simulator seed and the client name, so each driver's
+        operation sequence is deterministic across platforms and — unlike
+        drawing from the shared ``sim.rng`` — independent of how other
+        simulation components interleave their own draws.
     """
 
     def __init__(
@@ -68,9 +76,15 @@ class ClosedLoopDriver:
         duration_ms: float = 10_000.0,
         request_timeout_ms: float = 30_000.0,
         strong_read_quorum: Optional[int] = None,
+        rng: Optional[random.Random] = None,
     ):
         self.sim = sim
         self.client = client
+        # String seeds hash via SHA-512 in CPython, which is stable across
+        # platforms and interpreter runs (unlike builtin hash()).
+        self.rng = rng if rng is not None else random.Random(
+            f"driver:{getattr(sim, 'seed', 0)}:{client.name}"
+        )
         self.think_ms = think_ms
         self.mix = mix or OperationMix()
         self.key_space = key_space
@@ -86,7 +100,7 @@ class ClosedLoopDriver:
         self.process = Process(sim, self._loop(), name=f"driver-{client.name}")
 
     def _operation(self, kind: str):
-        key = f"key-{self.sim.rng.randrange(self.key_space)}"
+        key = f"key-{self.rng.randrange(self.key_space)}"
         if kind == "write":
             return ("put", key, self.payload)
         return ("get", key)
@@ -95,7 +109,7 @@ class ClosedLoopDriver:
         if self.start_ms > self.sim.now:
             yield sleep(self.start_ms - self.sim.now)
         while self.sim.now < self.end_ms:
-            kind = self.mix.choose(self.sim.rng)
+            kind = self.mix.choose(self.rng)
             operation = self._operation(kind)
             if kind == "write":
                 future = self.client.write(operation)
@@ -113,7 +127,7 @@ class ClosedLoopDriver:
                 waited += 50.0
             if not future.done:
                 return  # give up; the experiment will show the gap
-            think = self.think_ms * (0.5 + self.sim.rng.random())
+            think = self.think_ms * (0.5 + self.rng.random())
             if think > 0:
                 yield sleep(think)
 

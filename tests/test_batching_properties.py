@@ -1,0 +1,403 @@
+"""Property/invariant tests for end-to-end request batching.
+
+For randomized seeds, operation mixes, and batch sizes these lock in the
+batching pipeline's safety contract:
+
+(a) every client request is executed exactly once at every replica,
+(b) per-client FIFO order is preserved through batch cuts and classify,
+(c) all execution replicas of a group apply the identical batch sequence,
+(d) ``batch_size=1`` (the default) produces byte-identical reply streams
+    and timings to the pre-batching behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.kvstore import KVStore
+from repro.core import SpiderConfig, SpiderSystem
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+class RecordingKVStore(KVStore):
+    """A KVStore that journals every applied operation in order."""
+
+    def __init__(self):
+        super().__init__()
+        self.journal = []
+
+    def apply(self, operation):
+        self.journal.append(operation)
+        return super().apply(operation)
+
+
+def build_system(seed, regions=("virginia", "tokyo"), **config_kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, Topology(), jitter=0.0)
+    config = SpiderConfig(**config_kwargs)
+    system = SpiderSystem(
+        sim, config=config, network=network, app_factory=RecordingKVStore
+    )
+    for index, region in enumerate(regions):
+        system.add_execution_group(f"g{index}", region)
+    return sim, system
+
+
+def run_workload(sim, system, n_clients, n_requests, use_reads):
+    """Chained closed-loop issuance: request i+1 starts when i completes."""
+    homes = ["g0", "g0", "g1"]
+    regions = {"g0": "virginia", "g1": "tokyo"}
+    clients = [
+        system.make_client(f"c{i}", regions[homes[i % len(homes)]], group_id=homes[i % len(homes)])
+        for i in range(n_clients)
+    ]
+    replies = {client.name: [] for client in clients}
+
+    def issue(client, index=0):
+        if index >= n_requests:
+            return
+        if use_reads and index % 3 == 2:
+            future = client.strong_read(("get", f"w-{client.name}-{index - 1}"))
+        else:
+            future = client.write(("put", f"w-{client.name}-{index}", index))
+        future.add_callback(
+            lambda result: (replies[client.name].append(result), issue(client, index + 1))
+        )
+
+    for client in clients:
+        issue(client)
+    sim.run(until=240_000.0, max_events=3_000_000)
+    return clients, replies
+
+
+def write_log(replica, client_name=None):
+    """The journaled put-operations (optionally for one client) in order."""
+    return [
+        op
+        for op in replica.app.journal
+        if op[0] == "put" and (client_name is None or op[1].startswith(f"w-{client_name}-"))
+    ]
+
+
+class TestBatchingInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 6),  # batch_size
+        st.booleans(),  # mix strong reads into the stream
+    )
+    def test_exactly_once_fifo_and_group_agreement(self, seed, batch_size, use_reads):
+        sim, system = build_system(
+            seed=seed, batch_size=batch_size, batch_timeout_ms=5.0
+        )
+        n_clients, n_requests = 3, 4
+        clients, replies = run_workload(sim, system, n_clients, n_requests, use_reads)
+
+        # Every request completed at the client, in issue order.
+        for client in clients:
+            assert len(replies[client.name]) == n_requests
+
+        replicas = [r for g in system.groups.values() for r in g.replicas]
+        for replica in replicas:
+            log = write_log(replica)
+            # (a) exactly once: no write applied twice at any replica.
+            assert len(log) == len(set(log)), f"duplicate execution at {replica.name}"
+            for client in clients:
+                mine = write_log(replica, client.name)
+                # (a) nothing lost either: every write reached every group.
+                expected = [
+                    ("put", f"w-{client.name}-{i}", i)
+                    for i in range(n_requests)
+                    if not (use_reads and i % 3 == 2)
+                ]
+                # (b) per-client FIFO through batching and classification.
+                assert mine == expected, f"order broken at {replica.name}"
+
+        # (c) all replicas of a group applied the identical journal
+        # (including strong reads, which only the home group executes).
+        for group in system.groups.values():
+            journals = {repr(replica.app.journal) for replica in group.replicas}
+            assert len(journals) == 1, f"divergence inside group {group.group_id}"
+
+        # And the final application state is identical system-wide.
+        states = {
+            repr(sorted(replica.app.snapshot()[0].items())) for replica in replicas
+        }
+        assert len(states) == 1
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_batch_size_one_is_byte_identical_to_default(self, seed):
+        """(d) ``batch_size=1`` must not perturb the system at all: reply
+        values, reply timings, and replica journals are byte-identical to a
+        run with the default config, regardless of ``batch_timeout_ms``."""
+        traces = []
+        for kwargs in ({}, {"batch_size": 1, "batch_timeout_ms": 777.0}):
+            sim, system = build_system(seed=seed, **kwargs)
+            clients, replies = run_workload(
+                sim, system, n_clients=3, n_requests=3, use_reads=True
+            )
+            trace = (
+                repr([(c.name, c.completed) for c in clients]),
+                repr(replies),
+                repr(
+                    [
+                        (r.name, r.app.journal)
+                        for g in system.groups.values()
+                        for r in g.replicas
+                    ]
+                ),
+            )
+            traces.append(trace)
+        assert traces[0] == traces[1]
+
+
+class TestCheckpointReplayVariants:
+    def test_replayed_hist_matches_normal_path_bytes(self):
+        """hist stores the full Execute; replay into a commit channel must
+        re-derive the per-group form (strong reads home-group-only), or
+        recovered senders would vouch different bytes than normal-path
+        senders for the same channel position."""
+        from repro.core.messages import Execute, RequestBody, RequestWrapper
+
+        sim, system = build_system(seed=1)
+        replica = system.agreement_replicas[0]
+
+        def wrapper(kind, group, counter):
+            return RequestWrapper(
+                body=RequestBody(
+                    operation=("get", "k") if kind == "strong-read" else ("put", "k", "v"),
+                    client="c1",
+                    counter=counter,
+                    kind=kind,
+                ),
+                signature=None,
+                group=group,
+            )
+
+        write, read = wrapper("write", "g0", 1), wrapper("strong-read", "g0", 2)
+
+        # Unbatched strong read: home group gets the full form, any other
+        # group the identical placeholder the normal path would have sent.
+        single = Execute(seq=5, request=read)
+        assert replica._variant_for_group(single, "g0") is single
+        other = replica._variant_for_group(single, "g1")
+        assert other == Execute(seq=5, request=None, placeholder=("read", "c1", 2))
+
+        # Batched: only strong-read slots are rewritten, writes and noops
+        # stay byte-identical; the home group's batch is untouched.
+        batched = Execute(seq=6, request=None, batch=(write, read, ("noop",)))
+        assert replica._variant_for_group(batched, "g0") is batched
+        assert replica._variant_for_group(batched, "g1").batch == (
+            write,
+            ("read", "c1", 2),
+            ("noop",),
+        )
+
+        # Pure-write entries are returned unchanged (same object).
+        plain = Execute(seq=7, request=write)
+        assert replica._variant_for_group(plain, "g1") is plain
+
+        # A (faulty-leader-crafted) batch containing an AddGroup: the group
+        # it adds saw no-op slots up to and including the command (the
+        # sync_groups backfill), pre-existing groups saw a no-op only for
+        # the command slot — replay must reproduce both exactly.
+        from repro.core.messages import AddGroup
+
+        w1, w2 = wrapper("write", "g0", 3), wrapper("write", "g0", 4)
+        add = AddGroup(group="g2", members=("x1", "x2", "x3"), admin="admin", nonce=1)
+        reconfig = Execute(seq=8, request=None, batch=(w1, add, w2))
+        assert replica._variant_for_group(reconfig, "g2").batch == (
+            ("noop",),
+            ("noop",),
+            w2,
+        )
+        assert replica._variant_for_group(reconfig, "g1").batch == (
+            w1,
+            ("noop",),
+            w2,
+        )
+
+
+class TestCheckpointCadence:
+    def test_group_checkpoints_stay_on_a_common_grid(self):
+        """Batches straddling the ke boundary leave a residual request
+        count; that residual is part of the checkpointed state, so every
+        replica — including ones that catch up by adopting a checkpoint —
+        generates checkpoints on the same ke-crossing grid.  (Stability
+        needs fe+1 matching votes at the *same* seq: off-grid cadences
+        would starve checkpoint stability and stall the commit windows.)"""
+        from repro.net import Network, Topology
+
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter=3.0)
+        config = SpiderConfig(batch_size=3, batch_timeout_ms=5.0, ke=4, ka=4, ag_window=8)
+        system = SpiderSystem(
+            sim, config=config, network=network, app_factory=RecordingKVStore
+        )
+        system.add_execution_group("g0", "virginia")
+        system.add_execution_group("g1", "tokyo")
+        gen_log = {}
+        for group in system.groups.values():
+            for replica in group.replicas:
+                gen_log[replica.name] = []
+
+                def wrapped(seq, state, _orig=replica.cp.gen_cp, _log=gen_log[replica.name]):
+                    _log.append(seq)
+                    _orig(seq, state)
+
+                replica.cp.gen_cp = wrapped
+
+        from repro.workload import drive_clients
+
+        clients = [system.make_client(f"c{i}", "virginia", group_id="g0") for i in range(5)]
+        drive_clients(sim, clients, think_ms=5.0, duration_ms=3000.0)
+        sim.run(until=30_000.0)
+
+        # All groups process the same request stream, so the ke-crossing
+        # grid is global: no replica may ever checkpoint off it.
+        grid = set(max(gen_log.values(), key=len))
+        union = set(seq for log in gen_log.values() for seq in log)
+        assert union <= grid, f"off-grid checkpoints: {sorted(union - grid)}"
+        # And stability keeps forming in every group.
+        for group in system.groups.values():
+            for replica in group.replicas:
+                assert replica.cp.stable_count > 5
+
+
+class TestByzantineBatchedReconfiguration:
+    def test_ineffective_add_group_leaves_live_and_replay_in_sync(self):
+        """A faulty leader may batch an AddGroup for a group that already
+        exists.  Live classification must treat it as a plain no-op slot
+        (no backfill), hist must record a no-op — not the command — and the
+        replay variant must therefore reproduce the live bytes exactly."""
+        from repro.consensus import Batch
+        from repro.core.messages import AddGroup, RequestBody, RequestWrapper
+
+        sim, system = build_system(seed=2, batch_size=4)
+        replica = system.agreement_replicas[0]
+
+        def wrapper(counter):
+            return RequestWrapper(
+                body=RequestBody(
+                    operation=("put", f"k{counter}", counter),
+                    client="c1",
+                    counter=counter,
+                ),
+                signature=None,
+                group="g0",
+            )
+
+        w1, w2 = wrapper(1), wrapper(2)
+        dup = AddGroup(group="g1", members=("a", "b", "c"), admin="admin", nonce=9)
+        executes = replica._classify_batch(1, Batch(items=(w1, dup, w2)))
+        live = (w1, ("noop",), w2)
+        assert executes["g0"].batch == live
+        assert executes["g1"].batch == live  # no backfill: g1 pre-existed
+        assert replica.hist[-1].batch == live  # command not recorded
+        assert replica._variant_for_group(replica.hist[-1], "g1").batch == live
+
+        # An *effective* AddGroup, by contrast, is recorded in hist and the
+        # replay variant backfills the new group's earlier slots.
+        grown = AddGroup(
+            group="g9",
+            members=tuple(r.name for r in system.groups["g1"].replicas),
+            admin="admin",
+            nonce=10,
+        )
+        w3, w4 = wrapper(3), wrapper(4)
+        executes = replica._classify_batch(2, Batch(items=(w3, grown, w4)))
+        assert executes["g9"].batch == (("noop",), ("noop",), w4)
+        assert executes["g0"].batch == (w3, ("noop",), w4)
+        assert replica.hist[-1].batch == (w3, grown, w4)
+        assert replica._variant_for_group(replica.hist[-1], "g9").batch == (
+            ("noop",),
+            ("noop",),
+            w4,
+        )
+        assert replica._variant_for_group(replica.hist[-1], "g0").batch == (
+            w3,
+            ("noop",),
+            w4,
+        )
+
+
+class TestBatchConfigValidation:
+    def test_nested_pbft_batch_knobs_rejected(self):
+        import pytest
+
+        from repro.consensus.pbft.config import PbftConfig
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SpiderConfig(pbft=PbftConfig(batch_size=16)).validate()
+        with pytest.raises(ConfigurationError):
+            SpiderConfig(pbft=PbftConfig(batch_timeout_ms=3.0)).validate()
+        # The supported spelling passes validation.
+        SpiderConfig(batch_size=16, batch_timeout_ms=3.0).validate()
+
+
+class TestReconfigurationUnderBatching:
+    def test_dynamic_add_group_is_never_batched_with_requests(self):
+        """Reconfiguration commands are BATCHABLE = False: the leader cuts
+        the open batch and orders them alone, so writes concurrent with an
+        AddGroup still reach the new group through hist replay (a command
+        inside a batch would leave earlier same-batch writes invisible to
+        the group it adds)."""
+        sim, system = build_system(
+            seed=4, regions=("virginia",), batch_size=4, batch_timeout_ms=10.0
+        )
+        clients = [
+            system.make_client(f"c{i}", "virginia", group_id="g0") for i in range(3)
+        ]
+        replies = {client.name: [] for client in clients}
+
+        def issue(client, index=0):
+            if index >= 6:
+                return
+            client.write(("put", f"w-{client.name}-{index}", index)).add_callback(
+                lambda result: (replies[client.name].append(result), issue(client, index + 1))
+            )
+
+        for client in clients:
+            issue(client)
+        # Inject the reconfiguration while writes are in full flight.
+        sim.schedule(30.0, system.add_execution_group_dynamically, "jp", "tokyo")
+        sim.run(until=120_000.0, max_events=3_000_000)
+
+        for client in clients:
+            assert len(replies[client.name]) == 6
+        for replica in system.agreement_replicas:
+            assert "jp" in replica.groups
+            # The command occupied its own consensus instance.
+            for execute in replica.hist:
+                if execute.batch is not None:
+                    assert all(
+                        not isinstance(item, tuple) or item[0] in ("noop", "read")
+                        for item in execute.batch
+                    )
+        # The new group caught up on every write, including those that were
+        # in the open batch when AddGroup was ordered (fe+1 of 3 suffice;
+        # a straggler may still be fetching).
+        expected = {f"w-c{i}-{j}": j for i in range(3) for j in range(6)}
+        caught_up = 0
+        for replica in system.groups["jp"].replicas:
+            data = replica.app.snapshot()[0]
+            if all(data.get(key) == value for key, value in expected.items()):
+                caught_up += 1
+        assert caught_up >= 2
+
+
+class TestBatchAmortisation:
+    def test_concurrent_requests_share_sequence_numbers(self):
+        """Under concurrent load with batch_size > 1, consensus orders
+        fewer instances than requests (the amortisation that drives the
+        throughput win), without affecting any safety property above."""
+        sim, system = build_system(seed=3, batch_size=4, batch_timeout_ms=20.0)
+        clients, replies = run_workload(
+            sim, system, n_clients=3, n_requests=4, use_reads=False
+        )
+        ag = system.agreement_replicas[0]
+        assert ag.requests_delivered == 12
+        assert ag.delivered_count < ag.requests_delivered
+        assert sum(r.ag.batches_cut for r in system.agreement_replicas) > 0

@@ -37,7 +37,7 @@ class ChannelFixture:
             endpoint = self.senders[name]
             future = []
             endpoint.node.run_task(
-                lambda e=endpoint: future.append(e.send(subchannel, position, payload))
+                lambda e=endpoint, f=future: f.append(e.send(subchannel, position, payload))
             )
             futures.append(future)
         return futures
@@ -206,6 +206,125 @@ class TestFlowControl:
             channel.send_from(["s0", "s1", "s2"], "c", position, ("m", position))
         channel.run(until=20000.0)
         assert received == [("m", p) for p in range(1, 11)]
+
+
+def _batched_execute(seq, n_items, client="cl"):
+    """A commit-channel style Execute carrying a batch of n_items wrappers."""
+    from repro.core.messages import Execute, RequestBody, RequestWrapper
+
+    items = tuple(
+        RequestWrapper(
+            body=RequestBody(
+                operation=("put", f"k{seq}-{i}", "x" * 32),
+                client=client,
+                counter=(seq - 1) * n_items + i + 1,
+            ),
+            signature=None,
+            group="g0",
+        )
+        for i in range(n_items)
+    )
+    return Execute(seq=seq, request=None, batch=items)
+
+
+class TestBatchedPayloads:
+    """Batched commit-channel payloads across window moves and TooOld.
+
+    The commit channel carries exactly one (possibly large, batched)
+    Execute per position; these scenarios pin down that batching changes
+    nothing about the channel contract on either IRMC implementation.
+    """
+
+    def test_batched_execute_delivered_intact(self, channel):
+        execute = _batched_execute(1, 16)
+        holder = channel.receive_at("r0", 0, 1)
+        channel.send_from(["s0", "s1"], 0, 1, execute)
+        channel.run()
+        assert holder["value"] == execute
+        assert len(holder["value"].batch) == 16
+
+    def test_conflicting_batches_do_not_deliver(self, channel):
+        # Same position, batches differing only in their last item: the
+        # f_s+1 vouching rule must treat them as distinct payloads.
+        holder = channel.receive_at("r0", 0, 1)
+        channel.send_from(["s0"], 0, 1, _batched_execute(1, 4))
+        channel.send_from(["s1"], 0, 1, _batched_execute(1, 5))
+        channel.run()
+        assert "value" not in holder
+
+    def test_parked_batched_send_released_by_window_move(self, channel):
+        # Window capacity is 4 starting at 1: position 6 parks until the
+        # receivers move the window, then the full batch goes through.
+        execute = _batched_execute(6, 8)
+        futures = channel.send_from(["s0", "s1"], 0, 6, execute)
+        channel.run()
+        assert not futures[0][0].done
+        for name in ("r0", "r1"):
+            endpoint = channel.receivers[name]
+            endpoint.node.run_task(endpoint.move_window, 0, 3)
+        channel.run(until=4000.0)
+        assert futures[0][0].value == "ok"
+        holder = channel.receive_at("r2", 0, 6)
+        channel.run(until=8000.0)
+        assert holder["value"] == execute
+
+    def test_batched_send_below_window_returns_too_old(self, channel):
+        for name in ("r0", "r1"):
+            endpoint = channel.receivers[name]
+            endpoint.node.run_task(endpoint.move_window, 0, 5)
+        channel.run()
+        futures = channel.send_from(["s0"], 0, 2, _batched_execute(2, 4))
+        channel.run(until=4000.0)
+        value = futures[0][0].value
+        assert isinstance(value, TooOld) and value.new_start == 5
+
+    def test_window_move_cancels_pending_batched_receive(self, channel):
+        # An execution replica waiting for a batched Execute learns via
+        # TooOld that the window moved past it (checkpoint-catch-up path).
+        holder = channel.receive_at("r0", 0, 2)
+        channel.send_from(["s0"], 0, 2, _batched_execute(2, 4))  # 1 voucher only
+        channel.run()
+        assert "value" not in holder
+        endpoint = channel.receivers["r0"]
+        endpoint.node.run_task(endpoint.move_window, 0, 7)
+        channel.run(until=4000.0)
+        assert isinstance(holder["value"], TooOld)
+        assert holder["value"].new_start == 7
+
+    def test_batch_stream_through_small_window(self, channel):
+        """A stream of batched Executes flows through the windowed channel
+        in order and intact, with receivers acking via move_window exactly
+        like execution replicas do on the commit channel."""
+        executes = [_batched_execute(position, 4) for position in range(1, 9)]
+        received = []
+
+        def drain(position=1):
+            endpoint = channel.receivers["r0"]
+
+            def on_value(value, position=position):
+                if isinstance(value, TooOld):
+                    return
+                received.append(value)
+                for name in ("r0", "r1", "r2"):
+                    peer = channel.receivers[name]
+                    peer.node.run_task(peer.move_window, 0, position + 1)
+                endpoint.receive(0, position + 1).add_callback(
+                    lambda v: on_value(v, position + 1)
+                )
+
+            endpoint.node.run_task(
+                lambda: endpoint.receive(0, 1).add_callback(on_value)
+            )
+
+        drain()
+        for execute in executes:
+            channel.send_from(["s0", "s1", "s2"], 0, execute.seq, execute)
+        channel.run(until=20_000.0)
+        assert received == executes
+        # FIFO inside each delivered batch as well.
+        for execute in received:
+            counters = [wrapper.body.counter for wrapper in execute.batch]
+            assert counters == sorted(counters)
 
 
 class TestAuthentication:
