@@ -26,7 +26,7 @@ from repro.core.messages import (
     WeakRead,
     WeakReadReply,
 )
-from repro.crypto.primitives import make_mac, verify, verify_mac_vector
+from repro.crypto.primitives import attach_auth, make_mac, verify, verify_mac_vector
 from repro.errors import ConfigurationError
 from repro.net import Network, Site, Topology
 from repro.sim import Process, Simulator
@@ -69,14 +69,14 @@ class BftReplica(RoutedNode):
         body = message.body
         if body.client != src.name:
             return
-        if not verify_mac_vector(message.auth, body.signed_content(), body.client, self.name):
+        if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
         cached = self.u.get(body.client)
         if body.counter <= self.t.get(body.client, 0):
             if cached is not None and cached[0] == body.counter:
                 self._send_reply(body.client, cached[0], cached[1])
             return
-        if not verify(message.signature, body.signed_content(), signer=body.client):
+        if not verify(message.signature, body, signer=body.client):
             return
         self.t[body.client] = body.counter
         self.ag.order(RequestWrapper(body=body, signature=message.signature, group="bft"))
@@ -84,20 +84,13 @@ class BftReplica(RoutedNode):
     def _on_weak_read(self, src, message: WeakRead) -> None:
         if message.client != src.name:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.client, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.client, self.name):
             return
         if not is_read_only(message.operation):
             return
         result = self.app.execute(message.operation)
         reply = WeakReadReply(result=result, nonce=message.nonce, sender=self.name)
-        reply = WeakReadReply(
-            result=reply.result,
-            nonce=reply.nonce,
-            sender=reply.sender,
-            mac=make_mac(self.name, message.client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, message.client, reply))
         self.send(src, reply)
 
     # ------------------------------------------------------------------
@@ -130,13 +123,7 @@ class BftReplica(RoutedNode):
         if target is None:
             return
         reply = Reply(result=result, counter=counter, sender=self.name, group="bft")
-        reply = Reply(
-            result=reply.result,
-            counter=reply.counter,
-            sender=reply.sender,
-            group=reply.group,
-            mac=make_mac(self.name, client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, client, reply))
         self.send(target, reply)
 
     # ------------------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.core.messages import (
     WeakRead,
     WeakReadReply,
 )
-from repro.crypto.primitives import make_mac, verify, verify_mac_vector
+from repro.crypto.primitives import Digestible, attach_auth, make_mac, verify, verify_mac_vector
 from repro.crypto.threshold import (
     ThresholdSignature,
     combine_shares,
@@ -56,7 +56,7 @@ ACCEPT = "accept"
 
 
 @dataclass(frozen=True)
-class SiteForward(Message):
+class SiteForward(Message, Digestible):
     """A site forwards a validated client request to the leader site."""
 
     request: RequestWrapper
@@ -68,7 +68,7 @@ class SiteForward(Message):
 
 
 @dataclass(frozen=True)
-class ShareRequest(Message):
+class ShareRequest(Message, Digestible):
     """The site representative asks peers for a threshold share."""
 
     kind: str  # PROPOSAL or ACCEPT
@@ -85,7 +85,7 @@ class ShareRequest(Message):
 
 
 @dataclass(frozen=True)
-class Share(Message):
+class Share(Message, Digestible):
     """One replica's threshold share, returned to the representative."""
 
     kind: str
@@ -98,7 +98,7 @@ class Share(Message):
 
 
 @dataclass(frozen=True)
-class Proposal(Message):
+class Proposal(Message, Digestible):
     """Leader site's threshold-signed global ordering decision."""
 
     seq: int
@@ -112,7 +112,7 @@ class Proposal(Message):
 
 
 @dataclass(frozen=True)
-class Accept(Message):
+class Accept(Message, Digestible):
     """A site's threshold-signed acknowledgement of a Proposal."""
 
     seq: int
@@ -212,14 +212,14 @@ class HftReplica(RoutedNode):
         body = message.body
         if body.client != src.name:
             return
-        if not verify_mac_vector(message.auth, body.signed_content(), body.client, self.name):
+        if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
         cached = self.u.get(body.client)
         if body.counter <= self.t.get(body.client, 0):
             if cached is not None and cached[0] == body.counter:
                 self._send_reply(body.client, cached[0], cached[1])
             return
-        if not verify(message.signature, body.signed_content(), signer=body.client):
+        if not verify(message.signature, body, signer=body.client):
             return
         self.t[body.client] = body.counter
         wrapper = RequestWrapper(body=body, signature=message.signature, group=self.site_id)
@@ -255,20 +255,13 @@ class HftReplica(RoutedNode):
     def _on_weak_read(self, src, message: WeakRead) -> None:
         if message.client != src.name:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.client, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.client, self.name):
             return
         if not is_read_only(message.operation):
             return
         result = self.app.execute(message.operation)
         reply = WeakReadReply(result=result, nonce=message.nonce, sender=self.name)
-        reply = WeakReadReply(
-            result=reply.result,
-            nonce=reply.nonce,
-            sender=reply.sender,
-            mac=make_mac(self.name, message.client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, message.client, reply))
         self.send(src, reply)
 
     # ------------------------------------------------------------------
@@ -466,13 +459,7 @@ class HftReplica(RoutedNode):
         if target is None:
             return
         reply = Reply(result=result, counter=counter, sender=self.name, group=self.site_id)
-        reply = Reply(
-            result=reply.result,
-            counter=reply.counter,
-            sender=reply.sender,
-            group=reply.group,
-            mac=make_mac(self.name, client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, client, reply))
         self.send(target, reply)
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checkpoints.messages import CheckpointMsg, CpState, FetchCp
-from repro.crypto.primitives import digest, sign, verify
+from repro.crypto.primitives import attach_auth, digest, sign, verify
 from repro.sim.routing import Component, RoutedNode
 
 
@@ -82,13 +82,7 @@ class CheckpointComponent(Component):
         message = CheckpointMsg(
             tag=self.tag, seq=seq, state_digest=state_digest, sender=self.node.name
         )
-        message = CheckpointMsg(
-            tag=message.tag,
-            seq=message.seq,
-            state_digest=message.state_digest,
-            sender=message.sender,
-            signature=sign(self.node.name, message.signed_content()),
-        )
+        message = attach_auth(message, signature=sign(self.node.name, message))
         self._record_vote(message)
         self.broadcast(self.peers, message)
 
@@ -115,7 +109,7 @@ class CheckpointComponent(Component):
             return
         if message.seq <= self.delivered_seq:
             return
-        if not verify(message.signature, message.signed_content(), signer=message.sender):
+        if not verify(message.signature, message, signer=message.sender):
             return
         self._record_vote(message)
 
@@ -178,7 +172,7 @@ class CheckpointComponent(Component):
                 return
             if vote.sender in signers:
                 return
-            if not verify(vote.signature, vote.signed_content(), signer=vote.sender):
+            if not verify(vote.signature, vote, signer=vote.sender):
                 return
             signers.add(vote.sender)
         # All signers must belong to a *single* trusted group; mixing groups

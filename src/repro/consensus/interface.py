@@ -24,12 +24,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Optional, Tuple
 
+from repro.crypto.primitives import Digestible
 from repro.net.message import Message
 from repro.sim.futures import SimFuture
 
 
 @dataclass(frozen=True)
-class Batch(Message):
+class Batch(Message, Digestible):
     """Several to-be-ordered messages agreed as one consensus value.
 
     Leaders of batching-capable implementations (PBFT, Raft) cut a batch

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import MacVector, Signature
+from repro.crypto.primitives import Digestible, MacVector, Signature, cached_repr
 from repro.net.message import Message
 
 #: Payload delivered for sequence numbers filled in by a view change.
@@ -31,7 +31,7 @@ def _payload_size(payload: Any) -> int:
 
 
 @dataclass(frozen=True)
-class PrePrepare(Message):
+class PrePrepare(Message, Digestible):
     tag: str
     view: int
     seq: int
@@ -40,14 +40,14 @@ class PrePrepare(Message):
     auth: Optional[MacVector] = None
 
     def signed_content(self) -> Tuple:
-        return ("pbft-pp", self.tag, self.view, self.seq, repr(self.payload), self.sender)
+        return ("pbft-pp", self.tag, self.view, self.seq, cached_repr(self.payload), self.sender)
 
     def payload_size(self) -> int:
         return 16 + _payload_size(self.payload) + (self.auth.size_bytes() if self.auth else 0)
 
 
 @dataclass(frozen=True)
-class Prepare(Message):
+class Prepare(Message, Digestible):
     tag: str
     view: int
     seq: int
@@ -63,7 +63,7 @@ class Prepare(Message):
 
 
 @dataclass(frozen=True)
-class Commit(Message):
+class Commit(Message, Digestible):
     tag: str
     view: int
     seq: int
@@ -79,7 +79,7 @@ class Commit(Message):
 
 
 @dataclass(frozen=True)
-class Forward(Message):
+class Forward(Message, Digestible):
     """A replica relays a to-be-ordered message to the current leader."""
 
     tag: str
@@ -91,7 +91,7 @@ class Forward(Message):
 
 
 @dataclass(frozen=True)
-class PreparedProof(Message):
+class PreparedProof(Message, Digestible):
     """Evidence carried in a ViewChange that ``payload`` prepared at ``seq``."""
 
     view: int
@@ -104,7 +104,7 @@ class PreparedProof(Message):
 
 
 @dataclass(frozen=True)
-class ViewChange(Message):
+class ViewChange(Message, Digestible):
     tag: str
     new_view: int
     low_water: int
@@ -127,7 +127,7 @@ class ViewChange(Message):
 
 
 @dataclass(frozen=True)
-class NewView(Message):
+class NewView(Message, Digestible):
     tag: str
     new_view: int
     pre_prepares: Tuple[PrePrepare, ...]
@@ -148,7 +148,7 @@ class NewView(Message):
 
 
 @dataclass(frozen=True)
-class FetchSlot(Message):
+class FetchSlot(Message, Digestible):
     """Ask a peer to retransmit its messages for one consensus instance."""
 
     tag: str

@@ -39,13 +39,21 @@ from repro.consensus.pbft.messages import (
     PreparedProof,
     ViewChange,
 )
-from repro.crypto.primitives import digest, make_mac_vector, sign, verify, verify_mac_vector
+from repro.crypto.primitives import (
+    attach_auth,
+    cached_repr,
+    digest,
+    make_mac_vector,
+    sign,
+    verify,
+    verify_mac_vector,
+)
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
 
 
 def _key(payload: Any) -> str:
-    return repr(payload)
+    return cached_repr(payload)
 
 
 def _payload_keys(payload: Any) -> List[str]:
@@ -135,6 +143,10 @@ class PbftReplica(Component, Agreement):
     def _weight_of(self, sender: str) -> float:
         return self.config.weight_of(sender)
 
+    def _mac_attach(self, body):
+        """Attach a MAC vector over ``body``'s signed content (auth excluded)."""
+        return attach_auth(body, auth=make_mac_vector(self.name, self.peer_names, body))
+
     # ------------------------------------------------------------------
     # Agreement interface
     # ------------------------------------------------------------------
@@ -217,10 +229,8 @@ class PbftReplica(Component, Agreement):
             return
         seq = self.next_propose_seq
         self.next_propose_seq += 1
-        content = ("pbft-pp", self.tag, self.view, seq, repr(payload), self.name)
-        auth = make_mac_vector(self.name, self.peer_names, content)
-        pre_prepare = PrePrepare(
-            tag=self.tag, view=self.view, seq=seq, payload=payload, sender=self.name, auth=auth
+        pre_prepare = self._mac_attach(
+            PrePrepare(tag=self.tag, view=self.view, seq=seq, payload=payload, sender=self.name)
         )
         slot = self.log.slot(seq)
         slot.accept_pre_prepare(pre_prepare, digest(payload))
@@ -274,9 +284,7 @@ class PbftReplica(Component, Agreement):
     def _on_pre_prepare(self, message: PrePrepare) -> None:
         if message.sender != self.leader_name(message.view):
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.sender, self.name):
             return
         if message.view < self.view or message.seq < self.low_water:
             return
@@ -294,17 +302,16 @@ class PbftReplica(Component, Agreement):
         if not slot.sent_prepare and message.sender != self.name:
             slot.sent_prepare = True
             slot.add_prepare(self.name, payload_digest)
-            content = ("pbft-p", self.tag, message.view, message.seq, payload_digest, self.name)
-            auth = make_mac_vector(self.name, self.peer_names, content)
             self.broadcast(
                 self.peers,
-                Prepare(
-                    tag=self.tag,
-                    view=message.view,
-                    seq=message.seq,
-                    payload_digest=payload_digest,
-                    sender=self.name,
-                    auth=auth,
+                self._mac_attach(
+                    Prepare(
+                        tag=self.tag,
+                        view=message.view,
+                        seq=message.seq,
+                        payload_digest=payload_digest,
+                        sender=self.name,
+                    )
                 ),
             )
         self._check_prepared(slot)
@@ -312,9 +319,7 @@ class PbftReplica(Component, Agreement):
     def _on_prepare(self, message: Prepare) -> None:
         if message.sender not in self.peer_names or message.seq < self.low_water:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.sender, self.name):
             return
         slot = self.log.slot(message.seq)
         slot.add_prepare(message.sender, message.payload_digest)
@@ -330,24 +335,16 @@ class PbftReplica(Component, Agreement):
             if not slot.sent_commit:
                 slot.sent_commit = True
                 slot.add_commit(self.name, slot.payload_digest)
-                content = (
-                    "pbft-c",
-                    self.tag,
-                    slot.view,
-                    slot.seq,
-                    slot.payload_digest,
-                    self.name,
-                )
-                auth = make_mac_vector(self.name, self.peer_names, content)
                 self.broadcast(
                     self.peers,
-                    Commit(
-                        tag=self.tag,
-                        view=slot.view,
-                        seq=slot.seq,
-                        payload_digest=slot.payload_digest,
-                        sender=self.name,
-                        auth=auth,
+                    self._mac_attach(
+                        Commit(
+                            tag=self.tag,
+                            view=slot.view,
+                            seq=slot.seq,
+                            payload_digest=slot.payload_digest,
+                            sender=self.name,
+                        )
                     ),
                 )
             self._check_committed(slot)
@@ -355,9 +352,7 @@ class PbftReplica(Component, Agreement):
     def _on_commit(self, message: Commit) -> None:
         if message.sender not in self.peer_names or message.seq < self.low_water:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.sender, self.name):
             return
         slot = self.log.slot(message.seq)
         slot.add_commit(message.sender, message.payload_digest)
@@ -427,31 +422,29 @@ class PbftReplica(Component, Agreement):
         if slot.pre_prepare is not None:
             self.send(src, slot.pre_prepare)
         if slot.sent_prepare and slot.payload_digest is not None:
-            content = ("pbft-p", self.tag, slot.view, slot.seq, slot.payload_digest, self.name)
-            auth = make_mac_vector(self.name, self.peer_names, content)
             self.send(
                 src,
-                Prepare(
-                    tag=self.tag,
-                    view=slot.view,
-                    seq=slot.seq,
-                    payload_digest=slot.payload_digest,
-                    sender=self.name,
-                    auth=auth,
+                self._mac_attach(
+                    Prepare(
+                        tag=self.tag,
+                        view=slot.view,
+                        seq=slot.seq,
+                        payload_digest=slot.payload_digest,
+                        sender=self.name,
+                    )
                 ),
             )
         if slot.sent_commit and slot.payload_digest is not None:
-            content = ("pbft-c", self.tag, slot.view, slot.seq, slot.payload_digest, self.name)
-            auth = make_mac_vector(self.name, self.peer_names, content)
             self.send(
                 src,
-                Commit(
-                    tag=self.tag,
-                    view=slot.view,
-                    seq=slot.seq,
-                    payload_digest=slot.payload_digest,
-                    sender=self.name,
-                    auth=auth,
+                self._mac_attach(
+                    Commit(
+                        tag=self.tag,
+                        view=slot.view,
+                        seq=slot.seq,
+                        payload_digest=slot.payload_digest,
+                        sender=self.name,
+                    )
                 ),
             )
 
@@ -502,21 +495,14 @@ class PbftReplica(Component, Agreement):
             sender=self.name,
             signature=None,
         )
-        message = ViewChange(
-            tag=message.tag,
-            new_view=message.new_view,
-            low_water=message.low_water,
-            prepared=message.prepared,
-            sender=message.sender,
-            signature=sign(self.name, message.signed_content()),
-        )
+        message = attach_auth(message, signature=sign(self.name, message))
         self._record_view_change(message)
         self.broadcast(self.peers, message)
 
     def _on_view_change(self, message: ViewChange) -> None:
         if message.sender not in self.peer_names or message.new_view <= self.view - 1:
             return
-        if not verify(message.signature, message.signed_content(), signer=message.sender):
+        if not verify(message.signature, message, signer=message.sender):
             return
         self._record_view_change(message)
 
@@ -549,16 +535,11 @@ class PbftReplica(Component, Agreement):
         pre_prepares: List[PrePrepare] = []
         for seq in range(base, max_seq + 1):
             payload = best[seq].payload if seq in best else NOOP
-            content = ("pbft-pp", self.tag, new_view, seq, repr(payload), self.name)
-            auth = make_mac_vector(self.name, self.peer_names, content)
             pre_prepares.append(
-                PrePrepare(
-                    tag=self.tag,
-                    view=new_view,
-                    seq=seq,
-                    payload=payload,
-                    sender=self.name,
-                    auth=auth,
+                self._mac_attach(
+                    PrePrepare(
+                        tag=self.tag, view=new_view, seq=seq, payload=payload, sender=self.name
+                    )
                 )
             )
         body = NewView(
@@ -568,13 +549,7 @@ class PbftReplica(Component, Agreement):
             sender=self.name,
             signature=None,
         )
-        body = NewView(
-            tag=body.tag,
-            new_view=body.new_view,
-            pre_prepares=body.pre_prepares,
-            sender=body.sender,
-            signature=sign(self.name, body.signed_content()),
-        )
+        body = attach_auth(body, signature=sign(self.name, body))
         self.broadcast(self.peers, body, include_self=True)
 
     def _on_new_view(self, message: NewView) -> None:
@@ -582,7 +557,7 @@ class PbftReplica(Component, Agreement):
             return
         if message.new_view < self.view:
             return
-        if not verify(message.signature, message.signed_content(), signer=message.sender):
+        if not verify(message.signature, message, signer=message.sender):
             return
         self.view = message.new_view
         self.in_view_change = False

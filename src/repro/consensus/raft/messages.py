@@ -5,12 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import Mac
+from repro.crypto.primitives import Digestible, Mac
 from repro.net.message import Message
 
 
 @dataclass(frozen=True)
-class LogEntry(Message):
+class LogEntry(Message, Digestible):
     term: int
     payload: Any
 
@@ -21,7 +21,7 @@ class LogEntry(Message):
 
 
 @dataclass(frozen=True)
-class RequestVote(Message):
+class RequestVote(Message, Digestible):
     tag: str
     term: int
     candidate: str
@@ -44,7 +44,7 @@ class RequestVote(Message):
 
 
 @dataclass(frozen=True)
-class VoteGranted(Message):
+class VoteGranted(Message, Digestible):
     tag: str
     term: int
     voter: str
@@ -59,7 +59,7 @@ class VoteGranted(Message):
 
 
 @dataclass(frozen=True)
-class AppendEntries(Message):
+class AppendEntries(Message, Digestible):
     tag: str
     term: int
     leader: str
@@ -86,7 +86,7 @@ class AppendEntries(Message):
 
 
 @dataclass(frozen=True)
-class AppendReply(Message):
+class AppendReply(Message, Digestible):
     tag: str
     term: int
     follower: str
@@ -109,7 +109,7 @@ class AppendReply(Message):
 
 
 @dataclass(frozen=True)
-class ForwardToLeader(Message):
+class ForwardToLeader(Message, Digestible):
     tag: str
     payload: Any
     sender: str

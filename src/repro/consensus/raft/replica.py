@@ -14,7 +14,8 @@ from repro.consensus.raft.messages import (
     RequestVote,
     VoteGranted,
 )
-from repro.crypto.primitives import make_mac, verify_mac
+
+from repro.crypto.primitives import attach_auth, make_mac, verify_mac
 from repro.errors import ConfigurationError
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
@@ -170,30 +171,19 @@ class RaftReplica(Component, Agreement):
         for peer in self.peers:
             if peer is self.node:
                 continue
-            content = (
-                "raft-rv",
-                self.tag,
-                self.term,
-                self.node.name,
-                self.last_index,
-                self._term_at(self.last_index),
+            body = RequestVote(
+                tag=self.tag,
+                term=self.term,
+                candidate=self.node.name,
+                last_log_index=self.last_index,
+                last_log_term=self._term_at(self.last_index),
             )
             self.send(
-                peer,
-                RequestVote(
-                    tag=self.tag,
-                    term=self.term,
-                    candidate=self.node.name,
-                    last_log_index=self.last_index,
-                    last_log_term=self._term_at(self.last_index),
-                    auth=make_mac(self.node.name, peer.name, content),
-                ),
+                peer, attach_auth(body, auth=make_mac(self.node.name, peer.name, body))
             )
 
     def _on_request_vote(self, message: RequestVote) -> None:
-        if not verify_mac(
-            message.auth, message.signed_content(), message.candidate, self.node.name
-        ):
+        if not verify_mac(message.auth, message, message.candidate, self.node.name):
             return
         if message.term > self.term:
             self._step_down(message.term)
@@ -214,22 +204,16 @@ class RaftReplica(Component, Agreement):
         )
         if candidate_node is None:
             return
-        content = ("raft-vg", self.tag, self.term, self.node.name, granted)
+        body = VoteGranted(
+            tag=self.tag, term=self.term, voter=self.node.name, granted=granted
+        )
         self.send(
             candidate_node,
-            VoteGranted(
-                tag=self.tag,
-                term=self.term,
-                voter=self.node.name,
-                granted=granted,
-                auth=make_mac(self.node.name, candidate_node.name, content),
-            ),
+            attach_auth(body, auth=make_mac(self.node.name, candidate_node.name, body)),
         )
 
     def _on_vote(self, message: VoteGranted) -> None:
-        if not verify_mac(
-            message.auth, message.signed_content(), message.voter, self.node.name
-        ):
+        if not verify_mac(message.auth, message, message.voter, self.node.name):
             return
         if message.term > self.term:
             self._step_down(message.term)
@@ -303,36 +287,21 @@ class RaftReplica(Component, Agreement):
                 continue
             next_idx = self.next_index.get(peer.name, self.last_index + 1)
             prev_index = next_idx - 1
-            entries = tuple(self._entries_from(next_idx))
-            content_entries = tuple(repr(entry) for entry in entries)
-            content = (
-                "raft-ae",
-                self.tag,
-                self.term,
-                self.node.name,
-                prev_index,
-                self._term_at(prev_index),
-                content_entries,
-                self.commit_index,
+            body = AppendEntries(
+                tag=self.tag,
+                term=self.term,
+                leader=self.node.name,
+                prev_index=prev_index,
+                prev_term=self._term_at(prev_index),
+                entries=tuple(self._entries_from(next_idx)),
+                commit_index=self.commit_index,
             )
             self.send(
-                peer,
-                AppendEntries(
-                    tag=self.tag,
-                    term=self.term,
-                    leader=self.node.name,
-                    prev_index=prev_index,
-                    prev_term=self._term_at(prev_index),
-                    entries=entries,
-                    commit_index=self.commit_index,
-                    auth=make_mac(self.node.name, peer.name, content),
-                ),
+                peer, attach_auth(body, auth=make_mac(self.node.name, peer.name, body))
             )
 
     def _on_append_entries(self, message: AppendEntries) -> None:
-        if not verify_mac(
-            message.auth, message.signed_content(), message.leader, self.node.name
-        ):
+        if not verify_mac(message.auth, message, message.leader, self.node.name):
             return
         if message.term < self.term:
             self._reply_append(message.leader, False)
@@ -379,30 +348,20 @@ class RaftReplica(Component, Agreement):
         leader_node = next((p for p in self.peers if p.name == leader), None)
         if leader_node is None:
             return
-        content = (
-            "raft-ar",
-            self.tag,
-            self.term,
-            self.node.name,
-            success,
-            self.last_index,
+        body = AppendReply(
+            tag=self.tag,
+            term=self.term,
+            follower=self.node.name,
+            success=success,
+            match_index=self.last_index,
         )
         self.send(
             leader_node,
-            AppendReply(
-                tag=self.tag,
-                term=self.term,
-                follower=self.node.name,
-                success=success,
-                match_index=self.last_index,
-                auth=make_mac(self.node.name, leader_node.name, content),
-            ),
+            attach_auth(body, auth=make_mac(self.node.name, leader_node.name, body)),
         )
 
     def _on_append_reply(self, message: AppendReply) -> None:
-        if not verify_mac(
-            message.auth, message.signed_content(), message.follower, self.node.name
-        ):
+        if not verify_mac(message.auth, message, message.follower, self.node.name):
             return
         if message.term > self.term:
             self._step_down(message.term)

@@ -48,7 +48,7 @@ from repro.core.messages import (
     Reply,
     RequestWrapper,
 )
-from repro.crypto.primitives import make_mac, sign, verify, verify_mac_vector
+from repro.crypto.primitives import attach_auth, make_mac, sign, verify, verify_mac_vector
 from repro.irmc import IrmcConfig, TooOld
 from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
 from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
@@ -406,7 +406,7 @@ class AgreementReplica(RoutedNode):
         if isinstance(message, (AddGroup, RemoveGroup)):
             if message.admin not in self.config.admins or message.admin != src.name:
                 return
-            if not verify(message.signature, message.signed_content(), signer=message.admin):
+            if not verify(message.signature, message, signer=message.admin):
                 return
             self.ag.order(message)
         elif isinstance(message, RegistryQuery):
@@ -418,12 +418,7 @@ class AgreementReplica(RoutedNode):
         info = RegistryInfo(
             groups=self.registry_snapshot(), nonce=message.nonce, sender=self.name
         )
-        info = RegistryInfo(
-            groups=info.groups,
-            nonce=info.nonce,
-            sender=info.sender,
-            signature=sign(self.name, info.signed_content()),
-        )
+        info = attach_auth(info, signature=sign(self.name, info))
         self.send(src, info)
 
     # ------------------------------------------------------------------
@@ -433,14 +428,14 @@ class AgreementReplica(RoutedNode):
         body = message.body
         if body.client != src.name:
             return
-        if not verify_mac_vector(message.auth, body.signed_content(), body.client, self.name):
+        if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
         cached = self.u.get(body.client)
         if body.counter <= self.t.get(body.client, 0):
             if cached is not None and cached[0] == body.counter:
                 self._send_local_reply(body.client, cached[0], cached[1])
             return
-        if not verify(message.signature, body.signed_content(), signer=body.client):
+        if not verify(message.signature, body, signer=body.client):
             return
         self.ag.order(RequestWrapper(body=body, signature=message.signature, group="ag"))
 
@@ -464,13 +459,7 @@ class AgreementReplica(RoutedNode):
         if target is None:
             return
         reply = Reply(result=result, counter=counter, sender=self.name, group="ag")
-        reply = Reply(
-            result=reply.result,
-            counter=reply.counter,
-            sender=reply.sender,
-            group=reply.group,
-            mac=make_mac(self.name, client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, client, reply))
         self.send(target, reply)
 
     # ------------------------------------------------------------------

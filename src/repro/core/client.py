@@ -17,7 +17,7 @@ from repro.core.messages import (
     WeakRead,
     WeakReadReply,
 )
-from repro.crypto.primitives import make_mac_vector, sign, verify_mac
+from repro.crypto.primitives import attach_auth, make_mac_vector, sign, verify_mac
 from repro.sim.futures import SimFuture
 from repro.sim.node import Node
 
@@ -149,8 +149,8 @@ class SpiderClient(Node):
         group_names = [node.name for node in self.group_nodes]
         request = ClientRequest(
             body=body,
-            signature=sign(self.name, body.signed_content()),
-            auth=make_mac_vector(self.name, group_names, body.signed_content()),
+            signature=sign(self.name, body),
+            auth=make_mac_vector(self.name, group_names, body),
             group=self.group_id,
         )
         for replica in self.group_nodes:
@@ -172,11 +172,8 @@ class SpiderClient(Node):
         message = WeakRead(
             operation=state["operation"], client=self.name, nonce=state["nonce"]
         )
-        message = WeakRead(
-            operation=message.operation,
-            client=message.client,
-            nonce=message.nonce,
-            auth=make_mac_vector(self.name, group_names, message.signed_content()),
+        message = attach_auth(
+            message, auth=make_mac_vector(self.name, group_names, message)
         )
         for replica in self.group_nodes:
             self.send(replica, message)
@@ -207,7 +204,7 @@ class SpiderClient(Node):
         pending = self._pending
         if pending is None or message.counter != pending["counter"]:
             return
-        if not verify_mac(message.mac, message.signed_content(), src.name, self.name):
+        if not verify_mac(message.mac, message, src.name, self.name):
             return
         if src.name in pending["replies"]:
             return  # each replica may only contribute one reply
@@ -232,7 +229,7 @@ class SpiderClient(Node):
         state = self._weak_pending.get(message.nonce)
         if state is None or state["future"].done:
             return
-        if not verify_mac(message.mac, message.signed_content(), src.name, self.name):
+        if not verify_mac(message.mac, message, src.name, self.name):
             return
         if src.name in state["replies"]:
             return
@@ -274,25 +271,14 @@ class AdminClient(Node):
             admin=self.name,
             nonce=self.nonce,
         )
-        message = AddGroup(
-            group=body.group,
-            members=body.members,
-            admin=body.admin,
-            nonce=body.nonce,
-            signature=sign(self.name, body.signed_content()),
-        )
+        message = attach_auth(body, signature=sign(self.name, body))
         self.run_task(self._broadcast, message)
 
     def remove_group(self, group_id: str) -> None:
         """Submit ``<RemoveGroup, e>``."""
         self.nonce += 1
         body = RemoveGroup(group=group_id, admin=self.name, nonce=self.nonce)
-        message = RemoveGroup(
-            group=body.group,
-            admin=body.admin,
-            nonce=body.nonce,
-            signature=sign(self.name, body.signed_content()),
-        )
+        message = attach_auth(body, signature=sign(self.name, body))
         self.run_task(self._broadcast, message)
 
     def query_registry(self) -> SimFuture:
@@ -315,7 +301,7 @@ class AdminClient(Node):
             return
         from repro.crypto.primitives import verify
 
-        if not verify(message.signature, message.signed_content(), signer=src.name):
+        if not verify(message.signature, message, signer=src.name):
             return
         state["replies"][src.name] = message.groups
         matching = [

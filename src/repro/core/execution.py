@@ -29,7 +29,7 @@ from repro.core.messages import (
     WeakRead,
     WeakReadReply,
 )
-from repro.crypto.primitives import make_mac, verify, verify_mac_vector
+from repro.crypto.primitives import attach_auth, make_mac, verify, verify_mac_vector
 from repro.irmc import IrmcConfig, TooOld
 from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
 from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
@@ -121,9 +121,7 @@ class ExecutionReplica(RoutedNode):
         body = message.body
         if body.client != src.name:
             return
-        if not verify_mac_vector(
-            message.auth, body.signed_content(), body.client, self.name
-        ):
+        if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
         cached = self.u.get(body.client)
         if body.counter <= self.t.get(body.client, 0):
@@ -133,13 +131,13 @@ class ExecutionReplica(RoutedNode):
                 # Retry for the latest request with no result yet: re-offer
                 # it to the request channel (idempotent there) in case the
                 # original forward was lost on the wide-area link.
-                if verify(message.signature, body.signed_content(), signer=body.client):
+                if verify(message.signature, body, signer=body.client):
                     wrapper = RequestWrapper(
                         body=body, signature=message.signature, group=self.group_id
                     )
                     self.request_tx.send(body.client, body.counter, wrapper)
             return
-        if not verify(message.signature, body.signed_content(), signer=body.client):
+        if not verify(message.signature, body, signer=body.client):
             return
         self.t[body.client] = body.counter
         self.request_tx.move_window(body.client, body.counter)
@@ -151,21 +149,14 @@ class ExecutionReplica(RoutedNode):
     def _on_weak_read(self, src, message: WeakRead) -> None:
         if message.client != src.name:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.client, self.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.client, self.name):
             return
         if not is_read_only(message.operation):
             return
         result = self.app.execute(message.operation)
         self.weak_read_count += 1
         reply = WeakReadReply(result=result, nonce=message.nonce, sender=self.name)
-        reply = WeakReadReply(
-            result=reply.result,
-            nonce=reply.nonce,
-            sender=reply.sender,
-            mac=make_mac(self.name, message.client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, message.client, reply))
         self.send(src, reply)
 
     # ------------------------------------------------------------------
@@ -231,13 +222,7 @@ class ExecutionReplica(RoutedNode):
         if target is None:
             return
         reply = Reply(result=result, counter=counter, sender=self.name, group=self.group_id)
-        reply = Reply(
-            result=reply.result,
-            counter=reply.counter,
-            sender=reply.sender,
-            group=reply.group,
-            mac=make_mac(self.name, client, reply.signed_content()),
-        )
+        reply = attach_auth(reply, mac=make_mac(self.name, client, reply))
         self.send(target, reply)
 
     # ------------------------------------------------------------------

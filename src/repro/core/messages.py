@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import Mac, MacVector, Signature
+from repro.crypto.primitives import Digestible, Mac, MacVector, Signature, cached_repr
 from repro.net.message import Message
 
 #: Request kinds.
@@ -14,7 +14,7 @@ STRONG_READ = "strong-read"
 
 
 @dataclass(frozen=True)
-class RequestBody(Message):
+class RequestBody(Message, Digestible):
     """``<Write, w, c, t_c>`` — the client-signed core of a request.
 
     ``kind`` distinguishes writes from strongly consistent reads; both
@@ -34,7 +34,7 @@ class RequestBody(Message):
 
 
 @dataclass(frozen=True)
-class ClientRequest(Message):
+class ClientRequest(Message, Digestible):
     """A request as transmitted from client to execution group:
     ``mac_{c,E}(sign_c(<Write, w, c, t_c>))``."""
 
@@ -52,7 +52,7 @@ class ClientRequest(Message):
 
 
 @dataclass(frozen=True)
-class RequestWrapper(Message):
+class RequestWrapper(Message, Digestible):
     """``<Request, r, e>`` — a validated request forwarded via the request
     channel by execution group ``group``."""
 
@@ -68,7 +68,7 @@ class RequestWrapper(Message):
 
 
 @dataclass(frozen=True)
-class Execute(Message):
+class Execute(Message, Digestible):
     """``<Execute, r, s>`` — the agreed value at sequence number ``seq``.
 
     ``placeholder`` replaces the full request for strongly consistent reads
@@ -97,9 +97,10 @@ class Execute(Message):
     def __repr__(self) -> str:
         # Reprs feed digests and simulated hashing costs; omit the batch
         # field when unused so batch_size=1 stays byte-identical to the
-        # pre-batching wire format.
+        # pre-batching wire format.  The request repr is memoised: Execute
+        # reprs recur in checkpoint snapshots and channel payload digests.
         base = (
-            f"Execute(seq={self.seq!r}, request={self.request!r}, "
+            f"Execute(seq={self.seq!r}, request={cached_repr(self.request)}, "
             f"placeholder={self.placeholder!r}"
         )
         if self.batch is None:
@@ -118,7 +119,7 @@ class Execute(Message):
 
 
 @dataclass(frozen=True)
-class Reply(Message):
+class Reply(Message, Digestible):
     """``<Result, u_c, t_c>`` — one execution replica's reply to a client."""
 
     result: Any
@@ -135,7 +136,7 @@ class Reply(Message):
 
 
 @dataclass(frozen=True)
-class WeakRead(Message):
+class WeakRead(Message, Digestible):
     """A weakly consistent read, answered directly by an execution group."""
 
     operation: Tuple
@@ -151,7 +152,7 @@ class WeakRead(Message):
 
 
 @dataclass(frozen=True)
-class WeakReadReply(Message):
+class WeakReadReply(Message, Digestible):
     result: Any
     nonce: int
     sender: str
@@ -168,7 +169,7 @@ class WeakReadReply(Message):
 # Reconfiguration (Section 3.6) and the execution-replica registry
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class AddGroup(Message):
+class AddGroup(Message, Digestible):
     """``<AddGroup, e, E>`` submitted by a privileged admin client."""
 
     #: never packed into a request batch: the command changes the group set
@@ -189,7 +190,7 @@ class AddGroup(Message):
 
 
 @dataclass(frozen=True)
-class RemoveGroup(Message):
+class RemoveGroup(Message, Digestible):
     """``<RemoveGroup, e>`` submitted by a privileged admin client."""
 
     BATCHABLE = False  # see AddGroup
@@ -207,7 +208,7 @@ class RemoveGroup(Message):
 
 
 @dataclass(frozen=True)
-class RegistryQuery(Message):
+class RegistryQuery(Message, Digestible):
     """A client asks the agreement group for the active execution groups."""
 
     client: str
@@ -218,7 +219,7 @@ class RegistryQuery(Message):
 
 
 @dataclass(frozen=True)
-class RegistryInfo(Message):
+class RegistryInfo(Message, Digestible):
     """One agreement replica's signed view of the registry."""
 
     groups: Tuple[Tuple[str, Tuple[str, ...]], ...]

@@ -15,12 +15,15 @@ throughput effects.
 
 from repro.crypto.costs import CostModel, active_cost_model, set_cost_model, use_cost_model
 from repro.crypto.primitives import (
+    Digestible,
     Mac,
     MacVector,
     Signature,
+    content_digest,
     digest,
     make_mac,
     make_mac_vector,
+    set_digest_cache_enabled,
     sign,
     verify,
     verify_mac,
@@ -36,7 +39,10 @@ __all__ = [
     "Signature",
     "Mac",
     "MacVector",
+    "Digestible",
     "digest",
+    "content_digest",
+    "set_digest_cache_enabled",
     "sign",
     "verify",
     "make_mac",

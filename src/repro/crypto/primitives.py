@@ -4,30 +4,281 @@ A digest is a stable 64-bit integer computed from the ``repr`` of the signed
 object; protocol messages are dataclasses with deterministic reprs, so equal
 message contents produce equal digests across nodes, while any Byzantine
 mutation of a field changes the digest and fails verification.
+
+Digest caching
+--------------
+Computing ``repr`` plus two CRC passes dominates the simulator's wall-clock
+on crypto-heavy workloads, and the *same* frozen message is typically
+digested many times (once per receiver, once per retransmission, once per
+quorum check).  Frozen protocol messages therefore opt into memoisation by
+mixing in :class:`Digestible`: their digest is computed once and cached on
+the instance, guarded by the identity of every dataclass field so that any
+in-place field mutation (the only way to "change" a frozen dataclass, via
+``object.__setattr__``) invalidates the cache and re-digests the mutated
+content.  Byzantine behaviours that tamper with messages must either build
+a fresh copy (``dataclasses.replace``) or mutate in place — both observe
+correct, non-stale digests.
+
+The cached value is bit-identical to the uncached ``repr``-based digest,
+and the simulated hashing cost is still charged **per call** (using the
+cached encoding length), so simulated time, reply traces and replay are
+unchanged — only wall-clock time drops.  :func:`set_digest_cache_enabled`
+turns the cache off globally, which the determinism regression tests use
+to prove parity.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional
+from dataclasses import dataclass, replace as dataclass_replace
+from operator import attrgetter
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.crypto.costs import active_cost_model
+from repro.crypto import costs as _costs
+from repro.sim import node as _node
 from repro.sim.node import charge
 
 SIGNATURE_BYTES = 128  # 1024-bit RSA
 MAC_BYTES = 32  # HMAC-SHA-256
 
+_crc32 = zlib.crc32
+_HIGH_SALT = 0x9E3779B9
+
+
+class Digestible:
+    """Marker mixin: a frozen dataclass whose digests may be memoised.
+
+    Opting in promises that the object is immutable after construction
+    (its fields are only ever replaced via ``dataclasses.replace``) and —
+    when it defines ``signed_content()`` — that authenticator fields
+    (``signature`` / ``auth`` / ``mac``) are excluded from that content.
+
+    The staleness guard snapshots field *values*: rebinding a field via
+    ``object.__setattr__`` is detected, but mutating the innards of a
+    mutable field value in place (e.g. appending to a list held by an
+    ``Any``-typed field) is not — field values must themselves be treated
+    as frozen, the same convention the repr-digest scheme has relied on
+    since the seed.
+    """
+
+    __slots__ = ()
+
+
+#: Instance-dict slots holding ``(field-value guard, digest, kb length)``.
+_REPR_SLOT = "_cached_repr_digest"
+_CONTENT_SLOT = "_cached_content_digest"
+#: Instance-dict slots for the non-crypto per-object memos that ride on the
+#: same guard infrastructure (wire size, canonical repr string).
+_SIZE_SLOT = "_cached_size_bytes"
+_REPR_STR_SLOT = "_cached_repr_str"
+
+#: Authenticator fields, excluded from ``signed_content()`` by convention
+#: (attaching one must not invalidate a cached signed-content digest).
+_AUTH_FIELDS = frozenset({"signature", "auth", "mac"})
+
+#: type -> field-value snapshot function guarding the full-repr cache.
+_REPR_GUARDS: Dict[type, Callable[[Any], Any]] = {}
+#: type -> (has signed_content, snapshot function) guarding the content cache.
+_CONTENT_GUARDS: Dict[type, Tuple[bool, Callable[[Any], Any]]] = {}
+
+
+def _empty_guard(_obj: Any) -> tuple:
+    return ()
+
+
+def _make_guard(names: Tuple[str, ...]) -> Callable[[Any], tuple]:
+    # ``attrgetter`` snapshots all fields as one C-level call; cache entries
+    # are validated by comparing snapshots element-wise with ``is`` (see
+    # ``_identical``).  Identity — not equality — is required: ``True == 1``
+    # but ``repr(True) != repr(1)``, so an equality guard could serve a
+    # stale digest after cross-type tampering.  Identity misses only force
+    # a recompute, never a stale hit (field values are deep-frozen by the
+    # Digestible contract).  A single-field guard duplicates the name so
+    # ``attrgetter`` still returns a tuple.
+    if not names:
+        return _empty_guard
+    if len(names) == 1:
+        return attrgetter(names[0], names[0])
+    return attrgetter(*names)
+
+
+def _identical(snapshot: tuple, current: tuple) -> bool:
+    for cached_value, live_value in zip(snapshot, current):
+        if cached_value is not live_value:
+            return False
+    return True
+
+_cache_enabled = True
+
+
+def set_digest_cache_enabled(enabled: bool) -> bool:
+    """Globally enable/disable digest memoisation; returns previous state.
+
+    Cached and uncached digests are bit-identical and charge identical
+    simulated CPU cost; the switch exists so regression tests can prove it.
+    """
+    global _cache_enabled
+    previous = _cache_enabled
+    _cache_enabled = bool(enabled)
+    return previous
+
+
+def _repr_guard(cls: type) -> Callable[[Any], Any]:
+    guard = _REPR_GUARDS.get(cls)
+    if guard is None:
+        guard = _make_guard(tuple(getattr(cls, "__dataclass_fields__", ())))
+        _REPR_GUARDS[cls] = guard
+    return guard
+
+
+def _content_guard(cls: type) -> Tuple[bool, Callable[[Any], Any]]:
+    entry = _CONTENT_GUARDS.get(cls)
+    if entry is None:
+        fields = tuple(
+            name
+            for name in getattr(cls, "__dataclass_fields__", ())
+            if name not in _AUTH_FIELDS
+        )
+        entry = (hasattr(cls, "signed_content"), _make_guard(fields))
+        _CONTENT_GUARDS[cls] = entry
+    return entry
+
+
+def _crc64(data: bytes) -> int:
+    # Two CRC passes with different salts give a cheap, stable 64-bit value.
+    return (_crc32(data, _HIGH_SALT) << 32) | _crc32(data)
+
 
 def digest(obj: Any) -> int:
     """Stable digest of ``obj`` (charges hashing cost by object size)."""
+    if _cache_enabled and isinstance(obj, Digestible):
+        snapshot = _repr_guard(obj.__class__)(obj)
+        entry = obj.__dict__.get(_REPR_SLOT)
+        if entry is not None and _identical(entry[0], snapshot):
+            node = _node._current
+            if node is not None:
+                cost = _costs._ACTIVE.hash_per_kb * entry[2]
+                if cost > 0:
+                    node._pending_cost += cost
+            return entry[1]
+        data = repr(obj).encode("utf-8", errors="replace")
+        value = _crc64(data)
+        kb = len(data) / 1024.0
+        object.__setattr__(obj, _REPR_SLOT, (snapshot, value, kb))
+        charge(_costs._ACTIVE.hash_per_kb * kb)
+        return value
     data = repr(obj).encode("utf-8", errors="replace")
-    model = active_cost_model()
-    charge(model.hash_per_kb * (len(data) / 1024.0))
-    # Two CRC passes with different salts give a cheap, stable 64-bit value.
-    low = zlib.crc32(data)
-    high = zlib.crc32(data, 0x9E3779B9)
-    return (high << 32) | low
+    charge(_costs._ACTIVE.hash_per_kb * (len(data) / 1024.0))
+    return _crc64(data)
+
+
+def content_digest(obj: Any) -> int:
+    """Digest of ``obj.signed_content()``, memoised for Digestible objects.
+
+    Bit-identical to ``digest(obj.signed_content())`` — same encoding, same
+    simulated hashing charge — but avoids rebuilding the content tuple and
+    re-hashing it on every authentication of the same message.
+    """
+    if _cache_enabled and isinstance(obj, Digestible):
+        entry = obj.__dict__.get(_CONTENT_SLOT)
+        has_content, guard = _content_guard(obj.__class__)
+        if not has_content:
+            return digest(obj)
+        if entry is not None and _identical(entry[0], guard(obj)):
+            node = _node._current
+            if node is not None:
+                cost = _costs._ACTIVE.hash_per_kb * entry[2]
+                if cost > 0:
+                    node._pending_cost += cost
+            return entry[1]
+        snapshot = guard(obj)
+        data = repr(obj.signed_content()).encode("utf-8", errors="replace")
+        value = _crc64(data)
+        kb = len(data) / 1024.0
+        object.__setattr__(obj, _CONTENT_SLOT, (snapshot, value, kb))
+        charge(_costs._ACTIVE.hash_per_kb * kb)
+        return value
+    content = obj.signed_content() if hasattr(obj, "signed_content") else obj
+    data = repr(content).encode("utf-8", errors="replace")
+    charge(_costs._ACTIVE.hash_per_kb * (len(data) / 1024.0))
+    return _crc64(data)
+
+
+def _digest_of(obj: Any) -> int:
+    """Digest used by the authentication primitives.
+
+    A :class:`Digestible` message authenticates its ``signed_content()``
+    (memoised); anything else — a raw content tuple, application state —
+    digests by ``repr`` exactly as before.
+    """
+    if isinstance(obj, Digestible):
+        return content_digest(obj)
+    return digest(obj)
+
+
+def attach_auth(body: Any, **auth: Any) -> Any:
+    """``dataclasses.replace(body, **auth)`` that keeps the digest cache warm.
+
+    The authenticator fields (``signature`` / ``auth`` / ``mac``) are excluded
+    from ``signed_content()``, so the copy's content digest is identical to
+    ``body``'s — transferring the memo spares every receiver of the
+    authenticated copy the first re-digest.  Only authenticator fields may be
+    replaced through this helper.
+
+    The copy itself bypasses ``__init__``: a frozen message's state lives
+    entirely in its instance dict, so duplicating the dict and overwriting
+    the authenticator field is equivalent to ``dataclasses.replace`` at a
+    fraction of the cost.  Memos whose value depends on the authenticator
+    (full-object repr/digest, wire size) are dropped from the copy.
+    """
+    if not _AUTH_FIELDS.issuperset(auth):
+        raise ValueError(f"attach_auth only replaces authenticator fields, got {auth}")
+    cls = body.__class__
+    if not (isinstance(body, Digestible) and auth.keys() <= cls.__dataclass_fields__.keys()):
+        return dataclass_replace(body, **auth)
+    message = object.__new__(cls)
+    state = message.__dict__
+    state.update(body.__dict__)
+    state.pop(_REPR_SLOT, None)
+    state.pop(_SIZE_SLOT, None)
+    state.pop(_REPR_STR_SLOT, None)
+    state.update(auth)
+    return message
+
+
+def cached_size_bytes(message: Any) -> int:
+    """``message.size_bytes()`` memoised per frozen message object.
+
+    Wire sizes feed serialization and NIC delays, so they ride on the same
+    all-field guard as the repr digest: any in-place field mutation
+    invalidates the memo and the size is recomputed.
+    """
+    if not _cache_enabled:
+        return message.size_bytes()
+    snapshot = _repr_guard(message.__class__)(message)
+    entry = message.__dict__.get(_SIZE_SLOT)
+    if entry is not None and _identical(entry[0], snapshot):
+        return entry[1]
+    size = message.size_bytes()
+    object.__setattr__(message, _SIZE_SLOT, (snapshot, size))
+    return size
+
+
+def cached_repr(obj: Any) -> str:
+    """``repr(obj)`` memoised per frozen message object (same guard rules).
+
+    Protocol components use message reprs as dedup keys; memoising the
+    string mirrors the digest memo and is exactly as stale-safe.
+    """
+    if not (_cache_enabled and isinstance(obj, Digestible)):
+        return repr(obj)
+    snapshot = _repr_guard(obj.__class__)(obj)
+    entry = obj.__dict__.get(_REPR_STR_SLOT)
+    if entry is not None and _identical(entry[0], snapshot):
+        return entry[1]
+    value = repr(obj)
+    object.__setattr__(obj, _REPR_STR_SLOT, (snapshot, value))
+    return value
 
 
 @dataclass(frozen=True)
@@ -42,8 +293,14 @@ class Signature:
 
 
 def sign(signer: str, obj: Any) -> Signature:
-    """Sign ``obj`` as principal ``signer`` (charges RSA signing cost)."""
-    charge(active_cost_model().rsa_sign)
+    """Sign ``obj`` as principal ``signer`` (charges RSA signing cost).
+
+    ``obj`` is either a content tuple or a :class:`Digestible` message,
+    in which case its ``signed_content()`` is what gets signed.
+    """
+    charge(_costs._ACTIVE.rsa_sign)
+    if isinstance(obj, Digestible):
+        return Signature(signer=signer, object_digest=content_digest(obj))
     return Signature(signer=signer, object_digest=digest(obj))
 
 
@@ -58,13 +315,15 @@ def verify(
     ``signer`` pins the expected principal; ``group`` instead accepts any
     member of a set (the paper's ``valid_sig_E``).
     """
-    charge(active_cost_model().rsa_verify)
+    charge(_costs._ACTIVE.rsa_verify)
     if signature is None:
         return False
     if signer is not None and signature.signer != signer:
         return False
-    if group is not None and signature.signer not in set(group):
+    if group is not None and signature.signer not in group:
         return False
+    if isinstance(obj, Digestible):
+        return signature.object_digest == content_digest(obj)
     return signature.object_digest == digest(obj)
 
 
@@ -82,19 +341,19 @@ class Mac:
 
 def make_mac(sender: str, receiver: str, obj: Any) -> Mac:
     """The paper's ``mac_{a,e}(m)``."""
-    charge(active_cost_model().hmac)
-    return Mac(sender=sender, receiver=receiver, object_digest=digest(obj))
+    charge(_costs._ACTIVE.hmac)
+    return Mac(sender=sender, receiver=receiver, object_digest=_digest_of(obj))
 
 
 def verify_mac(mac: Optional[Mac], obj: Any, sender: str, receiver: str) -> bool:
-    charge(active_cost_model().hmac)
+    charge(_costs._ACTIVE.hmac)
     if mac is None:
         return False
-    return (
-        mac.sender == sender
-        and mac.receiver == receiver
-        and mac.object_digest == digest(obj)
-    )
+    if mac.sender != sender or mac.receiver != receiver:
+        return False
+    if isinstance(obj, Digestible):
+        return mac.object_digest == content_digest(obj)
+    return mac.object_digest == digest(obj)
 
 
 @dataclass(frozen=True)
@@ -111,14 +370,21 @@ class MacVector:
     def size_bytes(self) -> int:
         return MAC_BYTES * max(1, len(self.macs))
 
+    def receiver_digests(self) -> Dict[str, int]:
+        """Receiver -> digest lookup table, built once per vector."""
+        table = self.__dict__.get("_receiver_digests")
+        if table is None:
+            table = dict(self.macs)
+            object.__setattr__(self, "_receiver_digests", table)
+        return table
+
 
 def make_mac_vector(sender: str, receivers: Iterable[str], obj: Any) -> MacVector:
     receivers = tuple(receivers)
-    model = active_cost_model()
-    charge(model.hmac * max(1, len(receivers)))
-    obj_digest = digest(obj)
+    charge(_costs._ACTIVE.hmac * max(1, len(receivers)))
+    obj_digest = _digest_of(obj)
     return MacVector(
-        sender=sender, macs=tuple((receiver, obj_digest) for receiver in receivers)
+        sender=sender, macs=tuple([(receiver, obj_digest) for receiver in receivers])
     )
 
 
@@ -126,9 +392,21 @@ def verify_mac_vector(
     vector: Optional[MacVector], obj: Any, sender: str, receiver: str
 ) -> bool:
     """Verify the entry for ``receiver`` in a MAC vector from ``sender``."""
-    charge(active_cost_model().hmac)
+    charge(_costs._ACTIVE.hmac)
     if vector is None or vector.sender != sender:
         return False
-    entries: Dict[str, int] = dict(vector.macs)
-    expected = entries.get(receiver)
-    return expected is not None and expected == digest(obj)
+    macs = vector.macs
+    if len(macs) <= 8:
+        # Typical group sizes: a linear scan beats building a lookup table.
+        expected = None
+        for entry_receiver, entry_digest in macs:
+            if entry_receiver == receiver:
+                expected = entry_digest
+                break
+    else:
+        expected = vector.receiver_digests().get(receiver)
+    if expected is None:
+        return False
+    if isinstance(obj, Digestible):
+        return expected == content_digest(obj)
+    return expected == digest(obj)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.primitives import make_mac_vector, verify_mac_vector
+from repro.crypto.primitives import attach_auth, make_mac_vector, verify_mac_vector
 from repro.irmc.messages import MoveMsg
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
@@ -88,7 +88,7 @@ class _WindowBook:
     def agreed_start(self, subchannel: Any, member_names: Sequence[str]) -> int:
         per_channel = self._requests.get(subchannel, {})
         positions = sorted(
-            (per_channel.get(name, 1) for name in member_names), reverse=True
+            [per_channel.get(name, 1) for name in member_names], reverse=True
         )
         if len(positions) < self.quorum_rank:
             return 1
@@ -138,23 +138,21 @@ class IrmcEndpoint(Component):
     # Move messages
     # ------------------------------------------------------------------
     def _make_move(self, subchannel: Any, position: int, collector: Optional[str] = None) -> MoveMsg:
-        content = ("irmc-move", self.tag, subchannel, position, self.node.name, collector)
-        auth = make_mac_vector(self.node.name, self.remote_names, content)
-        return MoveMsg(
+        body = MoveMsg(
             tag=self.tag,
             subchannel=subchannel,
             position=position,
             sender=self.node.name,
             collector=collector,
-            auth=auth,
+        )
+        return attach_auth(
+            body, auth=make_mac_vector(self.node.name, self.remote_names, body)
         )
 
     def _valid_move(self, message: MoveMsg, expected_group: Sequence[str]) -> bool:
         if message.sender not in expected_group:
             return False
-        return verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.node.name
-        )
+        return verify_mac_vector(message.auth, message, message.sender, self.node.name)
 
     def close(self) -> None:
         self.closed = True
@@ -226,7 +224,7 @@ class SenderEndpointBase(IrmcEndpoint):
     # -- public API (paper Fig. 14) -----------------------------------
     def send(self, subchannel: Any, position: int, payload: Any) -> SimFuture:
         """Submit ``payload`` at ``position``; resolves "ok" or TooOld."""
-        future = SimFuture(name=f"{self.tag}.send@{position}")
+        future = SimFuture(name="irmc.send")
         if self.closed:
             future.resolve(TooOld(self.start_of(subchannel)))
             return future
@@ -331,7 +329,7 @@ class ReceiverEndpointBase(IrmcEndpoint):
     # -- public API (paper Fig. 14) -----------------------------------
     def receive(self, subchannel: Any, position: int) -> SimFuture:
         """Await the message at ``position``; resolves payload or TooOld."""
-        future = SimFuture(name=f"{self.tag}.recv@{position}")
+        future = SimFuture(name="irmc.recv")
         start = self.start_of(subchannel)
         if position < start:
             future.resolve(TooOld(start))

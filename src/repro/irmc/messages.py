@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.primitives import MacVector, Signature
+from repro.crypto.primitives import Digestible, MacVector, Signature, cached_repr
 from repro.net.message import Message
 
 
@@ -16,7 +16,7 @@ def _payload_size(payload: Any) -> int:
 
 
 @dataclass(frozen=True)
-class SendMsg(Message):
+class SendMsg(Message, Digestible):
     """IRMC-RC: ``<Send, m, sc, p>`` signed by the sending endpoint."""
 
     tag: str
@@ -32,7 +32,7 @@ class SendMsg(Message):
             self.tag,
             self.subchannel,
             self.position,
-            repr(self.payload),
+            cached_repr(self.payload),
             self.sender,
         )
 
@@ -41,7 +41,7 @@ class SendMsg(Message):
 
 
 @dataclass(frozen=True)
-class MoveMsg(Message):
+class MoveMsg(Message, Digestible):
     """``<Move, sc, p>`` — request to shift a subchannel window to ``p``."""
 
     tag: str
@@ -67,7 +67,7 @@ class MoveMsg(Message):
 
 
 @dataclass(frozen=True)
-class SigShare(Message):
+class SigShare(Message, Digestible):
     """IRMC-SC: a sender's signature share over a Send content hash."""
 
     tag: str
@@ -92,7 +92,7 @@ class SigShare(Message):
 
 
 @dataclass(frozen=True)
-class CertificateMsg(Message):
+class CertificateMsg(Message, Digestible):
     """IRMC-SC: message plus ``f_s + 1`` signature shares, sent by a collector.
 
     Signed (not MACed) by the collector, per Section 4: this second
@@ -114,7 +114,7 @@ class CertificateMsg(Message):
             self.tag,
             self.subchannel,
             self.position,
-            repr(self.payload),
+            cached_repr(self.payload),
             tuple(share.signed_content() for share in self.shares),
             self.sender,
         )
@@ -129,7 +129,7 @@ class CertificateMsg(Message):
 
 
 @dataclass(frozen=True)
-class ProgressMsg(Message):
+class ProgressMsg(Message, Digestible):
     """IRMC-SC: ``<Progress, p⃗>`` — per-subchannel certified positions."""
 
     tag: str
@@ -147,7 +147,7 @@ class ProgressMsg(Message):
 
 
 @dataclass(frozen=True)
-class SelectMsg(Message):
+class SelectMsg(Message, Digestible):
     """IRMC-SC: a receiver (re)selects its collector for a subchannel."""
 
     tag: str

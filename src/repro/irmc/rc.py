@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.crypto.primitives import digest, sign, verify
+from repro.crypto.primitives import attach_auth, digest, sign, verify
 from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
 from repro.irmc.messages import MoveMsg, SendMsg
 
@@ -20,22 +20,14 @@ class RcSenderEndpoint(SenderEndpointBase):
     """Sender endpoint of an IRMC-RC."""
 
     def _transmit(self, subchannel: Any, position: int, payload: Any) -> None:
-        content = (
-            "irmc-send",
-            self.tag,
-            subchannel,
-            position,
-            repr(payload),
-            self.node.name,
-        )
-        message = SendMsg(
+        body = SendMsg(
             tag=self.tag,
             subchannel=subchannel,
             position=position,
             payload=payload,
             sender=self.node.name,
-            signature=sign(self.node.name, content),
         )
+        message = attach_auth(body, signature=sign(self.node.name, body))
         for receiver in self.remote_group:
             self.send_msg(receiver, message)
 
@@ -65,29 +57,31 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
             self._on_sender_move(message)
 
     def _on_send(self, message: SendMsg) -> None:
-        if message.sender not in self.remote_names:
+        sender = message.sender
+        if sender not in self.remote_names:
             return
-        if not verify(
-            message.signature,
-            message.signed_content(),
-            signer=message.sender,
-            group=self.remote_names,
-        ):
+        # ``signer`` is pinned and already known to be a group member, so the
+        # redundant ``group=`` membership re-check is omitted.
+        if not verify(message.signature, message, signer=sender):
             return
         subchannel, position = message.subchannel, message.position
         self._note_subchannel(subchannel)
         if not self.storable(subchannel, position):
             return
-        if position in self._delivered.get(subchannel, {}):
+        delivered = self._delivered.get(subchannel)
+        if delivered is not None and position in delivered:
             return
         payload_digest = digest(message.payload)
         votes = self._votes.setdefault(subchannel, {}).setdefault(position, {})
-        if message.sender in votes:
+        if sender in votes:
             return  # only the first copy per sender counts
-        votes[message.sender] = payload_digest
+        votes[sender] = payload_digest
         payloads = self._payloads.setdefault(subchannel, {}).setdefault(position, {})
         payloads.setdefault(payload_digest, message.payload)
-        matching = sum(1 for d in votes.values() if d == payload_digest)
+        matching = 0
+        for vote_digest in votes.values():
+            if vote_digest == payload_digest:
+                matching += 1
         if matching >= self.config.fs + 1:
             payload = payloads[payload_digest]
             self._cleanup_position(subchannel, position)

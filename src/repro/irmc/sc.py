@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.primitives import (
+    attach_auth,
     digest,
     make_mac_vector,
     sign,
@@ -68,29 +69,21 @@ class ScSenderEndpoint(SenderEndpointBase):
         key = (subchannel, position)
         payload_digest = digest(payload)
         self._pending[key] = (payload, payload_digest)
-        content = (
-            "irmc-share",
-            self.tag,
-            subchannel,
-            position,
-            payload_digest,
-            self.node.name,
-        )
-        share = SigShare(
+        body = SigShare(
             tag=self.tag,
             subchannel=subchannel,
             position=position,
             payload_digest=payload_digest,
             sender=self.node.name,
-            signature=sign(self.node.name, content),
         )
+        share = attach_auth(body, signature=sign(self.node.name, body))
         # The share is also processed locally (Fig. 19 L. 12-13).
         self.broadcast(self.local_group, share, include_self=True)
 
     def _on_share(self, message: SigShare) -> None:
         if message.sender not in self.local_names:
             return
-        if not verify(message.signature, message.signed_content(), signer=message.sender):
+        if not verify(message.signature, message, signer=message.sender):
             return
         key = (message.subchannel, message.position)
         shares = self._shares.setdefault(key, {})
@@ -115,24 +108,15 @@ class ScSenderEndpoint(SenderEndpointBase):
         if len(matching) < self.config.fs + 1:
             return
         shares = tuple(matching[: self.config.fs + 1])
-        content = (
-            "irmc-cert",
-            self.tag,
-            subchannel,
-            position,
-            repr(payload),
-            tuple(share.signed_content() for share in shares),
-            self.node.name,
-        )
-        bundle = CertificateMsg(
+        body = CertificateMsg(
             tag=self.tag,
             subchannel=subchannel,
             position=position,
             payload=payload,
             shares=shares,
             sender=self.node.name,
-            signature=sign(self.node.name, content),
         )
+        bundle = attach_auth(body, signature=sign(self.node.name, body))
         self._bundles.setdefault(subchannel, {})[position] = bundle
         for receiver in self.remote_group:
             if self.collector_for(subchannel, receiver.name) == self.node.name:
@@ -175,12 +159,9 @@ class ScSenderEndpoint(SenderEndpointBase):
         # Progress to detect collectors withholding *existing* certificates.
         if frozen and frozen != self._last_progress:
             self._last_progress = frozen
-            content = ("irmc-progress", self.tag, frozen, self.node.name)
-            message = ProgressMsg(
-                tag=self.tag,
-                positions=frozen,
-                sender=self.node.name,
-                auth=make_mac_vector(self.node.name, self.remote_names, content),
+            body = ProgressMsg(tag=self.tag, positions=frozen, sender=self.node.name)
+            message = attach_auth(
+                body, auth=make_mac_vector(self.node.name, self.remote_names, body)
             )
             for receiver in self.remote_group:
                 self.send_msg(receiver, message)
@@ -205,9 +186,7 @@ class ScSenderEndpoint(SenderEndpointBase):
     def _on_select(self, message: SelectMsg) -> None:
         if message.sender not in self.remote_names:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.node.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.sender, self.node.name):
             return
         self._set_collector(message.subchannel, message.sender, message.collector)
 
@@ -260,7 +239,7 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
     def _on_certificate(self, message: CertificateMsg) -> None:
         if message.sender not in self.remote_names:
             return
-        if not verify(message.signature, message.signed_content(), signer=message.sender):
+        if not verify(message.signature, message, signer=message.sender):
             return
         subchannel, position = message.subchannel, message.position
         self._note_subchannel(subchannel)
@@ -275,7 +254,7 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
                 return
             if share.sender not in self.remote_names or share.sender in signers:
                 return
-            if not verify(share.signature, share.signed_content(), signer=share.sender):
+            if not verify(share.signature, share, signer=share.sender):
                 return
             signers.add(share.sender)
         if len(signers) < self.config.fs + 1:
@@ -288,9 +267,7 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
     def _on_progress(self, message: ProgressMsg) -> None:
         if message.sender not in self.remote_names:
             return
-        if not verify_mac_vector(
-            message.auth, message.signed_content(), message.sender, self.node.name
-        ):
+        if not verify_mac_vector(message.auth, message, message.sender, self.node.name):
             return
         per_sender = self._peer_progress.setdefault(message.sender, {})
         for subchannel, position in message.positions:
@@ -322,13 +299,14 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
         self._collector_index[subchannel] = self._collector_index.get(subchannel, 0) + 1
         self.collector_switches += 1
         collector = self._collector_for(subchannel)
-        content = ("irmc-select", self.tag, subchannel, collector, self.node.name)
-        select = SelectMsg(
+        body = SelectMsg(
             tag=self.tag,
             subchannel=subchannel,
             collector=collector,
             sender=self.node.name,
-            auth=make_mac_vector(self.node.name, self.remote_names, content),
+        )
+        select = attach_auth(
+            body, auth=make_mac_vector(self.node.name, self.remote_names, body)
         )
         for sender in self.remote_group:
             self.node.send(sender, select)

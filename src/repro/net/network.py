@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from repro.crypto.primitives import Digestible, cached_size_bytes
 from repro.errors import SimulationError
-from repro.net.topology import Site, Topology
+from repro.net.topology import LinkProfile, Topology
 from repro.sim.core import Simulator
 from repro.sim.node import Node
 
@@ -72,6 +74,16 @@ class Network:
         self.per_region_pair: Dict[frozenset, LinkStats] = {}
         self.fault = _FaultState()
         self.dropped = 0
+        #: message type -> sizing mode (0: no ``size_bytes``, fall back to
+        #: 256 bytes; 1: call it; 2: frozen message, size memoised per
+        #: object).  Hoists the dispatch out of the per-send path.
+        self._sized_types: Dict[type, int] = {}
+        #: (src node, dst node) -> LinkProfile.  Keyed by node objects
+        #: (identity hash) because hashing ``Site`` dataclasses per send is
+        #: measurable; node sites are fixed for a node's lifetime.  Dropped
+        #: wholesale when ``topology.invalidate_cache()`` bumps its version.
+        self._node_links: Dict[Tuple[Node, Node], LinkProfile] = {}
+        self._links_version = topology.cache_version
 
     # ------------------------------------------------------------------
     # Membership
@@ -88,6 +100,12 @@ class Network:
     def unregister(self, node: Node) -> None:
         self.nodes.pop(node.name, None)
         node.network = None
+        if self._node_links:
+            self._node_links = {
+                pair: profile
+                for pair, profile in self._node_links.items()
+                if node not in pair
+            }
 
     # ------------------------------------------------------------------
     # Sending
@@ -96,32 +114,80 @@ class Network:
         """Deliver ``message`` from ``src`` to ``dst`` (maybe dropped)."""
         if dst.name not in self.nodes:
             return  # destination left the system (e.g. removed group)
-        if src.site is None or dst.site is None:
+        site_a, site_b = src.site, dst.site
+        if site_a is None or site_b is None:
             raise SimulationError("network sends require nodes with sites")
-        if self._is_blocked(src, dst, message):
+        # Fast path: skip all per-send fault checks while no partition, drop
+        # rate, crashed link or filter is armed (the overwhelmingly common
+        # case); ``_is_blocked`` keeps the detailed semantics.
+        fault = self.fault
+        if (
+            fault.partitions
+            or fault.drop_rate
+            or fault.crashed_links
+            or fault.filter is not None
+        ) and self._is_blocked(src, dst, message):
             self.dropped += 1
             return
-        size = message.size_bytes() if hasattr(message, "size_bytes") else 256
-        self._account(src.site, dst.site, size)
-        delay = src.nic_delay(size) + self._delay(src.site, dst.site, size, message)
-        self.sim.schedule(delay, dst.deliver, src, message)
-
-    def _delay(self, a: Site, b: Site, size: int, message: Any) -> float:
-        base = self.topology.one_way_ms(a, b)
-        if self.jitter:
-            base *= 1.0 + self.jitter * self.sim.rng.random()
-        delay = base + self.topology.serialization_ms(a, b, size)
-        if self.fault.extra_delay is not None:
-            delay += self.fault.extra_delay(a, b, message)
-        return delay
-
-    def _account(self, a: Site, b: Site, size: int) -> None:
-        if self.topology.is_wan(a, b):
-            self.wan.add(size)
-            key = frozenset((a.region, b.region))
-            self.per_region_pair.setdefault(key, LinkStats()).add(size)
+        cls = message.__class__
+        mode = self._sized_types.get(cls)
+        if mode is None:
+            if not hasattr(cls, "size_bytes"):
+                mode = 0
+            elif issubclass(cls, Digestible):
+                mode = 2
+            else:
+                mode = 1
+            self._sized_types[cls] = mode
+        if mode == 2:
+            size = cached_size_bytes(message)
+        elif mode:
+            size = message.size_bytes()
         else:
-            self.lan.add(size)
+            size = 256
+        topology = self.topology
+        if self._links_version != topology.cache_version:
+            self._node_links.clear()
+            self._links_version = topology.cache_version
+        pair = (src, dst)
+        profile = self._node_links.get(pair)
+        if profile is None:
+            profile = self._node_links[pair] = topology.link_profile(site_a, site_b)
+        one_way, ser_divisor, is_wan, region_key = profile
+        if is_wan:
+            stats = self.wan
+            stats.messages += 1
+            stats.bytes += size
+            stats = self.per_region_pair.get(region_key)
+            if stats is None:
+                stats = self.per_region_pair[region_key] = LinkStats()
+            stats.messages += 1
+            stats.bytes += size
+        else:
+            stats = self.lan
+            stats.messages += 1
+            stats.bytes += size
+        # Sum in the same association order as the pre-memoisation code so
+        # delivery times stay bit-identical (float addition isn't associative).
+        sim = self.sim
+        now = sim.now
+        nic = src.nic_delay(size)
+        if self.jitter:
+            one_way = one_way * (1.0 + self.jitter * sim.rng.random())
+        link = one_way + (size * 8.0) / ser_divisor
+        if fault.extra_delay is not None:
+            link += fault.extra_delay(site_a, site_b, message)
+            if nic + link < 0:
+                # Matches the guard the generic scheduling path applies.
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={nic + link})"
+                )
+        # Inlined ``sim.post``: one delivery per send makes the call overhead
+        # measurable, and the delay is non-negative by construction.  The
+        # delay is summed as ``nic + link`` *before* adding ``now`` — the
+        # same association order as ``post(nic + link, ...)``.
+        sim._seq += 1
+        heappush(sim._queue, (now + (nic + link), sim._seq, dst.deliver, (src, message)))
 
     def _is_blocked(self, src: Node, dst: Node, message: Any) -> bool:
         fault = self.fault

@@ -3,9 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 from repro.net import latency as latency_data
+
+
+class LinkProfile(NamedTuple):
+    """Memoised per-site-pair delivery parameters (see ``link_profile``)."""
+
+    one_way_ms: float
+    #: serialization delay is ``size_bytes * 8.0 / ser_divisor`` — kept as a
+    #: divisor (not a reciprocal factor) so cached results stay bit-identical
+    #: to the uncached ``serialization_ms`` arithmetic.
+    ser_divisor: float
+    is_wan: bool
+    #: ``frozenset({region_a, region_b})`` for WAN links, else ``None``.
+    region_key: Optional[FrozenSet[str]]
 
 
 @dataclass(frozen=True, order=True)
@@ -58,6 +71,39 @@ class Topology:
         self.intra_zone_rtt_ms = intra_zone_rtt_ms
         self.wan_bandwidth_mbps = wan_bandwidth_mbps
         self.lan_bandwidth_mbps = lan_bandwidth_mbps
+        #: (site, site) -> LinkProfile; latency tables are fixed after
+        #: construction, so profiles are computed once per ordered pair.
+        #: Call :meth:`invalidate_cache` after changing any table in place.
+        self._profiles: Dict[Tuple[Site, Site], LinkProfile] = {}
+        #: Bumped by :meth:`invalidate_cache`; consumers holding derived
+        #: caches (e.g. ``Network``'s per-node-pair profiles) compare this
+        #: to drop their copies.
+        self.cache_version = 0
+
+    def invalidate_cache(self) -> None:
+        """Forget memoised link profiles (after editing latency tables)."""
+        self._profiles.clear()
+        self.cache_version += 1
+
+    def link_profile(self, a: Site, b: Site) -> LinkProfile:
+        """Memoised ``(one_way_ms, ser_divisor, is_wan, region_key)``.
+
+        The hot-path summary of this oracle: propagation latency, the
+        serialization divisor, and WAN accounting keys, computed once per
+        site pair instead of once per message.
+        """
+        profile = self._profiles.get((a, b))
+        if profile is None:
+            wan = a.region != b.region
+            bandwidth = self.wan_bandwidth_mbps if wan else self.lan_bandwidth_mbps
+            profile = LinkProfile(
+                one_way_ms=self.one_way_ms(a, b),
+                ser_divisor=bandwidth * 1000.0,
+                is_wan=wan,
+                region_key=frozenset((a.region, b.region)) if wan else None,
+            )
+            self._profiles[(a, b)] = profile
+        return profile
 
     def rtt_ms(self, a: Site, b: Site) -> float:
         """Round-trip time between two sites."""

@@ -1,8 +1,12 @@
 """Event-queue plumbing for the simulator.
 
 Events are ordered by ``(time, sequence)`` where the sequence number breaks
-ties deterministically in insertion order.  Cancellation is lazy: cancelled
-entries stay in the heap and are skipped when popped.
+ties deterministically in insertion order.  The heap itself stores
+``(time, seq, handle)`` tuples so that :mod:`heapq` compares keys entirely
+in C without calling back into Python.  Cancellation is lazy: cancelled
+entries stay in the heap and are skipped when popped, while the simulator
+keeps an O(1) live count and compacts the heap when cancelled entries
+dominate it.
 """
 
 from __future__ import annotations
@@ -13,30 +17,32 @@ from typing import Any, Callable
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, sim, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.sim = sim
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         # Drop references so cancelled events do not pin object graphs alive
         # while they wait to be popped from the heap.
         self.fn = _noop
         self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
         return f"<EventHandle t={self.time:.3f} seq={self.seq} {state}>"
 
 

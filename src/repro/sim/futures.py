@@ -76,7 +76,7 @@ def gather(futures: List[SimFuture], count: Optional[int] = None) -> SimFuture:
     waits for ``n_e - z`` commit-channel sends to complete (paper L. 17.37).
     """
     needed = len(futures) if count is None else count
-    result = SimFuture(name=f"gather({needed}/{len(futures)})")
+    result = SimFuture(name="gather")
     if needed <= 0:
         result.resolve([])
         return result

@@ -16,6 +16,7 @@ experiments (paper Fig. 9b/9c) and queueing delay under load.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -86,14 +87,28 @@ class Node:
         if self.crashed:
             return
         self._tasks.append((fn, args))
-        self._schedule_dispatch()
+        if not (self._dispatch_scheduled or self._executing):
+            self._post_dispatch()
 
     def _schedule_dispatch(self) -> None:
         if self._dispatch_scheduled or self._executing or not self._tasks:
             return
+        self._post_dispatch()
+
+    def _post_dispatch(self) -> None:
+        # Inlined fire-and-forget schedule of ``_dispatch`` at the CPU-free
+        # time: this path runs once per queued task, so it bypasses the
+        # ``Simulator.post_at`` call overhead (start time is never in the
+        # past by construction).
         self._dispatch_scheduled = True
-        start = max(self.sim.now, self.busy_until)
-        self.sim.schedule_at(start, self._dispatch)
+        sim = self.sim
+        now = sim.now
+        busy_until = self.busy_until
+        sim._seq += 1
+        heappush(
+            sim._queue,
+            (busy_until if busy_until > now else now, sim._seq, self._dispatch, ()),
+        )
 
     def _dispatch(self) -> None:
         global _current
@@ -101,7 +116,8 @@ class Node:
         if self.crashed or not self._tasks:
             return
         fn, args = self._tasks.popleft()
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         previous = _current
         _current = self
         self._executing = True
@@ -113,10 +129,13 @@ class Node:
             self._executing = False
         cost = self._pending_cost
         self._pending_cost = 0.0
-        self.busy_until = start + cost
+        busy_until = start + cost
+        self.busy_until = busy_until
         self.busy_ms += cost
-        self._flush_outbox(self.busy_until)
-        self._schedule_dispatch()
+        if self._outbox:
+            self._flush_outbox(busy_until)
+        if self._tasks:
+            self._post_dispatch()
 
     # ------------------------------------------------------------------
     # Messaging
@@ -150,7 +169,7 @@ class Node:
             for dst, message in pending:
                 self.network.send(self, dst, message)
         else:
-            self.sim.schedule_at(at_time, self._transmit_batch, pending)
+            self.sim.post_at(at_time, self._transmit_batch, pending)
 
     def _transmit_batch(self, pending) -> None:
         if self.crashed:
@@ -162,7 +181,9 @@ class Node:
         """Entry point used by the network; dispatches to ``on_message``."""
         if self.crashed:
             return
-        self.run_task(self.on_message, src, message)
+        self._tasks.append((self.on_message, (src, message)))
+        if not (self._dispatch_scheduled or self._executing):
+            self._post_dispatch()
 
     def on_message(self, src: "Node", message: Any) -> None:
         """Override in subclasses: handle one received message."""
@@ -197,11 +218,13 @@ class Node:
         """
         if not self.egress_mbps:
             return 0.0
-        serialization = (size_bytes * 8.0) / (self.egress_mbps * 1000.0)
-        start = max(self.sim.now, self.nic_busy_until)
-        departure = start + serialization
+        now = self.sim.now
+        nic_busy = self.nic_busy_until
+        departure = (nic_busy if nic_busy > now else now) + (size_bytes * 8.0) / (
+            self.egress_mbps * 1000.0
+        )
         self.nic_busy_until = departure
-        return departure - self.sim.now
+        return departure - now
 
     def cpu_utilisation(self, window_start: float, busy_at_start: float) -> float:
         """Fraction of [window_start, now] this node's CPU spent busy."""

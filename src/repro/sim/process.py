@@ -71,7 +71,7 @@ class Process:
         if node is not None:
             node.run_task(self._step, None)
         else:
-            sim.schedule(0.0, self._step, None)
+            sim.post(0.0, self._step, None)
 
     def _step(self, value: Any) -> None:
         if self.finished:
@@ -89,9 +89,9 @@ class Process:
         if isinstance(yielded, SimFuture):
             yielded.add_callback(self._resume)
         elif isinstance(yielded, Sleep):
-            self.sim.schedule(yielded.delay, self._resume, None)
+            self.sim.post(yielded.delay, self._resume, None)
         elif isinstance(yielded, (int, float)):
-            self.sim.schedule(float(yielded), self._resume, None)
+            self.sim.post(float(yielded), self._resume, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {yielded!r}"
@@ -103,7 +103,7 @@ class Process:
         if self.node is not None:
             self.node.run_task(self._step, value)
         else:
-            self.sim.schedule(0.0, self._step, value)
+            self.sim.post(0.0, self._step, value)
 
     def stop(self) -> None:
         """Terminate the process; it will never be resumed again."""

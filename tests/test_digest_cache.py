@@ -1,0 +1,180 @@
+"""Digest-cache correctness: staleness, mutation, parity, and charges.
+
+The digest caching layer (``crypto/primitives.py``) must be *invisible* to
+the protocol: identical digest values, identical simulated CPU charges, and
+no way for a Byzantine mutation to slip a stale digest past ``verify``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import Execute, RequestBody, RequestWrapper
+from repro.crypto.costs import CostModel, use_cost_model
+from repro.crypto.primitives import (
+    attach_auth,
+    cached_repr,
+    cached_size_bytes,
+    content_digest,
+    digest,
+    make_mac,
+    make_mac_vector,
+    set_digest_cache_enabled,
+    sign,
+    verify,
+    verify_mac,
+    verify_mac_vector,
+)
+from repro.sim.core import Simulator
+from repro.sim.node import Node
+
+
+@pytest.fixture(autouse=True)
+def _cache_on():
+    """Each test starts from the default cache-enabled state."""
+    set_digest_cache_enabled(True)
+    yield
+    set_digest_cache_enabled(True)
+
+
+def _body(counter=1, operation=("put", "k", "v")):
+    return RequestBody(operation=operation, client="c1", counter=counter)
+
+
+class TestBitIdentity:
+    def test_cached_digest_equals_uncached(self):
+        body = _body()
+        cached = content_digest(body)
+        cached_again = content_digest(body)
+        set_digest_cache_enabled(False)
+        uncached = digest(body.signed_content())
+        assert cached == cached_again == uncached
+
+    def test_repr_digest_equals_uncached(self):
+        wrapper = RequestWrapper(body=_body(), signature=None, group="g0")
+        cached = digest(wrapper)
+        set_digest_cache_enabled(False)
+        assert cached == digest(wrapper)
+
+    def test_equal_but_distinct_objects_share_digest_value(self):
+        assert content_digest(_body()) == content_digest(_body())
+
+    def test_cached_size_and_repr_match_plain(self):
+        wrapper = RequestWrapper(body=_body(), signature=None, group="g0")
+        assert cached_size_bytes(wrapper) == wrapper.size_bytes()
+        assert cached_repr(wrapper) == repr(wrapper)
+        # and again, from the memo
+        assert cached_size_bytes(wrapper) == wrapper.size_bytes()
+        assert cached_repr(wrapper) == repr(wrapper)
+
+
+class TestChargeParity:
+    def test_cache_hits_charge_identical_hashing_cost(self):
+        model = CostModel()  # full-cost model so hash charges are visible
+        with use_cost_model(model):
+            sim = Simulator(seed=1)
+            body = _body()
+
+            def charge_of(fn):
+                node = Node(sim, "probe")
+                node._pending_cost = 0.0
+                import repro.sim.node as node_mod
+
+                previous = node_mod._current
+                node_mod._current = node
+                try:
+                    fn()
+                finally:
+                    node_mod._current = previous
+                return node._pending_cost
+
+            first = charge_of(lambda: content_digest(body))  # miss
+            hit = charge_of(lambda: content_digest(body))  # hit
+            set_digest_cache_enabled(False)
+            uncached = charge_of(lambda: digest(body.signed_content()))
+            assert first == hit == uncached
+            assert first > 0
+
+
+class TestByzantineMutation:
+    def test_forged_copy_fails_verify(self):
+        body = _body()
+        signature = sign("c1", body)
+        assert verify(signature, body, signer="c1")
+        forged = RequestBody(
+            operation=body.operation, client=body.client, counter=999
+        )
+        assert not verify(signature, forged, signer="c1")
+
+    def test_in_place_field_mutation_after_signing_fails_verify(self):
+        """The cache guard must catch ``object.__setattr__`` tampering."""
+        body = _body()
+        signature = sign("c1", body)
+        assert verify(signature, body, signer="c1")  # digest now cached
+        object.__setattr__(body, "operation", ("put", "k", "EVIL"))
+        assert not verify(signature, body, signer="c1")
+        # Restoring the original value restores verifiability.
+        object.__setattr__(body, "operation", ("put", "k", "v"))
+        assert verify(signature, body, signer="c1")
+
+    def test_cross_type_equal_value_mutation_fails_verify(self):
+        """``True == 1`` but their reprs differ: the guard must compare
+        field identity, not equality, or tampering would reuse a stale
+        cached digest."""
+        body = _body(counter=1)
+        signature = sign("c1", body)
+        assert verify(signature, body, signer="c1")  # digest cached
+        object.__setattr__(body, "counter", True)
+        assert not verify(signature, body, signer="c1")
+        set_digest_cache_enabled(False)
+        assert not verify(signature, body, signer="c1")  # parity with uncached
+
+    def test_in_place_mutation_invalidates_mac_and_vector(self):
+        body = _body()
+        mac = make_mac("a", "b", body)
+        vector = make_mac_vector("a", ["b", "c"], body)
+        assert verify_mac(mac, body, "a", "b")
+        assert verify_mac_vector(vector, body, "a", "b")
+        object.__setattr__(body, "counter", 7)
+        assert not verify_mac(mac, body, "a", "b")
+        assert not verify_mac_vector(vector, body, "a", "b")
+
+    def test_in_place_mutation_invalidates_size_and_repr_memos(self):
+        wrapper = RequestWrapper(body=_body(), signature=None, group="g0")
+        before_size = cached_size_bytes(wrapper)
+        before_repr = cached_repr(wrapper)
+        bigger = _body(operation=("put", "k", "v" * 100))
+        object.__setattr__(wrapper, "body", bigger)
+        assert cached_size_bytes(wrapper) == wrapper.size_bytes() != before_size
+        assert cached_repr(wrapper) == repr(wrapper) != before_repr
+
+
+class TestAttachAuth:
+    def test_attach_auth_equivalent_to_replace(self):
+        body = RequestWrapper(body=_body(), signature=None, group="g0")
+        signature = sign("r1", body)
+        message = attach_auth(body, signature=signature)
+        assert message.signature is signature
+        assert message.body is body.body and message.group == body.group
+        assert message.signed_content() == body.signed_content()
+        assert repr(message) != repr(body)  # signature shows in the repr
+        assert verify(message.signature, message, signer="r1")
+
+    def test_attach_auth_rejects_non_auth_fields(self):
+        with pytest.raises(ValueError):
+            attach_auth(_body(), counter=5)
+
+    def test_transferred_cache_still_guarded_against_mutation(self):
+        body = RequestWrapper(body=_body(), signature=None, group="g0")
+        signature = sign("r1", body)  # primes the content cache
+        message = attach_auth(body, signature=signature)
+        assert verify(message.signature, message, signer="r1")
+        object.__setattr__(message, "group", "evil")
+        assert not verify(message.signature, message, signer="r1")
+
+    def test_execute_payload_digest_stable_through_cache(self):
+        wrapper = RequestWrapper(body=_body(), signature=None, group="g0")
+        execute = Execute(seq=3, request=wrapper)
+        first = digest(execute)
+        set_digest_cache_enabled(False)
+        assert digest(execute) == first
