@@ -1,0 +1,110 @@
+"""Chaos campaign sweep: seeded fault schedules against every stack.
+
+Acceptance sweep for the chaos subsystem: >= 50 seeds spread across the
+five stack configurations (full Spider, PBFT-only, Raft-only, IRMC-RC,
+IRMC-SC), every safety and liveness invariant green, plus the
+byte-parity guarantee that a no-fault campaign run is indistinguishable
+from the same workload without the chaos layer loaded.
+
+Any failure is shrunk to a minimal schedule and written to
+``benchmarks/CHAOS_failures.json`` (CI uploads it as an artifact); the
+printed snippet is ready to be checked in as a regression test in
+``tests/test_chaos_regressions.py``.
+
+Run directly for the sweep table::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.chaos import HARNESSES, get_harness, repro_snippet, shrink_schedule
+
+FAILURES_PATH = pathlib.Path(__file__).parent / "CHAOS_failures.json"
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_failure_artifact():
+    """Drop any stale artifact so a green run leaves no file behind and a
+    failing run's report contains only this run's schedules."""
+    if FAILURES_PATH.exists():
+        FAILURES_PATH.unlink()
+    yield
+
+#: seeds per configuration; 5 configs x 12 = 60 cases >= the 50 floor.
+SEEDS_PER_CONFIG = 12
+SEED_BASE = 1
+
+
+def _sweep_config(config: str):
+    harness = get_harness(config)
+    failures = []
+    actions_total = 0
+    for seed in range(SEED_BASE, SEED_BASE + SEEDS_PER_CONFIG):
+        result = harness.run(seed)
+        actions_total += len(result.actions)
+        if not result.ok:
+            minimal = shrink_schedule(harness, seed, actions=result.actions)
+            failures.append(
+                {
+                    "config": config,
+                    "seed": seed,
+                    "violations": result.violations,
+                    "schedule": [dict(vars(a)) for a in result.actions],
+                    "minimized": [dict(vars(a)) for a in minimal],
+                    "snippet": repro_snippet(harness, seed, minimal),
+                }
+            )
+    return actions_total, failures
+
+
+@pytest.mark.parametrize("config", sorted(HARNESSES))
+def test_campaign_sweep(config):
+    actions_total, failures = _sweep_config(config)
+    if failures:
+        existing = []
+        if FAILURES_PATH.exists():
+            existing = json.loads(FAILURES_PATH.read_text())
+        FAILURES_PATH.write_text(json.dumps(existing + failures, indent=2, default=repr))
+        detail = "\n\n".join(f["snippet"] for f in failures)
+        pytest.fail(
+            f"{config}: {len(failures)}/{SEEDS_PER_CONFIG} seeds violated "
+            f"invariants; minimized repros in {FAILURES_PATH}:\n{detail}"
+        )
+    # The sweep must actually inject faults — an accidentally empty
+    # palette would make the invariants vacuously green.
+    assert actions_total >= SEEDS_PER_CONFIG, (
+        f"{config}: only {actions_total} fault actions over "
+        f"{SEEDS_PER_CONFIG} seeds — campaign is not exercising faults"
+    )
+
+
+@pytest.mark.parametrize("config", sorted(HARNESSES))
+def test_no_fault_campaign_is_byte_identical(config):
+    """Chaos layer armed with zero faults == chaos layer absent."""
+    harness = get_harness(config)
+    wrapped = harness.run(SEED_BASE, actions=[])
+    bare = harness.run(SEED_BASE, actions=[], chaos=False)
+    assert wrapped.ok and bare.ok
+    assert wrapped.stats == bare.stats
+    assert wrapped.fingerprint() == bare.fingerprint()
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for config in sorted(HARNESSES):
+        actions_total, failures = _sweep_config(config)
+        status = "ok" if not failures else f"{len(failures)} FAILURES"
+        print(
+            f"{config:8s} seeds={SEEDS_PER_CONFIG} actions={actions_total} {status}"
+        )
+        for failure in failures:
+            print(failure["snippet"])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

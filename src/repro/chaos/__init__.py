@@ -1,0 +1,47 @@
+"""Deterministic chaos campaigns against full protocol stacks.
+
+The campaign turns "as many fault scenarios as you can imagine" into a
+seeded pipeline::
+
+    from repro.chaos import get_harness, shrink_schedule
+
+    result = get_harness("spider").run(seed=7)       # one seeded case
+    if not result.ok:
+        minimal = shrink_schedule(get_harness("spider"), 7)
+        # -> a FaultAction literal to check in as a regression test
+
+``python -m repro.experiments chaos`` sweeps seeds over every stack
+configuration; ``benchmarks/test_chaos.py`` pins the sweep in CI.
+"""
+
+from repro.chaos.actions import ChaosEngine, FaultAction, NET_KINDS, NODE_KINDS
+from repro.chaos.harnesses import CampaignResult, HARNESSES, get_harness
+from repro.chaos.invariants import (
+    check_client_fifo,
+    check_completion,
+    check_exactly_once,
+    check_journal_agreement,
+    check_sequence_agreement,
+)
+from repro.chaos.schedule import ChaosProfile, format_schedule, generate_schedule
+from repro.chaos.shrink import repro_snippet, shrink_schedule
+
+__all__ = [
+    "FaultAction",
+    "ChaosEngine",
+    "NODE_KINDS",
+    "NET_KINDS",
+    "ChaosProfile",
+    "generate_schedule",
+    "format_schedule",
+    "CampaignResult",
+    "HARNESSES",
+    "get_harness",
+    "shrink_schedule",
+    "repro_snippet",
+    "check_sequence_agreement",
+    "check_exactly_once",
+    "check_journal_agreement",
+    "check_client_fifo",
+    "check_completion",
+]

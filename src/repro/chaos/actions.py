@@ -1,0 +1,194 @@
+"""Composable, reversible fault actions and the engine that runs them.
+
+A :class:`FaultAction` is a *declarative* fault window: a kind, a target,
+a start time and a duration.  The :class:`ChaosEngine` turns a list of
+actions into simulator events: at ``start_ms`` the action is applied (a
+behaviour installed, a node crashed, a partition armed, ...) and at
+``start_ms + duration_ms`` it is undone.  Undo leans on the reversible
+:class:`~repro.faults.behaviours.Behaviour` handles and the network's
+compositional fault API (``heal_partition``, ``clear_link_mod``), so
+overlapping windows compose without clobbering each other.
+
+Actions are plain frozen dataclasses with scalar fields, so a failing
+schedule prints as a literal that can be pasted straight into a
+regression test (see :mod:`repro.chaos.shrink`).
+
+With an **empty** action list the engine schedules nothing at all: a
+chaos-wrapped run with no faults is byte-identical to the same workload
+without the chaos layer loaded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.faults.behaviours import (
+    DelayBehaviour,
+    DropBehaviour,
+    DuplicateBehaviour,
+    SilenceBehaviour,
+)
+
+__all__ = ["FaultAction", "ChaosEngine", "NODE_KINDS", "NET_KINDS"]
+
+#: Kinds that target a single node (FaultAction.target is a node name).
+NODE_KINDS = ("crash", "silence", "delay", "drop", "duplicate", "mute_half")
+#: Kinds that target the network (target is a region or "src->dst" link).
+NET_KINDS = ("partition", "block_link", "link_delay", "link_flaky")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault window.
+
+    ``param`` is kind-specific: delay in ms for ``delay``/``link_delay``,
+    a probability for ``drop``/``duplicate``/``link_flaky``, unused
+    otherwise.
+    """
+
+    kind: str
+    target: str
+    start_ms: float
+    duration_ms: float
+    param: float = 0.0
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+class ChaosEngine:
+    """Schedules apply/undo of fault actions on a running simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule fault events on.
+    network:
+        The deployment's :class:`~repro.net.network.Network`.
+    nodes:
+        Mapping of node name -> node for node-targeted actions.
+    seed_tag:
+        Seed string used for behaviour-private RNGs, so two engines with
+        the same tag inject identical randomised faults.
+    """
+
+    def __init__(self, sim, network, nodes: Dict[str, Any], seed_tag: str = "chaos"):
+        self.sim = sim
+        self.network = network
+        self.nodes = dict(nodes)
+        self.seed_tag = seed_tag
+        self.applied: List[FaultAction] = []
+        self.undone: List[FaultAction] = []
+        self._undo_by_id: Dict[int, Callable[[], None]] = {}
+
+    # ------------------------------------------------------------------
+    def install(self, actions: Sequence[FaultAction]) -> None:
+        """Schedule every action's apply and undo events.
+
+        No actions -> no events: the simulation trace is untouched.
+        """
+        for index, action in enumerate(actions):
+            self.sim.schedule_at(action.start_ms, self._apply, index, action)
+            self.sim.schedule_at(action.end_ms, self._undo, index, action)
+
+    def undo_all(self) -> None:
+        """Force-undo anything still active (end-of-run safety net)."""
+        for index in list(self._undo_by_id):
+            undo = self._undo_by_id.pop(index)
+            undo()
+
+    # ------------------------------------------------------------------
+    def _rng(self, action: FaultAction) -> random.Random:
+        return random.Random(f"{self.seed_tag}:{action.kind}:{action.target}:{action.start_ms}")
+
+    def _node(self, name: str):
+        node = self.nodes.get(name)
+        if node is None:
+            raise KeyError(f"chaos action targets unknown node {name!r}")
+        return node
+
+    def _link(self, target: str):
+        src_name, _, dst_name = target.partition("->")
+        return self._node(src_name), self._node(dst_name)
+
+    def _apply(self, index: int, action: FaultAction) -> None:
+        kind = action.kind
+        if kind == "crash":
+            node = self._node(action.target)
+            node.crash()
+            undo = node.recover
+        elif kind == "silence":
+            handle = SilenceBehaviour().install(self._node(action.target))
+            undo = handle.uninstall
+        elif kind == "delay":
+            handle = DelayBehaviour(action.param).install(self._node(action.target))
+            undo = handle.uninstall
+        elif kind == "drop":
+            handle = DropBehaviour(action.param, rng=self._rng(action)).install(
+                self._node(action.target)
+            )
+            undo = handle.uninstall
+        elif kind == "duplicate":
+            handle = DuplicateBehaviour(action.param, rng=self._rng(action)).install(
+                self._node(action.target)
+            )
+            undo = handle.uninstall
+        elif kind == "mute_half":
+            # Byzantine-leader-style partial silence: mute the first half of
+            # the deployment (sorted by name) while answering the rest —
+            # peers cannot tell the node from a slow one, and if it leads a
+            # consensus instance only a minority sees its proposals.
+            muted = set(sorted(self.nodes)[: max(1, len(self.nodes) // 2)])
+            handle = SilenceBehaviour(to=lambda dst: dst.name in muted).install(
+                self._node(action.target)
+            )
+            undo = handle.uninstall
+        elif kind == "partition":
+            regions = action.target.split("+")
+            self.network.partition(regions)
+            undo = lambda: self.network.heal_partition(regions)  # noqa: E731
+        elif kind == "block_link":
+            src, dst = self._link(action.target)
+            self.network.block_link(src, dst)
+            undo = lambda: self.network.unblock_link(src, dst)  # noqa: E731
+        elif kind == "link_delay":
+            src, dst = self._link(action.target)
+            mod = self.network.set_link_mod(src, dst, delay_ms=action.param, rng=self._rng(action))
+            undo = self._link_mod_undo(src, dst, mod)
+        elif kind == "link_flaky":
+            src, dst = self._link(action.target)
+            mod = self.network.set_link_mod(
+                src,
+                dst,
+                dup_rate=action.param,
+                drop_rate=action.param,
+                rng=self._rng(action),
+            )
+            undo = self._link_mod_undo(src, dst, mod)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._undo_by_id[index] = undo
+        self.applied.append(action)
+
+    def _link_mod_undo(self, src, dst, mod) -> Callable[[], None]:
+        """Clear a link mod only if it is still the one this window set.
+
+        The schedule generator keeps link windows per link disjoint, but a
+        hand-written (or shrunk) schedule may overlap them; the later
+        window's mod must survive the earlier window's undo.
+        """
+
+        def undo() -> None:
+            if self.network.fault.link_mods.get((src.name, dst.name)) is mod:
+                self.network.clear_link_mod(src, dst)
+
+        return undo
+
+    def _undo(self, index: int, action: FaultAction) -> None:
+        undo = self._undo_by_id.pop(index, None)
+        if undo is not None:
+            undo()
+            self.undone.append(action)

@@ -1,0 +1,671 @@
+"""Full-stack harnesses the chaos campaign runs schedules against.
+
+Each harness builds one stack configuration from a bare seed, derives a
+fault schedule within that stack's fault budget, runs a deterministic
+workload through the fault windows, and evaluates the invariant checkers
+once every fault healed:
+
+* ``spider``   — the full Spider deployment (agreement group + two
+  execution groups + closed-loop clients).
+* ``pbft``     — the PBFT agreement component alone.
+* ``raft``     — the Raft agreement component alone.
+* ``irmc-rc`` / ``irmc-sc`` — one IRMC channel alone.
+
+Everything is a pure function of ``(config name, seed)``: victims,
+schedules and workloads all derive from string-seeded private RNGs, so a
+failing case is reproducible from its one-line ``(name, seed)`` and
+shrinkable offline (:mod:`repro.chaos.shrink`).
+
+Design notes on fault budgets: node-targeted faults only ever hit the
+victims chosen per run (at most the stack's ``f``); liveness obligations
+exclude replicas that were *crashed* during the run where the stack's
+recovery story does not include state transfer (PBFT replicas crashed
+across a view change, execution replicas whose driver process died with
+them) — their logs still participate in all safety checks.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.app.kvstore import KVStore
+from repro.chaos.actions import ChaosEngine, FaultAction
+from repro.chaos.invariants import (
+    check_client_fifo,
+    check_completion,
+    check_exactly_once,
+    check_journal_agreement,
+    check_sequence_agreement,
+)
+from repro.chaos.schedule import ChaosProfile, generate_schedule
+from repro.consensus.interface import batch_items
+from repro.consensus.pbft import PbftConfig, PbftReplica, is_noop
+from repro.consensus.raft import RaftConfig, RaftReplica
+from repro.core import SpiderConfig, SpiderSystem
+from repro.irmc import IrmcConfig, TooOld, make_channel
+from repro.net import Network, Site, Topology
+from repro.sim import Process, Simulator
+from repro.sim.routing import RoutedNode
+
+__all__ = ["CampaignResult", "HARNESSES", "get_harness"]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one chaos case: a (config, seed) pair."""
+
+    config: str
+    seed: int
+    actions: List[FaultAction]
+    violations: List[str]
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def fingerprint(self) -> int:
+        """Stable checksum of the simulated evidence, for parity checks."""
+        return zlib.crc32(
+            repr((sorted(self.stats.items()), self.violations)).encode(
+                "utf-8", errors="replace"
+            )
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"[{self.config} seed={self.seed} actions={len(self.actions)}] {status}"
+
+
+class StackHarness:
+    """Base class: one stack configuration the campaign can attack."""
+
+    name = "stack"
+
+    def profile(self, seed: int) -> ChaosProfile:
+        raise NotImplementedError
+
+    def run(
+        self,
+        seed: int,
+        actions: Optional[Sequence[FaultAction]] = None,
+        chaos: bool = True,
+    ) -> CampaignResult:
+        """Run one case.
+
+        ``actions=None`` derives the seeded schedule; an explicit list
+        replays it (the shrinker's trial runs).  ``chaos=False`` runs the
+        identical workload without constructing the chaos layer at all —
+        the byte-parity reference for the no-fault case.
+        """
+        raise NotImplementedError
+
+
+def _victims(name: str, seed: int, pool: Sequence[str], count: int) -> Tuple[str, ...]:
+    rng = random.Random(f"chaos:{seed}:{name}:victims")
+    pool = list(pool)
+    return tuple(rng.sample(pool, min(count, len(pool))))
+
+
+def _schedule_for(harness: StackHarness, seed: int) -> List[FaultAction]:
+    return generate_schedule(harness.name, seed, harness.profile(seed))
+
+
+# ======================================================================
+# PBFT-only
+# ======================================================================
+class PbftHarness(StackHarness):
+    """Four PBFT replicas in one region ordering a broadcast workload."""
+
+    name = "pbft"
+    n = 4
+    ops = 18
+    op_interval_ms = 250.0
+    min_start_ms = 400.0
+    horizon_ms = 8_000.0
+    settle_ms = 22_000.0
+
+    def _names(self) -> List[str]:
+        return [f"r{i}" for i in range(self.n)]
+
+    def profile(self, seed: int) -> ChaosProfile:
+        names = self._names()
+        victims = _victims(self.name, seed, names, 1)  # f = 1
+        link_rng = random.Random(f"chaos:{seed}:{self.name}:links")
+        pairs = [(a, b) for a in names for b in names if a != b]
+        links = tuple(link_rng.sample(pairs, 3))
+        return ChaosProfile(
+            node_kinds=("crash", "silence", "delay", "drop", "duplicate", "mute_half"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+            links=links,
+        )
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        nodes = [
+            network.register(RoutedNode(sim, name, Site("virginia", index + 1)))
+            for index, name in enumerate(self._names())
+        ]
+        config = PbftConfig(view_timeout_ms=500.0)
+        replicas = [PbftReplica(node, "pbft", nodes, config) for node in nodes]
+        delivered: Dict[str, List[Tuple[int, Any]]] = {n.name: [] for n in nodes}
+
+        def drain(replica):
+            while True:
+                seq, payload = yield replica.next_delivery()
+                delivered[replica.node.name].append((seq, payload))
+
+        for node, replica in zip(nodes, replicas):
+            Process(sim, drain(replica), node=node, name=f"drain-{node.name}")
+
+        expected = [("op", index) for index in range(self.ops)]
+        for index, payload in enumerate(expected):
+            at = 100.0 + index * self.op_interval_ms
+            for replica in replicas:
+                sim.schedule_at(at, replica.order, payload)
+
+        if actions is None and chaos:
+            actions = _schedule_for(self, seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            engine = ChaosEngine(
+                sim, network, {n.name: n for n in nodes}, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        # Probe traffic after every fault window: commits past the last
+        # faulted slot are what trigger gap retransmission on laggards.
+        probe_at = max([self.horizon_ms] + [a.end_ms for a in actions]) + 500.0
+        probes = [("probe", index) for index in range(3)]
+        for index, payload in enumerate(probes):
+            for replica in replicas:
+                sim.schedule_at(probe_at + index * 200.0, replica.order, payload)
+
+        sim.run(until=self.settle_ms, max_events=6_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        crashed_ever = {n.name for n in nodes if n.crash_count > 0}
+        names = [n.name for n in nodes]
+        flat = {
+            name: [
+                item
+                for _, payload in delivered[name]
+                for item in batch_items(payload)
+                if not is_noop(item)
+            ]
+            for name in names
+        }
+        violations = []
+        violations += check_sequence_agreement(delivered, names)
+        violations += check_exactly_once(flat, names)
+        # PBFT has no recovery state transfer: a replica crashed across a
+        # view change can stall in an old view, so only never-crashed
+        # replicas owe completion.
+        observers = {
+            name: flat[name] for name in names if name not in crashed_ever
+        }
+        violations += check_completion(expected + probes, observers)
+        stats = {
+            "delivered": {name: delivered[name] for name in names},
+            "view": max(r.view for r in replicas),
+            "crashed_ever": sorted(crashed_ever),
+            "events": sim.events_processed,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+# ======================================================================
+# Raft-only
+# ======================================================================
+class RaftHarness(StackHarness):
+    """Three Raft replicas; crash/recover plus lossy links (CFT budget)."""
+
+    name = "raft"
+    n = 3
+    ops = 15
+    op_interval_ms = 300.0
+    min_start_ms = 1_200.0  # first election settles
+    horizon_ms = 8_000.0
+    settle_ms = 25_000.0
+
+    def _names(self) -> List[str]:
+        return [f"n{i}" for i in range(self.n)]
+
+    def profile(self, seed: int) -> ChaosProfile:
+        names = self._names()
+        victims = _victims(self.name, seed, names, 1)  # minority of 3
+        link_rng = random.Random(f"chaos:{seed}:{self.name}:links")
+        pairs = [(a, b) for a in names for b in names if a != b]
+        links = tuple(link_rng.sample(pairs, 2))
+        return ChaosProfile(
+            node_kinds=("crash", "silence", "delay", "drop", "duplicate"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+            links=links,
+        )
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        nodes = [
+            network.register(RoutedNode(sim, name, Site("virginia", index + 1)))
+            for index, name in enumerate(self._names())
+        ]
+        replicas = [RaftReplica(node, "raft", nodes, RaftConfig()) for node in nodes]
+        delivered: Dict[str, List[Tuple[int, Any]]] = {n.name: [] for n in nodes}
+
+        def drain(replica):
+            while True:
+                seq, payload = yield replica.next_delivery()
+                delivered[replica.node.name].append((seq, payload))
+
+        for node, replica in zip(nodes, replicas):
+            Process(sim, drain(replica), node=node, name=f"drain-{node.name}")
+
+        expected = [("op", index) for index in range(self.ops)]
+        for index, payload in enumerate(expected):
+            at = 1_000.0 + index * self.op_interval_ms
+            for replica in replicas:
+                sim.schedule_at(at, replica.order, payload)
+
+        if actions is None and chaos:
+            actions = _schedule_for(self, seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            engine = ChaosEngine(
+                sim, network, {n.name: n for n in nodes}, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        probe_at = max([self.horizon_ms] + [a.end_ms for a in actions]) + 1_000.0
+        probes = [("probe", index) for index in range(3)]
+        for index, payload in enumerate(probes):
+            for replica in replicas:
+                sim.schedule_at(probe_at + index * 300.0, replica.order, payload)
+
+        sim.run(until=self.settle_ms, max_events=6_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        names = [n.name for n in nodes]
+        crashed_ever = {n.name for n in nodes if n.crash_count > 0}
+        flat = {
+            name: [
+                item
+                for _, payload in delivered[name]
+                for item in batch_items(payload)
+                if not is_noop(item)
+            ]
+            for name in names
+        }
+        violations = []
+        violations += check_sequence_agreement(delivered, names)
+        violations += check_exactly_once(flat, names)
+        # A recovered Raft follower catches up through AppendEntries, but a
+        # node crashed near the end of the settle window may not have had
+        # traffic to resync off; only never-crashed replicas owe the full
+        # history (the crashed one still participates in safety checks).
+        observers = {name: flat[name] for name in names if name not in crashed_ever}
+        violations += check_completion(expected + probes, observers)
+        stats = {
+            "delivered": {name: delivered[name] for name in names},
+            "terms": max(r.term for r in replicas),
+            "crashed_ever": sorted(crashed_ever),
+            "events": sim.events_processed,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+# ======================================================================
+# IRMC-only (RC and SC)
+# ======================================================================
+class IrmcHarness(StackHarness):
+    """One IRMC channel: 3 senders (Virginia) -> 4 receivers (Oregon).
+
+    Two subchannels probe the two liveness contracts separately:
+
+    * ``"bulk"`` — capacity covers the whole stream, so no position is
+      ever flow-controlled away: every honest receiver must eventually
+      deliver *everything* (heartbeat retransmission heals loss).
+    * ``"s"`` — a sliding window the senders advance as they go, exactly
+      like the request channel under client progress: up to
+      ``n_r - (f_r + 1)`` receivers may legitimately be skipped past
+      positions via ``TooOld`` (in Spider they then fetch a checkpoint),
+      but every honest receiver must keep *progressing* to the end of the
+      stream — a receiver wedged forever on one position is a liveness
+      bug even when skipping is allowed.
+    """
+
+    kind = "rc"
+    name = "irmc-rc"
+    positions = 24
+    send_interval_ms = 150.0
+    capacity = 4
+    min_start_ms = 300.0
+    horizon_ms = 6_000.0
+    settle_ms = 30_000.0
+
+    def _sender_names(self) -> List[str]:
+        return [f"s{i}" for i in range(3)]
+
+    def _receiver_names(self) -> List[str]:
+        return [f"r{i}" for i in range(4)]
+
+    def profile(self, seed: int) -> ChaosProfile:
+        victims = _victims(self.name, seed, self._sender_names(), 1)  # fs = 1
+        victims += _victims(self.name + ":rx", seed, self._receiver_names(), 1)  # fr = 1
+        return ChaosProfile(
+            node_kinds=("crash", "silence", "delay", "drop", "duplicate"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+            regions=("virginia",),  # WAN disruption between the groups
+        )
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        sender_nodes = [
+            network.register(RoutedNode(sim, name, Site("virginia", index + 1)))
+            for index, name in enumerate(self._sender_names())
+        ]
+        receiver_nodes = [
+            network.register(RoutedNode(sim, name, Site("oregon", index + 1)))
+            for index, name in enumerate(self._receiver_names())
+        ]
+        # ``bulk`` uses the window-covers-everything configuration of
+        # Spider's commit channels (capacity >= checkpoint interval);
+        # ``s`` exercises the sliding-window flow-control paths.
+        config = IrmcConfig(
+            fs=1,
+            fr=1,
+            capacity=self.positions,
+            progress_interval_ms=100.0,
+            collector_timeout_ms=300.0,
+            move_heartbeat_ms=250.0,
+        )
+        senders, receivers = make_channel(
+            self.kind, "ch", sender_nodes, receiver_nodes, config
+        )
+        received: Dict[str, List[Tuple[int, Any]]] = {
+            name: [] for name in self._receiver_names()
+        }
+        progressed: Dict[str, List[Tuple[int, Any]]] = {
+            name: [] for name in self._receiver_names()
+        }
+        finished: Dict[str, int] = {}
+
+        def sender_loop(endpoint):
+            from repro.sim.process import sleep
+
+            for position in range(1, self.positions + 1):
+                endpoint.move_window("s", max(1, position - self.capacity + 1))
+                endpoint.send("s", position, ("m", position))
+                endpoint.send("bulk", position, ("b", position))
+                yield sleep(self.send_interval_ms)
+
+        def bulk_loop(endpoint, name):
+            for position in range(1, self.positions + 1):
+                result = yield endpoint.receive("bulk", position)
+                if isinstance(result, TooOld):  # cannot happen: full window
+                    continue
+                received[name].append((position, result))
+
+        def window_loop(endpoint, name):
+            position = 1
+            while position <= self.positions:
+                result = yield endpoint.receive("s", position)
+                if isinstance(result, TooOld):
+                    position = max(position + 1, result.new_start)
+                    continue
+                progressed[name].append((position, result))
+                position += 1
+            finished[name] = position
+
+        for name, endpoint in senders.items():
+            Process(sim, sender_loop(endpoint), node=endpoint.node, name=f"tx-{name}")
+        for name, endpoint in receivers.items():
+            Process(sim, bulk_loop(endpoint, name), node=endpoint.node, name=f"rxb-{name}")
+            Process(
+                sim, window_loop(endpoint, name), node=endpoint.node, name=f"rxw-{name}"
+            )
+
+        if actions is None and chaos:
+            actions = _schedule_for(self, seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            all_nodes = {n.name: n for n in sender_nodes + receiver_nodes}
+            engine = ChaosEngine(
+                sim, network, all_nodes, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        sim.run(until=self.settle_ms, max_events=6_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        crashed_ever = {
+            n.name for n in sender_nodes + receiver_nodes if n.crash_count > 0
+        }
+        violations = []
+        # Integrity: anything delivered anywhere must be exactly what the
+        # honest senders submitted at that position, on both subchannels.
+        for book, marker in ((received, "b"), (progressed, "m")):
+            for name, entries in book.items():
+                for position, payload in entries:
+                    if payload != (marker, position):
+                        violations.append(
+                            f"safety/integrity: {name} got {payload!r} "
+                            f"at position {position}"
+                        )
+        violations += check_exactly_once(
+            {name: [p for p, _ in entries] for name, entries in received.items()},
+            received,
+        )
+        expected = list(range(1, self.positions + 1))
+        observers = {
+            name: [p for p, _ in entries]
+            for name, entries in received.items()
+            if name not in crashed_ever
+        }
+        # Full-window channel: honest receivers must deliver everything.
+        violations += check_completion(expected, observers, where="receiver")
+        # Sliding-window channel: honest receivers must reach the end of
+        # the stream (delivering or skipping), never wedge.
+        for name in self._receiver_names():
+            if name in crashed_ever:
+                continue
+            if name not in finished:
+                last = progressed[name][-1][0] if progressed[name] else 0
+                violations.append(
+                    f"liveness/progress: receiver {name} wedged after "
+                    f"position {last} on the sliding-window subchannel"
+                )
+        # Bounded bookkeeping under the overflow cap (the Byzantine-flood
+        # memory promise in irmc/base.py).
+        cap = config.capacity * config.overflow_factor
+        for name, endpoint in receivers.items():
+            for book_name in ("_votes", "_payloads"):
+                book = getattr(endpoint, book_name, None)
+                if not book:
+                    continue
+                for subchannel, positions in book.items():
+                    if len(positions) > cap:
+                        violations.append(
+                            f"memory/bounded: {name}.{book_name}[{subchannel!r}] "
+                            f"holds {len(positions)} > cap {cap}"
+                        )
+        stats = {
+            "received": received,
+            "progressed": progressed,
+            "crashed_ever": sorted(crashed_ever),
+            "events": sim.events_processed,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+class IrmcScHarness(IrmcHarness):
+    kind = "sc"
+    name = "irmc-sc"
+
+
+# ======================================================================
+# Full Spider
+# ======================================================================
+class _JournalKVStore(KVStore):
+    """KVStore journaling every applied operation, for journal agreement."""
+
+    def __init__(self):
+        super().__init__()
+        self.journal: List[Any] = []
+
+    def apply(self, operation):
+        self.journal.append(operation)
+        return super().apply(operation)
+
+
+class SpiderHarness(StackHarness):
+    """The full deployment: agreement in Virginia, groups in VA + Tokyo."""
+
+    name = "spider"
+    clients = 3
+    requests_per_client = 8
+    #: think time between a reply and the next chained request — paces the
+    #: workload across the whole fault horizon so fault windows always hit
+    #: in-flight traffic (a workload that drains before the first window
+    #: opens would make every invariant vacuously green).
+    think_ms = 1_600.0
+    min_start_ms = 1_000.0
+    horizon_ms = 12_000.0
+    settle_ms = 75_000.0
+
+    def profile(self, seed: int) -> ChaosProfile:
+        victims = _victims(self.name + ":ag", seed, [f"ag{i}" for i in range(4)], 1)
+        victims += _victims(self.name + ":ex", seed, [f"g0-e{i}" for i in range(3)], 1)
+        return ChaosProfile(
+            node_kinds=("crash", "silence", "delay", "drop", "mute_half"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+            regions=("tokyo",),
+            max_actions=4,
+        )
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        system = SpiderSystem(
+            sim, config=SpiderConfig(), network=network, app_factory=_JournalKVStore
+        )
+        system.add_execution_group("g0", "virginia")
+        system.add_execution_group("g1", "tokyo")
+        homes = ["g0", "g0", "g1"]
+        regions = {"g0": "virginia", "g1": "tokyo"}
+        clients = [
+            system.make_client(f"c{i}", regions[homes[i]], group_id=homes[i])
+            for i in range(self.clients)
+        ]
+        completions: Dict[str, List[Tuple[int, Any]]] = {c.name: [] for c in clients}
+
+        def issue(client, index=0):
+            if index >= self.requests_per_client:
+                return
+            future = client.write(("put", f"w-{client.name}-{index}", index))
+            future.add_callback(
+                lambda result: (
+                    completions[client.name].append((index, result)),
+                    sim.schedule(self.think_ms, issue, client, index + 1),
+                )
+            )
+
+        for client in clients:
+            sim.schedule_at(200.0, issue, client)
+
+        if actions is None and chaos:
+            actions = _schedule_for(self, seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            chaos_nodes = {n.name: n for n in system.all_nodes}
+            engine = ChaosEngine(
+                sim, network, chaos_nodes, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        sim.run(until=self.settle_ms, max_events=12_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        crashed_ever = {n.name for n in system.all_nodes if n.crash_count > 0}
+        violations = []
+        expected_writes = [
+            ("put", f"w-{client.name}-{index}", index)
+            for client in clients
+            for index in range(self.requests_per_client)
+        ]
+        for group in system.groups.values():
+            journals = {
+                replica.name: [op for op in replica.app.journal if op[0] == "put"]
+                for replica in group.replicas
+            }
+            honest = [name for name in journals]
+            violations += check_journal_agreement(journals, honest)
+            violations += check_exactly_once(journals, honest)
+            # Never-crashed replicas must hold the full write history once
+            # faults healed (crashed ones lost their main loop with their
+            # CPU state — they still count for safety above).
+            observers = {
+                name: journal
+                for name, journal in journals.items()
+                if name not in crashed_ever
+            }
+            violations += check_completion(
+                expected_writes, observers, where=f"{group.group_id} replica"
+            )
+        violations += check_client_fifo(completions)
+        for client in clients:
+            done = len(completions[client.name])
+            if done < self.requests_per_client:
+                violations.append(
+                    f"liveness/client: {client.name} completed {done}/"
+                    f"{self.requests_per_client} requests"
+                )
+        stats = {
+            "completions": completions,
+            "crashed_ever": sorted(crashed_ever),
+            "view": max(r.ag.view for r in system.agreement_replicas),
+            "events": sim.events_processed,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+HARNESSES: Dict[str, StackHarness] = {
+    harness.name: harness
+    for harness in (
+        SpiderHarness(),
+        PbftHarness(),
+        RaftHarness(),
+        IrmcHarness(),
+        IrmcScHarness(),
+    )
+}
+
+
+def get_harness(name: str) -> StackHarness:
+    try:
+        return HARNESSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos config {name!r}; known: {sorted(HARNESSES)}"
+        ) from None

@@ -1,0 +1,156 @@
+"""Safety and liveness invariant checkers for chaos campaigns.
+
+Checkers are pure functions over harness-collected evidence; each returns
+a list of human-readable violation strings (empty = invariant holds).
+They are deliberately paranoid and deliberately *testable*: the mutation
+tests in ``tests/test_chaos_invariants.py`` feed them deliberately broken
+evidence and assert they scream, so a green campaign can't be green by
+vacuity.
+
+Safety
+------
+* :func:`check_sequence_agreement` — no two honest replicas decide
+  different payloads for the same sequence number.
+* :func:`check_exactly_once` — no payload is delivered twice in one
+  replica's stream.
+* :func:`check_journal_agreement` — execution replicas of one group apply
+  pairwise prefix-consistent operation sequences.
+* :func:`check_client_fifo` — per-client results arrive in issue order.
+
+Liveness
+--------
+* :func:`check_completion` — everything issued before the fault horizon
+  is decided/answered once faults healed (the paper's adaptivity claim:
+  Spider recovers, it does not just survive).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "check_sequence_agreement",
+    "check_exactly_once",
+    "check_journal_agreement",
+    "check_client_fifo",
+    "check_completion",
+]
+
+
+def check_sequence_agreement(
+    delivered: Dict[str, Sequence[Tuple[int, Any]]],
+    honest: Iterable[str],
+) -> List[str]:
+    """No two honest replicas may deliver different payloads at one seq.
+
+    ``delivered`` maps replica name -> [(seq, payload), ...] in delivery
+    order.  Crashed replicas stay honest: whatever they delivered before
+    crashing must agree with everyone else.
+    """
+    violations: List[str] = []
+    canonical: Dict[int, Tuple[str, str]] = {}
+    for name in sorted(honest):
+        for seq, payload in delivered.get(name, ()):
+            key = repr(payload)
+            previous = canonical.get(seq)
+            if previous is None:
+                canonical[seq] = (name, key)
+            elif previous[1] != key:
+                violations.append(
+                    f"safety/agreement: seq {seq} decided as {previous[1]} at "
+                    f"{previous[0]} but {key} at {name}"
+                )
+    return violations
+
+
+def check_exactly_once(
+    delivered: Dict[str, Sequence[Any]],
+    honest: Iterable[str],
+) -> List[str]:
+    """No honest replica may deliver the same payload twice.
+
+    ``delivered`` maps replica name -> [payload, ...] (batches expanded,
+    no-ops dropped by the caller).
+    """
+    violations: List[str] = []
+    for name in sorted(honest):
+        seen: Dict[str, int] = {}
+        for payload in delivered.get(name, ()):
+            key = repr(payload)
+            seen[key] = seen.get(key, 0) + 1
+        for key, times in seen.items():
+            if times > 1:
+                violations.append(
+                    f"safety/exactly-once: {name} delivered {key} {times} times"
+                )
+    return violations
+
+
+def check_journal_agreement(
+    journals: Dict[str, Sequence[Any]],
+    honest: Iterable[str],
+) -> List[str]:
+    """Honest replicas of one group must apply prefix-consistent journals.
+
+    Trailing replicas may be behind (shorter journal), but where two
+    journals overlap they must be identical element-wise.
+    """
+    violations: List[str] = []
+    names = sorted(n for n in honest if n in journals)
+    for index, name_a in enumerate(names):
+        journal_a = journals[name_a]
+        for name_b in names[index + 1 :]:
+            journal_b = journals[name_b]
+            overlap = min(len(journal_a), len(journal_b))
+            for position in range(overlap):
+                if journal_a[position] != journal_b[position]:
+                    violations.append(
+                        "safety/journal: "
+                        f"{name_a}[{position}]={journal_a[position]!r} != "
+                        f"{name_b}[{position}]={journal_b[position]!r}"
+                    )
+                    break  # first divergence per pair is enough
+    return violations
+
+
+def check_client_fifo(results: Dict[str, Sequence[Tuple[int, Any]]]) -> List[str]:
+    """Per-client results must complete in issue order (strictly rising)."""
+    violations: List[str] = []
+    for client, completions in sorted(results.items()):
+        indices = [index for index, _ in completions]
+        if indices != sorted(indices):
+            violations.append(
+                f"safety/fifo: client {client} completed out of order: {indices}"
+            )
+        if len(set(indices)) != len(indices):
+            violations.append(
+                f"safety/fifo: client {client} completed a request twice: {indices}"
+            )
+    return violations
+
+
+def check_completion(
+    expected: Iterable[Any],
+    completed_by: Dict[str, Sequence[Any]],
+    where: str = "replica",
+) -> List[str]:
+    """Everything in ``expected`` must appear at every observer.
+
+    ``completed_by`` maps observer name -> delivered/answered payloads.
+    Callers restrict the observers to ones the fault budget obliges to
+    recover (e.g. never-crashed honest replicas) and only call this after
+    every fault window ended plus a settle allowance.
+    """
+    violations: List[str] = []
+    expected_keys = [repr(item) for item in expected]
+    for name in sorted(completed_by):
+        have = {repr(item) for item in completed_by[name]}
+        missing = [key for key in expected_keys if key not in have]
+        if missing:
+            shown = ", ".join(missing[:3])
+            more = f" (+{len(missing) - 3} more)" if len(missing) > 3 else ""
+            violations.append(
+                f"liveness/completion: {where} {name} still missing "
+                f"{len(missing)} item(s) after heal: {shown}{more}"
+            )
+    return violations

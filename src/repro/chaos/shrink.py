@@ -1,0 +1,67 @@
+"""Shrink a failing chaos schedule to a minimal reproduction.
+
+Greedy delta-debugging over the action list: repeatedly try dropping one
+action; keep any subset that still violates an invariant.  The result is
+the smallest action list (under single-removal) that still fails, plus a
+paste-able regression-test snippet — the workflow is *sweep, shrink,
+check the snippet in as a test, fix the bug, keep the test forever*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.chaos.actions import FaultAction
+from repro.chaos.harnesses import CampaignResult, StackHarness
+from repro.chaos.schedule import format_schedule
+
+__all__ = ["shrink_schedule", "repro_snippet"]
+
+
+def shrink_schedule(
+    harness: StackHarness,
+    seed: int,
+    actions: Optional[Sequence[FaultAction]] = None,
+    max_trials: int = 64,
+) -> List[FaultAction]:
+    """Minimize a failing schedule for ``(harness, seed)``.
+
+    Returns the shrunk action list; if the full schedule does not fail
+    (flaky report), it is returned unchanged.
+    """
+    if actions is None:
+        actions = harness.run(seed).actions
+    current = list(actions)
+    if not harness.run(seed, actions=current).violations:
+        return current
+    trials = 0
+    improved = True
+    while improved and trials < max_trials:
+        improved = False
+        for index in range(len(current)):
+            trial = current[:index] + current[index + 1 :]
+            trials += 1
+            if harness.run(seed, actions=trial).violations:
+                current = trial
+                improved = True
+                break
+            if trials >= max_trials:
+                break
+    return current
+
+
+def repro_snippet(harness: StackHarness, seed: int, actions: Sequence[FaultAction]) -> str:
+    """A regression-test body replaying the minimized schedule."""
+    result: CampaignResult = harness.run(seed, actions=list(actions))
+    status = "FAILS" if result.violations else "passes"
+    lines = [
+        f"# chaos repro: config={harness.name!r} seed={seed} ({status} at generation time)",
+        "from repro.chaos import FaultAction, get_harness",
+        "",
+        f"ACTIONS = {format_schedule(actions)}",
+        "",
+        "def test_minimized_chaos_repro():",
+        f"    result = get_harness({harness.name!r}).run({seed}, actions=ACTIONS)",
+        "    assert result.violations == []",
+    ]
+    return "\n".join(lines)

@@ -107,8 +107,14 @@ class PbftReplica(Component, Agreement):
         self.in_view_change = False
         self.vc_store: Dict[int, Dict[str, ViewChange]] = {}
         self._view_timer = None
+        #: generation counter guarding timer callbacks: a timer event that
+        #: already fired at the simulator level may still be queued behind
+        #: other work on this node's CPU when the timer is reset — the
+        #: stale callback must not clobber the freshly armed timer.
+        self._view_epoch = 0
         self._timeout_factor = 1.0
         self._fetch_timer = None
+        self._fetch_epoch = 0
 
         #: leader-side batch under construction (batch_size > 1 only);
         #: _batch_keys mirrors the accumulator buffer for O(1) dedup and
@@ -286,9 +292,12 @@ class PbftReplica(Component, Agreement):
             return
         if not verify_mac_vector(message.auth, message, message.sender, self.name):
             return
-        if message.view < self.view or message.seq < self.low_water:
+        if message.seq < self.low_water:
             return
         if message.seq >= self.low_water + self.config.window:
+            return
+        if message.view < self.view:
+            self._adopt_stale_view_proposal(message)
             return
         if message.view > self.view:
             # We lag behind in views; adopt nothing yet (new-view will come).
@@ -315,6 +324,55 @@ class PbftReplica(Component, Agreement):
                 ),
             )
         self._check_prepared(slot)
+
+    def _adopt_stale_view_proposal(self, message: PrePrepare) -> None:
+        """Adopt an old-view proposal as *data only* — no prepare vote.
+
+        Our view raced ahead (e.g. lone timeouts while partitioned) but
+        the system is still deciding in an older view; storing the payload
+        lets a commit certificate (2f+1 matching commits, valid in any
+        view by quorum intersection) deliver the slot and rejoin us.
+
+        If an equivocating old-view leader got a *different* payload to us
+        first, the stored data-only payload may conflict with the digest
+        the certificate actually vouches for.  We never prepare-voted for
+        it, so it is safe to replace it with the certificate's payload —
+        without this, the poisoned slot would wedge the replica forever.
+        """
+        payload_digest = digest(message.payload)
+        slot = self.log.slot(message.seq)
+        if slot.pre_prepare is None:
+            if slot.accept_pre_prepare(message, payload_digest):
+                # Deliberately NOT merged into live_keys: no certificate
+                # backs this payload yet, and registering it would let a
+                # Byzantine ex-leader censor the payload forever (order()
+                # and _on_forward() drop live keys without arming a view
+                # timer).  Exactly-once is still safe — the current
+                # leader's own live_keys dedups proposals.
+                self._check_committed(slot)
+            return
+        if (
+            slot.committed
+            or slot.sent_prepare
+            or slot.payload_digest == payload_digest
+        ):
+            return
+        if self._quorate_commit_digest(slot) != payload_digest:
+            return
+        slot.pre_prepare = message
+        slot.view = message.view
+        slot.payload_digest = payload_digest
+        self._check_committed(slot)
+
+    def _quorate_commit_digest(self, slot: Slot) -> Optional[int]:
+        """The payload digest backed by a quorum of commit votes, if any."""
+        weights: Dict[int, float] = {}
+        for sender, voted in slot.commit_votes.items():
+            total = weights.get(voted, 0.0) + self._weight_of(sender)
+            if total >= self.quorum:
+                return voted
+            weights[voted] = total
+        return None
 
     def _on_prepare(self, message: Prepare) -> None:
         if message.sender not in self.peer_names or message.seq < self.low_water:
@@ -359,10 +417,23 @@ class PbftReplica(Component, Agreement):
         self._check_committed(slot)
 
     def _check_committed(self, slot: Slot) -> None:
-        if slot.committed or not slot.prepared:
+        """Commit on quorum commit weight.
+
+        Local ``prepared`` is *not* required: 2f+1 matching commits are a
+        commit certificate — at least f+1 correct replicas prepared the
+        payload in some view, and quorum intersection rules out any
+        conflicting certificate — so a replica that missed the prepare
+        round (or whose view raced ahead) may adopt it directly.  The
+        payload itself must be on hand (pre-prepare stored) to deliver.
+        """
+        if slot.committed or slot.pre_prepare is None:
             return
         if slot.commit_weight(self._weight_of) >= self.quorum:
             slot.committed = True
+            # Idempotent for the normal path; for data-only adopted slots
+            # this is the point where the payload is certificate-backed
+            # and may start dedup'ing client retries.
+            self.live_keys.update(_payload_keys(slot.pre_prepare.payload))
             self._try_deliver()
 
     # ------------------------------------------------------------------
@@ -396,11 +467,20 @@ class PbftReplica(Component, Agreement):
             for slot in self.log.slots.values()
         )
         if gap_exists and self._fetch_timer is None:
+            self._fetch_epoch += 1
             self._fetch_timer = self.node.set_timeout(
-                self.config.fetch_delay_ms, self._fetch_missing
+                self.config.fetch_delay_ms, self._fetch_missing, self._fetch_epoch
             )
 
-    def _fetch_missing(self) -> None:
+    def _cancel_fetch_timer(self) -> None:
+        if self._fetch_timer is not None:
+            self._fetch_timer.cancel()
+            self._fetch_timer = None
+        self._fetch_epoch += 1
+
+    def _fetch_missing(self, epoch: int) -> None:
+        if epoch != self._fetch_epoch:
+            return  # superseded while queued on this node's CPU
         self._fetch_timer = None
         missing = self.delivered_seq + 1
         slot = self.log.get(missing)
@@ -453,17 +533,27 @@ class PbftReplica(Component, Agreement):
     # ------------------------------------------------------------------
     def _arm_view_timer(self) -> None:
         if self._view_timer is None and self.pending:
+            self._view_epoch += 1
             self._view_timer = self.node.set_timeout(
-                self.config.view_timeout_ms * self._timeout_factor, self._on_view_timeout
+                self.config.view_timeout_ms * self._timeout_factor,
+                self._on_view_timeout,
+                self._view_epoch,
             )
 
     def _reset_view_timer(self) -> None:
         if self._view_timer is not None:
             self._view_timer.cancel()
             self._view_timer = None
+        # Invalidate callbacks of timers that fired but have not yet run on
+        # this node's CPU: without the epoch bump a stale callback would
+        # null out the timer armed below (leaking its event) and start a
+        # spurious view change right after progress was made.
+        self._view_epoch += 1
         self._arm_view_timer()
 
-    def _on_view_timeout(self) -> None:
+    def _on_view_timeout(self, epoch: int) -> None:
+        if epoch != self._view_epoch:
+            return  # timer was reset while this callback sat in the queue
         self._view_timer = None
         if not self.pending:
             return
@@ -474,6 +564,13 @@ class PbftReplica(Component, Agreement):
             return
         self.in_view_change = True
         self._flush_batch_buffer()
+        # Replace the fetch timer with a fresh one: the old event (possibly
+        # already fired and queued behind this view change on the CPU) is
+        # invalidated, but gap retransmission itself must keep running — a
+        # replica whose lone view change never completes (e.g. its view
+        # raced ahead while partitioned) recovers *only* through fetches.
+        self._cancel_fetch_timer()
+        self._maybe_schedule_fetch()
         # Drop window-parked proposals too: they live on in ``pending`` and
         # are re-introduced after the new view, whereas a stale backlog
         # would re-propose them a second time if leadership ever rotated
@@ -596,3 +693,6 @@ class PbftReplica(Component, Agreement):
                 )
         self._reset_view_timer()
         self._drain_backlog()
+        # A committed-but-undeliverable gap may have survived the view
+        # change (the fetch timer was cancelled on entry); re-arm it.
+        self._maybe_schedule_fetch()

@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.consensus.interface import Agreement, BatchAccumulator, DeliveryQueue
+from repro.consensus.interface import (
+    Agreement,
+    BatchAccumulator,
+    DeliveryQueue,
+    batch_items,
+)
 from repro.consensus.raft.messages import (
     AppendEntries,
     AppendReply,
@@ -84,6 +89,16 @@ class RaftReplica(Component, Agreement):
         self._votes: set = set()
         self._pending: List[Any] = []  # ordered payloads awaiting a leader
         self._seen: set = set()
+        #: ordered-but-undelivered payloads, keyed by repr.  A payload that
+        #: reached a leader which then crashed (or whose Forward was lost)
+        #: would otherwise be tombstoned forever by ``_seen``; pending
+        #: payloads are re-introduced whenever a new leader is observed,
+        #: mirroring PBFT's pending/new-view re-introduction.
+        self.pending: Dict[str, Any] = {}
+        #: multiset of payload keys currently in the (uncompacted) log,
+        #: maintained incrementally on append/truncate/compaction so that
+        #: re-offer dedup on the forward hot path stays O(1) per item.
+        self._log_key_counts: Dict[str, int] = {}
         self._accumulator = BatchAccumulator(  # leader-side batch accumulation
             node, self.config.batch_size, self.config.batch_timeout_ms, self._cut_batch
         )
@@ -118,17 +133,74 @@ class RaftReplica(Component, Agreement):
         if key in self._seen:
             return
         self._seen.add(key)
+        self.pending[key] = message
         if self.role == LEADER:
             self._enqueue(message)
         elif self.leader is not None:
-            leader_node = next((p for p in self.peers if p.name == self.leader), None)
-            if leader_node is not None:
-                self.send(
-                    leader_node,
-                    ForwardToLeader(tag=self.tag, payload=message, sender=self.node.name),
-                )
+            self._forward(message)
         else:
             self._pending.append(message)
+
+    def _forward(self, message: Any) -> None:
+        leader_node = next((p for p in self.peers if p.name == self.leader), None)
+        if leader_node is not None:
+            self.send(
+                leader_node,
+                ForwardToLeader(tag=self.tag, payload=message, sender=self.node.name),
+            )
+
+    def _note_log_appended(self, payload: Any) -> None:
+        counts = self._log_key_counts
+        for item in batch_items(payload):
+            key = repr(item)
+            counts[key] = counts.get(key, 0) + 1
+
+    def _note_log_removed(self, payload: Any) -> None:
+        counts = self._log_key_counts
+        for item in batch_items(payload):
+            key = repr(item)
+            remaining = counts.get(key, 0) - 1
+            if remaining > 0:
+                counts[key] = remaining
+            else:
+                counts.pop(key, None)
+
+    def _log_keys(self) -> set:
+        """Keys of payloads in the (uncompacted) log + the batch buffer.
+
+        Re-offer dedup covers the *whole* log: a payload this replica
+        learned only through replication (never via ``order``/Forward, so
+        absent from ``_seen``) must still not be appended again when a
+        peer re-offers it after a leadership change.
+        """
+        keys = set(self._log_key_counts)
+        for item in self._accumulator.buffer:
+            keys.add(repr(item))
+        return keys
+
+    def _in_log_or_buffer(self, key: str) -> bool:
+        if key in self._log_key_counts:
+            return True
+        return any(repr(item) == key for item in self._accumulator.buffer)
+
+    def _reintroduce_pending(self) -> None:
+        """Re-submit undelivered payloads after a leadership change.
+
+        A crashed leader may have taken the only log copy of a payload
+        with it; every replica that still holds the payload in ``pending``
+        offers it to the new leader (or appends it itself), and the
+        leader-side whole-log dedup keeps re-offers exactly-once.
+        """
+        if not self.pending:
+            return
+        if self.role == LEADER:
+            known = self._log_keys()
+            for key, payload in list(self.pending.items()):
+                if key not in known:
+                    self._enqueue(payload)
+        elif self.leader is not None:
+            for payload in list(self.pending.values()):
+                self._forward(payload)
 
     def next_delivery(self) -> SimFuture:
         return self.queue.pull()
@@ -140,10 +212,16 @@ class RaftReplica(Component, Agreement):
         self.queue.drop_below(before_seq)
         self.delivered_index = max(self.delivered_index, before_seq - 1)
         self.commit_index = max(self.commit_index, before_seq - 1)
-        # Compact everything below the new low-water mark.
+        # Compact everything below the new low-water mark.  The dropped
+        # entries are settled (checkpoint-covered): clear their payloads
+        # from ``pending`` so no leadership change re-introduces them.
         keep_from = before_seq - 1  # last_index of the compacted prefix
         if keep_from > self.offset:
             drop = min(keep_from - self.offset, len(self.log))
+            for entry in self.log[:drop]:
+                self._note_log_removed(entry.payload)
+                for item in batch_items(entry.payload):
+                    self.pending.pop(repr(item), None)
             self.log = self.log[drop:]
             self.offset += drop
 
@@ -234,6 +312,8 @@ class RaftReplica(Component, Agreement):
         pending, self._pending = self._pending, []
         for payload in pending:
             self._enqueue(payload)
+        # Recover payloads a previous leader may have lost with its log.
+        self._reintroduce_pending()
         self._send_heartbeats()
 
     def _step_down(self, term: int) -> None:
@@ -270,6 +350,7 @@ class RaftReplica(Component, Agreement):
 
     def _append_local(self, payload: Any) -> None:
         self.log.append(LogEntry(term=self.term, payload=payload))
+        self._note_log_appended(payload)
         self.match_index[self.node.name] = self.last_index
         self._replicate()
 
@@ -309,6 +390,7 @@ class RaftReplica(Component, Agreement):
         if message.term > self.term or self.role != FOLLOWER:
             self._step_down(message.term)
         self.term = message.term
+        leader_changed = self.leader != message.leader
         self.leader = message.leader
         self._reset_election_timer()
         # Flush buffered client payloads to the (now known) leader.
@@ -317,6 +399,9 @@ class RaftReplica(Component, Agreement):
             for payload in pending:
                 self._seen.discard(repr(payload))
                 self.order(payload)
+        if leader_changed:
+            # A new leader may lack payloads the previous one hoarded.
+            self._reintroduce_pending()
         # Consistency check on the previous entry.
         if message.prev_index > self.offset and message.prev_index > self.last_index:
             self._reply_append(message.leader, False)
@@ -335,10 +420,14 @@ class RaftReplica(Component, Agreement):
             slot = index - self.offset - 1
             if slot < len(self.log):
                 if self.log[slot].term != entry.term:
+                    for removed in self.log[slot:]:
+                        self._note_log_removed(removed.payload)
                     del self.log[slot:]
                     self.log.append(entry)
+                    self._note_log_appended(entry.payload)
             else:
                 self.log.append(entry)
+                self._note_log_appended(entry.payload)
         if message.commit_index > self.commit_index:
             self.commit_index = min(message.commit_index, self.last_index)
             self._deliver_committed()
@@ -394,11 +483,17 @@ class RaftReplica(Component, Agreement):
     def _deliver_committed(self) -> None:
         while self.delivered_index < self.commit_index:
             self.delivered_index += 1
-            if self.delivered_index < self.low_water:
-                continue
             if self.delivered_index <= self.offset:
                 continue
             entry = self.log[self.delivered_index - self.offset - 1]
+            # Entries skipped below the low-water mark are still *settled*
+            # (a checkpoint covers them): their payloads must leave
+            # ``pending`` too, or a later leadership change would
+            # re-introduce and double-deliver them.
+            for item in batch_items(entry.payload):
+                self.pending.pop(repr(item), None)
+            if self.delivered_index < self.low_water:
+                continue
             self.queue.push(self.delivered_index, entry.payload)
 
     # ------------------------------------------------------------------
@@ -416,6 +511,15 @@ class RaftReplica(Component, Agreement):
         elif isinstance(message, ForwardToLeader):
             if message.sender in self.peer_names and self.role == LEADER:
                 key = repr(message.payload)
-                if key not in self._seen:
+                if key in self._seen and key not in self.pending:
+                    return  # delivered here already
+                if self._in_log_or_buffer(key):
+                    # Already appended (possibly learned purely through
+                    # replication from a previous leader, so absent from
+                    # ``_seen``): a re-offer must not double-append.
                     self._seen.add(key)
-                    self._enqueue(message.payload)
+                    self.pending.setdefault(key, message.payload)
+                    return
+                self._seen.add(key)
+                self.pending.setdefault(key, message.payload)
+                self._enqueue(message.payload)

@@ -14,6 +14,7 @@ paper-vs-measured comparisons.
 from repro.experiments.common import ExperimentResult
 
 EXPERIMENTS = {
+    "chaos": "repro.experiments.chaos",
     "fig7": "repro.experiments.fig7_writes",
     "fig8": "repro.experiments.fig8_reads",
     "fig9_modularity": "repro.experiments.fig9_modularity",

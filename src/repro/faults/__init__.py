@@ -5,20 +5,38 @@ is expressed as *protocol-level* misbehaviour of otherwise-authenticated
 nodes: staying silent, delaying, equivocating, corrupting state machines,
 or flooding.  :class:`FaultInjector` wraps live nodes with these
 behaviours; tests use it to check the paper's f-tolerance claims.
+
+Every behaviour is a reversible :class:`Behaviour` with
+``install``/``uninstall``; the chaos campaign (:mod:`repro.chaos`)
+composes them into seeded fault schedules.
 """
 
 from repro.faults.behaviours import (
+    Behaviour,
+    CorruptAppBehaviour,
+    DelayBehaviour,
+    DropBehaviour,
+    DuplicateBehaviour,
     FaultInjector,
+    SilenceBehaviour,
     make_delayer,
     make_dropper,
+    make_duplicator,
     make_equivocating_kvstore,
     make_silent,
 )
 
 __all__ = [
+    "Behaviour",
+    "SilenceBehaviour",
+    "DelayBehaviour",
+    "DropBehaviour",
+    "DuplicateBehaviour",
+    "CorruptAppBehaviour",
     "FaultInjector",
     "make_silent",
     "make_delayer",
     "make_dropper",
+    "make_duplicator",
     "make_equivocating_kvstore",
 ]

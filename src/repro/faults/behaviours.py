@@ -4,55 +4,247 @@ All behaviours work by interposing on a node's messaging surface
 (``send`` / ``deliver``) or by corrupting its application, never by
 forging other principals' authenticators — mirroring what a compromised
 but key-isolated machine could actually do.
+
+Behaviours are **reversible**: every ``make_*`` helper returns a
+:class:`Behaviour` handle whose :meth:`~Behaviour.uninstall` restores the
+node, even when several behaviours are stacked on one node in any
+install/uninstall order.  The chaos campaign (:mod:`repro.chaos`) relies
+on this to compose fault windows with clean undo.
+
+Randomised behaviours (the dropper, the duplicator) draw from a private
+``random.Random(f"fault:{seed}:{node.name}")`` rather than the shared
+simulator RNG, so arming a fault never perturbs the RNG stream of
+unrelated simulation components (network jitter, Raft election timeouts):
+the honest part of a run stays bit-identical with the fault on or off.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.app.statemachine import Operation, StateMachine
 from repro.sim.node import Node
 
 
-def make_silent(node: Node, to: Optional[Callable[[Node], bool]] = None) -> None:
+def _fault_rng(node: Node) -> random.Random:
+    """Private, platform-stable RNG for one behaviour instance.
+
+    String seeds hash via SHA-512 in CPython, stable across platforms —
+    the same convention as the per-driver workload RNGs.
+    """
+    return random.Random(f"fault:{getattr(node.sim, 'seed', 0)}:{node.name}")
+
+
+class Behaviour:
+    """A reversible interposer on a node's ``send`` path.
+
+    Subclasses override :meth:`_apply` (the faulty send).  Stacking works
+    by chaining: each install captures the node's current ``send`` (which
+    may itself be another behaviour's wrapper) and forwards to it when
+    passing a message through.  Uninstalling the top of the chain unwinds
+    through any already-deactivated wrappers below it; uninstalling from
+    the middle simply deactivates the wrapper, which then forwards
+    untouched until the chain unwinds past it.
+    """
+
+    kind = "behaviour"
+
+    def __init__(self) -> None:
+        self.node: Optional[Node] = None
+        self.active = False
+        self._original_send: Optional[Callable] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def install(self, node: Node) -> "Behaviour":
+        if self.active:
+            raise RuntimeError(f"{self.kind} behaviour already installed")
+        self.node = node
+        self._original_send = node.send
+        stack = node.__dict__.setdefault("_fault_behaviours", [])
+        if not stack:
+            node.__dict__["_fault_base_byzantine"] = node.byzantine
+        stack.append(self)
+        node.send = self._send  # type: ignore[method-assign]
+        node.byzantine = True
+        self.active = True
+        self._on_install()
+        return self
+
+    def uninstall(self) -> None:
+        """Remove the behaviour; idempotent."""
+        if not self.active:
+            return
+        self.active = False
+        self._on_uninstall()
+        node = self.node
+        if getattr(node.send, "__self__", None) is self:
+            # We are the top of the chain: unwind through any wrappers
+            # below us that were deactivated out of order.
+            send = self._original_send
+            while True:
+                owner = getattr(send, "__self__", None)
+                if isinstance(owner, Behaviour) and not owner.active:
+                    send = owner._original_send
+                else:
+                    break
+            if getattr(send, "__self__", None) is node and getattr(
+                send, "__func__", None
+            ) is type(node).send:
+                # Fully unwound: restore the plain bound method by deleting
+                # the instance attribute shadowing the class method.
+                node.__dict__.pop("send", None)
+            else:
+                node.send = send  # type: ignore[method-assign]
+        stack = node.__dict__.get("_fault_behaviours", [])
+        if self in stack:
+            stack.remove(self)
+        if not stack:
+            node.byzantine = node.__dict__.get("_fault_base_byzantine", False)
+
+    # -- hooks ----------------------------------------------------------
+    def _on_install(self) -> None:
+        """Subclass hook run after the send chain is wired."""
+
+    def _on_uninstall(self) -> None:
+        """Subclass hook run before the send chain is unwound."""
+
+    def _send(self, dst, message) -> None:
+        if not self.active:
+            self._original_send(dst, message)
+            return
+        self._apply(dst, message)
+
+    def _apply(self, dst, message) -> None:
+        self._original_send(dst, message)
+
+
+class SilenceBehaviour(Behaviour):
     """The node stops sending (selected) messages but keeps receiving.
 
     More insidious than a crash: peers cannot distinguish it from a slow
     node, so timeout-based fault handling must kick in.
     """
-    original_send = node.send
 
-    def muted_send(dst, message):
-        if to is None or to(dst):
+    kind = "silence"
+
+    def __init__(self, to: Optional[Callable[[Node], bool]] = None):
+        super().__init__()
+        self.to = to
+
+    def _apply(self, dst, message) -> None:
+        if self.to is None or self.to(dst):
             return  # swallow
-        original_send(dst, message)
-
-    node.send = muted_send  # type: ignore[method-assign]
-    node.byzantine = True
+        self._original_send(dst, message)
 
 
-def make_delayer(node: Node, delay_ms: float) -> None:
-    """The node delays every outgoing message by ``delay_ms``."""
-    original_send = node.send
+class DelayBehaviour(Behaviour):
+    """The node delays every outgoing message by ``delay_ms``.
 
-    def delayed_send(dst, message):
-        node.sim.schedule(delay_ms, original_send, dst, message)
+    Delayed transmissions are parked on the simulator; they are discarded
+    (not emitted) if the behaviour was uninstalled or the node crashed in
+    the meantime — a crashed or cured delayer must stop emitting.
+    """
 
-    node.send = delayed_send  # type: ignore[method-assign]
-    node.byzantine = True
+    kind = "delay"
 
+    def __init__(self, delay_ms: float):
+        super().__init__()
+        self.delay_ms = delay_ms
+        self._pending: Dict[int, Any] = {}
+        self._next_token = 0
+        self._crash_count_at_schedule: Dict[int, int] = {}
 
-def make_dropper(node: Node, drop_fraction: float) -> None:
-    """The node randomly drops a fraction of its outgoing messages."""
-    original_send = node.send
+    def _apply(self, dst, message) -> None:
+        token = self._next_token
+        self._next_token += 1
+        self._crash_count_at_schedule[token] = self.node.crash_count
+        self._pending[token] = self.node.sim.schedule(
+            self.delay_ms, self._emit, token, dst, message
+        )
 
-    def lossy_send(dst, message):
-        if node.sim.rng.random() < drop_fraction:
+    def _emit(self, token: int, dst, message) -> None:
+        self._pending.pop(token, None)
+        scheduled_epoch = self._crash_count_at_schedule.pop(token, None)
+        node = self.node
+        if not self.active or node.crashed:
             return
-        original_send(dst, message)
+        if scheduled_epoch is not None and node.crash_count != scheduled_epoch:
+            return  # node crashed (and maybe recovered) since: message is lost
+        self._original_send(dst, message)
 
-    node.send = lossy_send  # type: ignore[method-assign]
-    node.byzantine = True
+    def _on_uninstall(self) -> None:
+        for handle in self._pending.values():
+            handle.cancel()
+        self._pending.clear()
+        self._crash_count_at_schedule.clear()
+
+
+class DropBehaviour(Behaviour):
+    """The node randomly drops a fraction of its outgoing messages."""
+
+    kind = "drop"
+
+    def __init__(self, drop_fraction: float, rng: Optional[random.Random] = None):
+        super().__init__()
+        self.drop_fraction = drop_fraction
+        self.rng = rng
+        self.dropped = 0
+
+    def _on_install(self) -> None:
+        if self.rng is None:
+            self.rng = _fault_rng(self.node)
+
+    def _apply(self, dst, message) -> None:
+        if self.rng.random() < self.drop_fraction:
+            self.dropped += 1
+            return
+        self._original_send(dst, message)
+
+
+class DuplicateBehaviour(Behaviour):
+    """The node re-sends a fraction of its messages (at-least-once links)."""
+
+    kind = "duplicate"
+
+    def __init__(self, dup_fraction: float, rng: Optional[random.Random] = None):
+        super().__init__()
+        self.dup_fraction = dup_fraction
+        self.rng = rng
+        self.duplicated = 0
+
+    def _on_install(self) -> None:
+        if self.rng is None:
+            self.rng = _fault_rng(self.node)
+
+    def _apply(self, dst, message) -> None:
+        self._original_send(dst, message)
+        if self.rng.random() < self.dup_fraction:
+            self.duplicated += 1
+            self._original_send(dst, message)
+
+
+# ----------------------------------------------------------------------
+# Legacy helpers (return the behaviour handle for reversibility)
+# ----------------------------------------------------------------------
+def make_silent(node: Node, to: Optional[Callable[[Node], bool]] = None) -> SilenceBehaviour:
+    return SilenceBehaviour(to=to).install(node)  # type: ignore[return-value]
+
+
+def make_delayer(node: Node, delay_ms: float) -> DelayBehaviour:
+    return DelayBehaviour(delay_ms).install(node)  # type: ignore[return-value]
+
+
+def make_dropper(
+    node: Node, drop_fraction: float, rng: Optional[random.Random] = None
+) -> DropBehaviour:
+    return DropBehaviour(drop_fraction, rng=rng).install(node)  # type: ignore[return-value]
+
+
+def make_duplicator(
+    node: Node, dup_fraction: float, rng: Optional[random.Random] = None
+) -> DuplicateBehaviour:
+    return DuplicateBehaviour(dup_fraction, rng=rng).install(node)  # type: ignore[return-value]
 
 
 class _EquivocatingKVStore(StateMachine):
@@ -89,15 +281,40 @@ class _EquivocatingKVStore(StateMachine):
         return self.inner.state_size_bytes()
 
 
-def make_equivocating_kvstore(replica, lie_every: int = 1, colluding: bool = False) -> None:
+class CorruptAppBehaviour(Behaviour):
     """Replace an execution replica's application with a lying wrapper.
 
     ``colluding=True`` makes all liars fabricate *identical* results —
     enough of them can then outvote honest replicas (the fault budget).
     """
-    salt = "" if colluding else replica.name
-    replica.app = _EquivocatingKVStore(replica.app, lie_every=lie_every, salt=salt)
-    replica.byzantine = True
+
+    kind = "corrupt-app"
+
+    def __init__(self, lie_every: int = 1, colluding: bool = False):
+        super().__init__()
+        self.lie_every = lie_every
+        self.colluding = colluding
+        self._previous_app: Optional[StateMachine] = None
+
+    def _on_install(self) -> None:
+        replica = self.node
+        salt = "" if self.colluding else replica.name
+        self._previous_app = replica.app
+        replica.app = _EquivocatingKVStore(
+            replica.app, lie_every=self.lie_every, salt=salt
+        )
+
+    def _on_uninstall(self) -> None:
+        # The honest state kept evolving inside the wrapper; hand it back.
+        self.node.app = self._previous_app
+
+
+def make_equivocating_kvstore(
+    replica, lie_every: int = 1, colluding: bool = False
+) -> CorruptAppBehaviour:
+    return CorruptAppBehaviour(lie_every=lie_every, colluding=colluding).install(
+        replica
+    )  # type: ignore[return-value]
 
 
 class FaultInjector:
@@ -110,33 +327,56 @@ class FaultInjector:
         injector.corrupt_application(system.groups["g0"].replicas[1])
         ...
         assert injector.summary()["silent"] == 1
+        injector.undo_all()   # restore every node
     """
 
     def __init__(self):
         self.applied: Dict[str, List[str]] = {}
+        self.behaviours: List[Behaviour] = []
 
-    def _record(self, behaviour: str, node: Node) -> None:
+    def _record(self, behaviour: str, node: Node, handle: Optional[Behaviour] = None) -> None:
         self.applied.setdefault(behaviour, []).append(node.name)
+        if handle is not None:
+            self.behaviours.append(handle)
 
     def crash(self, node: Node) -> None:
         node.crash()
         self._record("crash", node)
 
-    def silence(self, node: Node, to=None) -> None:
-        make_silent(node, to=to)
-        self._record("silent", node)
+    def silence(self, node: Node, to=None) -> SilenceBehaviour:
+        handle = make_silent(node, to=to)
+        self._record("silent", node, handle)
+        return handle
 
-    def delay(self, node: Node, delay_ms: float) -> None:
-        make_delayer(node, delay_ms)
-        self._record("delay", node)
+    def delay(self, node: Node, delay_ms: float) -> DelayBehaviour:
+        handle = make_delayer(node, delay_ms)
+        self._record("delay", node, handle)
+        return handle
 
-    def drop(self, node: Node, fraction: float) -> None:
-        make_dropper(node, fraction)
-        self._record("drop", node)
+    def drop(self, node: Node, fraction: float) -> DropBehaviour:
+        handle = make_dropper(node, fraction)
+        self._record("drop", node, handle)
+        return handle
 
-    def corrupt_application(self, replica, lie_every: int = 1, colluding: bool = False) -> None:
-        make_equivocating_kvstore(replica, lie_every=lie_every, colluding=colluding)
-        self._record("corrupt-app", replica)
+    def duplicate(self, node: Node, fraction: float) -> DuplicateBehaviour:
+        handle = make_duplicator(node, fraction)
+        self._record("duplicate", node, handle)
+        return handle
+
+    def corrupt_application(
+        self, replica, lie_every: int = 1, colluding: bool = False
+    ) -> CorruptAppBehaviour:
+        handle = make_equivocating_kvstore(
+            replica, lie_every=lie_every, colluding=colluding
+        )
+        self._record("corrupt-app", replica, handle)
+        return handle
+
+    def undo_all(self) -> None:
+        """Uninstall every installed behaviour (crashes are not undone)."""
+        for handle in reversed(self.behaviours):
+            handle.uninstall()
+        self.behaviours.clear()
 
     def summary(self) -> Dict[str, int]:
         return {behaviour: len(names) for behaviour, names in self.applied.items()}

@@ -320,6 +320,15 @@ class ReceiverEndpointBase(IrmcEndpoint):
         self._known_subchannels: set = set()
 
     def _note_subchannel(self, subchannel: Any) -> None:
+        """Fire ``on_new_subchannel`` exactly once per subchannel.
+
+        Called from :meth:`_deliver` only — i.e. after ``f_s + 1`` distinct
+        senders vouched for a message — never on bare receipt.  Consumers
+        spawn per-subchannel work (Spider's agreement replicas start one
+        client loop each), so reacting to unvouched traffic would let a
+        single Byzantine sender fabricate unbounded subchannels and flood
+        the receiver with loops it can never retire.
+        """
         if subchannel in self._known_subchannels:
             return
         self._known_subchannels.add(subchannel)
@@ -359,14 +368,18 @@ class ReceiverEndpointBase(IrmcEndpoint):
             return
         self.window_start[subchannel] = position
         delivered = self._delivered.get(subchannel)
-        if delivered:
+        if delivered is not None:
             for old in [p for p in delivered if p < position]:
                 del delivered[old]
+            if not delivered:
+                del self._delivered[subchannel]
         waiters = self._waiters.get(subchannel)
-        if waiters:
+        if waiters is not None:
             for old in [p for p in waiters if p < position]:
                 for future in waiters.pop(old):
                     future.try_resolve(TooOld(position))
+            if not waiters:
+                del self._waiters[subchannel]
         self._purge_below(subchannel, position)
 
     def _purge_below(self, subchannel: Any, position: int) -> None:
@@ -388,6 +401,7 @@ class ReceiverEndpointBase(IrmcEndpoint):
         delivered = self._delivered.setdefault(subchannel, {})
         if position in delivered:
             return
+        self._note_subchannel(subchannel)
         delivered[position] = payload
         self.delivered_count += 1
         waiters = self._waiters.get(subchannel, {}).pop(position, None)

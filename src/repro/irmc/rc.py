@@ -65,7 +65,6 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
         if not verify(message.signature, message, signer=sender):
             return
         subchannel, position = message.subchannel, message.position
-        self._note_subchannel(subchannel)
         if not self.storable(subchannel, position):
             return
         delivered = self._delivered.get(subchannel)
@@ -88,15 +87,24 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
             self._deliver(subchannel, position, payload)
 
     def _cleanup_position(self, subchannel: Any, position: int) -> None:
-        self._votes.get(subchannel, {}).pop(position, None)
-        self._payloads.get(subchannel, {}).pop(position, None)
+        # Empty per-subchannel books are dropped outright: subchannels are
+        # client identities, so over a long run retired ones would
+        # otherwise accumulate empty dicts without bound.
+        for book in (self._votes, self._payloads):
+            per_channel = book.get(subchannel)
+            if per_channel is not None:
+                per_channel.pop(position, None)
+                if not per_channel:
+                    del book[subchannel]
 
     def _purge_below(self, subchannel: Any, position: int) -> None:
         for book in (self._votes, self._payloads):
             per_channel = book.get(subchannel)
-            if per_channel:
+            if per_channel is not None:
                 for old in [p for p in per_channel if p < position]:
                     del per_channel[old]
+                if not per_channel:
+                    del book[subchannel]
 
 
 def make_rc_channel(tag, sender_nodes, receiver_nodes, config: IrmcConfig):

@@ -192,9 +192,11 @@ class ScSenderEndpoint(SenderEndpointBase):
 
     def _garbage_collect(self, subchannel: Any, new_start: int) -> None:
         bundles = self._bundles.get(subchannel)
-        if bundles:
+        if bundles is not None:
             for old in [p for p in bundles if p < new_start]:
                 del bundles[old]
+            if not bundles:
+                del self._bundles[subchannel]
         for key in [k for k in self._pending if k[0] == subchannel and k[1] < new_start]:
             del self._pending[key]
         for key in [k for k in self._shares if k[0] == subchannel and k[1] < new_start]:
@@ -242,7 +244,6 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
         if not verify(message.signature, message, signer=message.sender):
             return
         subchannel, position = message.subchannel, message.position
-        self._note_subchannel(subchannel)
         if not self.storable(subchannel, position):
             return
         if position in self._delivered.get(subchannel, {}):

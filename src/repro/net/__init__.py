@@ -8,7 +8,7 @@ region are short-distance (~1 ms RTT), region-to-region links are wide-area
 
 from repro.net.latency import EC2_REGION_RTT_MS, REGIONS, region_rtt_ms
 from repro.net.message import Message, Payload
-from repro.net.network import LinkStats, Network, TransferSnapshot
+from repro.net.network import LinkMod, LinkStats, Network, TransferSnapshot
 from repro.net.topology import Site, Topology
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "Message",
     "Payload",
     "Network",
+    "LinkMod",
     "LinkStats",
     "TransferSnapshot",
     "Site",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Set, Tuple
@@ -37,6 +38,21 @@ class TransferSnapshot:
 
 
 @dataclass
+class LinkMod:
+    """Per-link injection: fixed extra delay, i.i.d. duplication and loss.
+
+    Randomised decisions draw from the mod's **own** RNG (never the shared
+    simulator RNG), so installing or removing a link mod does not perturb
+    the RNG stream of unrelated components.
+    """
+
+    delay_ms: float = 0.0
+    dup_rate: float = 0.0
+    drop_rate: float = 0.0
+    rng: Optional[random.Random] = None
+
+
+@dataclass
 class _FaultState:
     """Mutable fault-injection configuration."""
 
@@ -45,6 +61,9 @@ class _FaultState:
     crashed_links: Set[Tuple[str, str]] = field(default_factory=set)
     extra_delay: Optional[Callable[[Node, Node, Any], float]] = None
     filter: Optional[Callable[[Node, Node, Any], bool]] = None
+    #: (src name, dst name) -> LinkMod; empty (the overwhelmingly common
+    #: case) costs one falsy dict check on the send fast path.
+    link_mods: Dict[Tuple[str, str], LinkMod] = field(default_factory=dict)
 
 
 class Network:
@@ -74,6 +93,7 @@ class Network:
         self.per_region_pair: Dict[frozenset, LinkStats] = {}
         self.fault = _FaultState()
         self.dropped = 0
+        self.duplicated = 0
         #: message type -> sizing mode (0: no ``size_bytes``, fall back to
         #: 256 bytes; 1: call it; 2: frozen message, size memoised per
         #: object).  Hoists the dispatch out of the per-send path.
@@ -129,6 +149,16 @@ class Network:
         ) and self._is_blocked(src, dst, message):
             self.dropped += 1
             return
+        mod = None
+        if fault.link_mods:
+            mod = fault.link_mods.get((src.name, dst.name))
+            if (
+                mod is not None
+                and mod.drop_rate
+                and mod.rng.random() < mod.drop_rate
+            ):
+                self.dropped += 1
+                return
         cls = message.__class__
         mode = self._sized_types.get(cls)
         if mode is None:
@@ -182,6 +212,15 @@ class Network:
                 raise SimulationError(
                     f"cannot schedule into the past (delay={nic + link})"
                 )
+        if mod is not None:
+            link += mod.delay_ms
+            if mod.dup_rate and mod.rng.random() < mod.dup_rate:
+                self.duplicated += 1
+                sim._seq += 1
+                heappush(
+                    sim._queue,
+                    (now + (nic + link), sim._seq, dst.deliver, (src, message)),
+                )
         # Inlined ``sim.post``: one delivery per send makes the call overhead
         # measurable, and the delay is non-negative by construction.  The
         # delay is summed as ``nic + link`` *before* adding ``now`` — the
@@ -216,6 +255,14 @@ class Network:
         """Remove all partitions."""
         self.fault.partitions.clear()
 
+    def heal_partition(self, regions) -> None:
+        """Remove exactly the partition created by ``partition(regions)``.
+
+        Lets independently scheduled partition windows (the chaos engine)
+        undo themselves without clobbering overlapping partitions.
+        """
+        self.fault.partitions.discard(frozenset(regions))
+
     def set_drop_rate(self, rate: float) -> None:
         if not 0.0 <= rate < 1.0:
             raise SimulationError(f"drop rate must be in [0, 1), got {rate}")
@@ -226,6 +273,25 @@ class Network:
 
     def unblock_link(self, src: Node, dst: Node) -> None:
         self.fault.crashed_links.discard((src.name, dst.name))
+
+    def set_link_mod(
+        self,
+        src: Node,
+        dst: Node,
+        delay_ms: float = 0.0,
+        dup_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> LinkMod:
+        """Inject extra delay / duplication / loss on one directed link."""
+        if rng is None:
+            rng = random.Random(f"linkmod:{self.sim.seed}:{src.name}:{dst.name}")
+        mod = LinkMod(delay_ms=delay_ms, dup_rate=dup_rate, drop_rate=drop_rate, rng=rng)
+        self.fault.link_mods[(src.name, dst.name)] = mod
+        return mod
+
+    def clear_link_mod(self, src: Node, dst: Node) -> None:
+        self.fault.link_mods.pop((src.name, dst.name), None)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -65,6 +65,10 @@ class Node:
         self.site = site
         self.network = None  # assigned by Network.register
         self.crashed = False
+        #: number of times :meth:`crash` was called; lets observers (e.g.
+        #: fault behaviours holding delayed messages) detect that a crash
+        #: happened even if the node has since recovered.
+        self.crash_count = 0
         self.byzantine = False
         self.busy_until: float = 0.0
         self.busy_ms: float = 0.0
@@ -202,6 +206,7 @@ class Node:
     def crash(self) -> None:
         """Fail-stop the node: pending work and future messages are dropped."""
         self.crashed = True
+        self.crash_count += 1
         self._tasks.clear()
         self._outbox.clear()
 

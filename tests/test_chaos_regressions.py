@@ -1,0 +1,463 @@
+"""Minimized regression tests for bugs flushed out by the chaos campaign.
+
+Each test is either a direct replay of a shrunk chaos schedule (see
+``repro.chaos.shrink``) or the minimal hand-distilled interleaving behind a
+failing seed.  They must stay green forever: every scenario here broke an
+invariant before its fix landed.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.primitives import attach_auth, sign
+from repro.irmc import IrmcConfig
+from repro.irmc.messages import SendMsg
+from repro.irmc.rc import make_rc_channel
+
+from tests.conftest import Cluster
+from tests.test_pbft import PbftHarness
+
+
+def _live_cancellable_events(sim) -> int:
+    """Live (not cancelled, not fired) cancellable events still queued."""
+    return sum(
+        1
+        for entry in sim._queue
+        if len(entry) == 3 and not entry[2].cancelled and not entry[2].fired
+    )
+
+
+class TestPbftViewTimerRace:
+    """A view timer that fired at the simulator level can still be queued
+    behind other work on the replica's CPU when progress resets the timer.
+    The stale callback used to null out the fresh timer (leaking its event)
+    and start a spurious view change right after delivery."""
+
+    def test_stale_fired_timeout_does_not_orphan_fresh_timer(self):
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=100.0)
+        leader = harness.replicas[0]
+        node = leader.node
+
+        # Crash the followers so no quorum forms: the proposals stay in
+        # ``pending`` and the leader's view timer stays armed.
+        for follower in harness.nodes[1:]:
+            follower.crash()
+        cluster.sim.schedule(0.0, leader.order, ("op", 1))
+        cluster.sim.schedule(0.0, leader.order, ("op", 2))
+        cluster.run(until=50.0)
+        assert leader.pending and leader._view_timer is not None
+
+        # Keep the CPU busy across the timer's fire time so the timeout
+        # callback queues behind our "progress" task instead of running
+        # immediately...
+        fire_at = leader._view_timer.time
+
+        def hog():
+            from repro.sim.node import charge
+
+            charge(20.0)
+
+        cluster.sim.schedule_at(fire_at - 5.0, node.run_task, hog)
+        # ... and queue a task that simulates delivery progress (exactly
+        # what _try_deliver does) before the stale timeout callback runs.
+        cluster.sim.schedule_at(fire_at - 1.0, node.run_task, leader._reset_view_timer)
+
+        cluster.run(until=fire_at + 50.0)
+
+        # The stale callback must not have started a view change ...
+        assert leader.view == 0
+        assert not leader.in_view_change
+        # ... and exactly one view timer may be live: the one armed by the
+        # reset (pre-fix the stale callback orphaned it and armed another).
+        assert leader._view_timer is not None
+        assert _live_cancellable_events(cluster.sim) == 1
+
+    def test_view_timer_still_fires_when_progress_stalls(self):
+        """The epoch guard must not suppress genuine timeouts."""
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=100.0)
+        follower = harness.replicas[1]
+        follower.order(("stalled", 1))  # leader never hears about it
+        # Silence the network between follower and leader by never running
+        # the leader: just crash it so nothing progresses.
+        harness.nodes[0].crash()
+        cluster.run(until=5_000.0)
+        assert follower.view_changes_completed >= 1 or follower.view > 0
+
+
+class TestPbftFetchTimerHygiene:
+    def test_fetch_timer_cancelled_on_view_change_entry(self):
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=200.0, fetch_delay_ms=500.0)
+        replica = harness.replicas[1]
+
+        # Manufacture a committed gap: seq 2 committed, seq 1 missing.
+        slot = replica.log.slot(2)
+        from repro.consensus.pbft.messages import PrePrepare
+        from repro.crypto.primitives import digest
+
+        pre = PrePrepare(tag="pbft", view=0, seq=2, payload=("gap", 2), sender="r0")
+        slot.accept_pre_prepare(pre, digest(("gap", 2)))
+        slot.prepared = True
+        slot.committed = True
+        replica._maybe_schedule_fetch()
+        assert replica._fetch_timer is not None
+        fetch_handle = replica._fetch_timer
+
+        replica._start_view_change(1)
+        # The old timer event is dead (not leaked), and a *fresh* one is
+        # armed because the committed gap still exists — gap fetch is the
+        # only recovery path when the view change never completes.
+        assert fetch_handle.cancelled
+        assert replica._fetch_timer is not None
+        assert replica._fetch_timer is not fetch_handle
+
+    def test_stale_fetch_callback_is_ignored_after_reset(self):
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=10_000.0, fetch_delay_ms=50.0)
+        replica = harness.replicas[1]
+        node = replica.node
+
+        from repro.consensus.pbft.messages import PrePrepare
+        from repro.crypto.primitives import digest
+
+        slot = replica.log.slot(2)
+        pre = PrePrepare(tag="pbft", view=0, seq=2, payload=("gap", 2), sender="r0")
+        slot.accept_pre_prepare(pre, digest(("gap", 2)))
+        slot.prepared = True
+        slot.committed = True
+        replica._maybe_schedule_fetch()
+        fire_at = replica._fetch_timer.time
+
+        def hog():
+            from repro.sim.node import charge
+
+            charge(20.0)
+
+        # The fetch timer fires while the CPU is busy; a cancel lands before
+        # the stale callback runs on the CPU.
+        cluster.sim.schedule_at(fire_at - 5.0, node.run_task, hog)
+        cluster.sim.schedule_at(fire_at - 1.0, node.run_task, replica._cancel_fetch_timer)
+        sent_before = cluster.network.lan.messages + cluster.network.wan.messages
+        cluster.run(until=fire_at + 30.0)
+        sent_after = cluster.network.lan.messages + cluster.network.wan.messages
+
+        # The stale callback must not have sent FetchSlot requests.
+        assert sent_after == sent_before
+        assert replica._fetch_timer is None
+
+
+class TestIrmcRcFloodBookkeeping:
+    """A Byzantine sender floods an RC receiver with SendMsgs: the receiver's
+    vote/payload books must stay bounded by the window overflow cap, stale
+    positions must be pruned on MoveMsg processing, and per-subchannel
+    reactions must only fire for f_s+1-vouched traffic."""
+
+    def _fixture(self):
+        cluster = Cluster()
+        s_nodes = cluster.add_group("s", 3, region="virginia")
+        r_nodes = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=2, overflow_factor=8, move_heartbeat_ms=0)
+        senders, receivers = make_rc_channel("ch", s_nodes, r_nodes, config)
+        return cluster, config, senders, receivers
+
+    @staticmethod
+    def _flood(receiver, sender_name, subchannel, lo, hi, payload=None):
+        for position in range(lo, hi):
+            body = SendMsg(
+                tag="ch",
+                subchannel=subchannel,
+                position=position,
+                payload=payload if payload is not None else ("p", position),
+                sender=sender_name,
+            )
+            receiver._on_send(attach_auth(body, signature=sign(sender_name, body)))
+
+    def test_flood_is_bounded_and_moves_prune_stale_state(self):
+        cluster, config, senders, receivers = self._fixture()
+        rx = receivers["r0"]
+        cap = config.capacity * config.overflow_factor
+
+        self._flood(rx, "s0", "c1", 1, 1001)
+        assert len(rx._votes.get("c1", {})) <= cap
+        assert len(rx._payloads.get("c1", {})) <= cap
+
+        # fs+1 = 2 senders move the window forward: everything below the new
+        # start is pruned, and emptied books are dropped entirely.
+        for name in ("s0", "s1"):
+            rx._on_sender_move(senders[name]._make_move("c1", 500))
+        assert rx.start_of("c1") == 500
+        assert "c1" not in rx._votes and "c1" not in rx._payloads
+
+        # A stale-position flood (all below the window) stores nothing.
+        self._flood(rx, "s0", "c1", 1, 500)
+        assert "c1" not in rx._votes and "c1" not in rx._payloads
+
+    def test_delivery_cleans_per_position_books(self):
+        cluster, config, senders, receivers = self._fixture()
+        rx = receivers["r0"]
+        for name in ("s0", "s1"):
+            self._flood(rx, name, "c1", 1, 2, payload=("req", "a"))
+        assert rx.delivered_count == 1
+        # Position 1 was delivered: its collection evidence is gone and no
+        # empty shell dicts linger for the subchannel.
+        assert "c1" not in rx._votes and "c1" not in rx._payloads
+
+    def test_unvouched_subchannels_do_not_spawn_reactions(self):
+        """One Byzantine sender invents thousands of subchannels: without
+        f_s+1 vouching none of them may fire ``on_new_subchannel`` (Spider
+        spawns a per-client loop per firing — a process amplification)."""
+        cluster, config, senders, receivers = self._fixture()
+        rx = receivers["r0"]
+        spawned = []
+        rx.on_new_subchannel = spawned.append
+        for index in range(200):
+            self._flood(rx, "s0", f"evil-{index}", 1, 2)
+        assert spawned == []
+        assert len(rx._known_subchannels) == 0
+        # Vouched traffic still fires it, exactly once per subchannel.
+        for name in ("s0", "s1"):
+            self._flood(rx, name, "real", 1, 2, payload=("req", "a"))
+        assert spawned == ["real"]
+
+
+class TestRaftLostPayloadReintroduction:
+    """A Raft leader that accepts a payload and crashes before replicating
+    it used to lose the payload forever: every replica's ``_seen`` tombstone
+    blocked re-submission.  Pending payloads are now re-introduced when a
+    new leader is observed (the Raft analogue of PBFT's new-view
+    re-introduction)."""
+
+    def test_payload_survives_leader_crash_before_replication(self):
+        from tests.test_raft import RaftHarness
+
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        leader = harness.leader()
+        assert leader is not None
+        # The leader can hear but not speak: the entry it accepts from the
+        # forwarding follower never replicates.
+        for node in harness.nodes:
+            if node is not leader.node:
+                cluster.network.block_link(leader.node, node)
+        follower = next(r for r in harness.replicas if r.role == "follower")
+        follower.order(("precious",))
+        # Short window: the forward reaches the leader (LAN, ~1 ms) but the
+        # followers' election timeouts (>= 400 ms) have not fired yet.
+        cluster.run(until=cluster.sim.now + 200.0)
+        assert repr(("precious",)) in leader._log_keys(), (
+            "precondition: the doomed leader hoarded the payload"
+        )
+        leader.node.crash()
+        for node in harness.nodes:
+            if node is not leader.node:
+                cluster.network.unblock_link(leader.node, node)
+        cluster.run(until=20_000.0)
+        for replica in harness.replicas:
+            if replica is leader:
+                continue
+            delivered = [p for _, p in harness.delivered[replica.node.name]]
+            assert ("precious",) in delivered
+
+
+class TestChaosMinimizedReplays:
+    """Shrunk schedules from the first campaign sweeps, replayed verbatim.
+
+    Found by ``benchmarks/test_chaos.py``-style sweeps and minimized with
+    ``repro.chaos.shrink.shrink_schedule``; each used to violate a
+    liveness invariant before its fix.
+    """
+
+    def test_pbft_seed_15_flaky_leader_link(self):
+        """chaos repro: config='pbft' seed=15 — a flaky r0->r3 link made
+        r3's view race ahead during lone timeouts; it then discarded all
+        current-view traffic forever.  Fixed by commit-certificate
+        adoption (2f+1 matching commits deliver in any view)."""
+        from repro.chaos import FaultAction, get_harness
+
+        actions = [
+            FaultAction(
+                kind="link_flaky",
+                target="r0->r3",
+                start_ms=497.73,
+                duration_ms=4780.887,
+                param=0.281,
+            ),
+        ]
+        result = get_harness("pbft").run(15, actions=actions)
+        assert result.violations == []
+
+    def test_pbft_seed_38_blocked_leader_link(self):
+        """chaos repro: config='pbft' seed=38 — one blocked leader->replica
+        link for 786 ms wedged the replica permanently (fetch suppressed
+        while its never-completing lone view change was in progress)."""
+        from repro.chaos import FaultAction, get_harness
+
+        actions = [
+            FaultAction(
+                kind="block_link",
+                target="r0->r3",
+                start_ms=2636.654,
+                duration_ms=785.819,
+            ),
+        ]
+        result = get_harness("pbft").run(38, actions=actions)
+        assert result.violations == []
+
+
+class TestRaftReofferDeduplication:
+    """Re-offered payloads after a leadership change must dedup against the
+    whole log — including entries the new leader learned only through
+    replication (absent from its ``_seen``) — and checkpoint-covered
+    entries must leave ``pending`` so they are never re-introduced."""
+
+    def test_reoffer_of_replicated_payload_is_not_double_appended(self):
+        from tests.test_raft import RaftHarness
+
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        old_leader = harness.leader()
+        others = [r for r in harness.replicas if r is not old_leader]
+        source, successor = others[0], others[1]
+        # The source replica forwards P but is cut off before it can learn
+        # the outcome; the successor learns P only through replication.
+        cluster.network.block_link(old_leader.node, source.node)
+        source.order(("precious",))
+        cluster.run(until=cluster.sim.now + 300.0)
+        assert repr(("precious",)) in successor._log_keys()
+        assert repr(("precious",)) not in successor._seen
+        old_leader.node.crash()
+        cluster.network.unblock_link(old_leader.node, source.node)
+        # Elections follow; the source re-offers P to whoever wins.
+        cluster.run(until=cluster.sim.now + 20_000.0)
+        for replica in others:
+            payloads = [p for _, p in harness.delivered[replica.node.name]]
+            assert payloads.count(("precious",)) == 1, (
+                replica.node.name,
+                payloads,
+            )
+
+    def test_gc_compaction_clears_pending(self):
+        from tests.test_raft import RaftHarness
+
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        leader = harness.leader()
+        leader.order(("covered",))
+        cluster.run(until=cluster.sim.now + 50.0)
+        assert repr(("covered",)) in leader.pending or not leader.pending
+        # A checkpoint covers everything up to last_index: compaction must
+        # clear the covered payloads from pending, not just the log.
+        leader.gc(leader.last_index + 1)
+        assert repr(("covered",)) not in leader.pending
+
+
+class TestPbftEquivocationPoisonedSlot:
+    """An equivocating old-view leader could permanently wedge a replica
+    whose view raced ahead: the data-only adopted payload X conflicted
+    with the commit certificate for Y, and the conflicting-PrePrepare
+    guard rejected every later copy of Y.  The slot's payload is now
+    replaced when (and only when) a quorate commit certificate vouches
+    for the other digest and we never prepare-voted ourselves."""
+
+    def test_certificate_overrides_poisoned_data_only_payload(self):
+        from repro.consensus.pbft.messages import Commit, PrePrepare
+
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=60_000.0)
+        r0, r1, r2, r3 = harness.replicas
+        r3.view = 5  # raced ahead while partitioned
+
+        def pp(payload):
+            return r0._mac_attach(
+                PrePrepare(tag="pbft", view=0, seq=1, payload=payload, sender="r0")
+            )
+
+        from repro.crypto.primitives import digest
+
+        # Equivocating leader got payload X to r3 first (data-only adopt).
+        r3._on_pre_prepare(pp(("X",)))
+        assert r3.log.get(1).payload_digest == digest(("X",))
+        # The rest of the group certified Y: 3 commits = quorum.
+        for replica in (r0, r1, r2):
+            r3._on_commit(
+                replica._mac_attach(
+                    Commit(
+                        tag="pbft",
+                        view=0,
+                        seq=1,
+                        payload_digest=digest(("Y",)),
+                        sender=replica.name,
+                    )
+                )
+            )
+        assert not r3.log.get(1).committed  # poisoned: X stored, Y certified
+        # A fetched copy of the certified proposal must now heal the slot.
+        r3._on_pre_prepare(pp(("Y",)))
+        slot = r3.log.get(1)
+        assert slot.payload_digest == digest(("Y",))
+        assert slot.committed
+        cluster.run(until=100.0)
+        assert harness.delivered_payloads("r3") == [("Y",)]
+
+    def test_certificate_never_overrides_a_voted_slot(self):
+        """If the replica prepare-voted for X, the slot must NOT flip."""
+        from repro.consensus.pbft.messages import Commit, PrePrepare
+        from repro.crypto.primitives import digest
+
+        cluster = Cluster()
+        harness = PbftHarness(cluster, view_timeout_ms=60_000.0)
+        r0, r1, r2, r3 = harness.replicas
+        # Normal-path acceptance in the current view: r3 votes for X.
+        r3._on_pre_prepare(
+            r0._mac_attach(
+                PrePrepare(tag="pbft", view=0, seq=1, payload=("X",), sender="r0")
+            )
+        )
+        assert r3.log.get(1).sent_prepare
+        r3.view = 5
+        for replica in (r0, r1, r2):
+            r3._on_commit(
+                replica._mac_attach(
+                    Commit(
+                        tag="pbft",
+                        view=0,
+                        seq=1,
+                        payload_digest=digest(("Y",)),
+                        sender=replica.name,
+                    )
+                )
+            )
+        r3._on_pre_prepare(
+            r0._mac_attach(
+                PrePrepare(tag="pbft", view=0, seq=1, payload=("Y",), sender="r0")
+            )
+        )
+        assert r3.log.get(1).payload_digest == digest(("X",))
+
+
+class TestOverlappingLinkWindows:
+    """Hand-written (or shrunk) schedules may overlap link windows on one
+    link; the earlier window's undo must not cut the later one short."""
+
+    def test_later_link_mod_survives_earlier_windows_undo(self):
+        from repro.chaos import ChaosEngine, FaultAction
+
+        cluster = Cluster()
+        a, b = cluster.add_group("n", 2)
+        engine = ChaosEngine(cluster.sim, cluster.network, {"n0": a, "n1": b})
+        engine.install(
+            [
+                FaultAction(kind="link_delay", target="n0->n1", start_ms=10.0, duration_ms=90.0, param=50.0),
+                FaultAction(kind="link_flaky", target="n0->n1", start_ms=60.0, duration_ms=140.0, param=0.2),
+            ]
+        )
+        mods = cluster.network.fault.link_mods
+        cluster.run(until=150.0)  # delay window undone at 100ms
+        assert ("n0", "n1") in mods  # flaky window still armed
+        assert mods[("n0", "n1")].dup_rate == 0.2
+        cluster.run(until=250.0)
+        assert ("n0", "n1") not in mods
