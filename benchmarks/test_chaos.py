@@ -1,8 +1,10 @@
 """Chaos campaign sweep: seeded fault schedules against every stack.
 
 Acceptance sweep for the chaos subsystem: >= 50 seeds spread across the
-five stack configurations (full Spider, PBFT-only, Raft-only, IRMC-RC,
-IRMC-SC), every safety and liveness invariant green, plus the
+seven stack configurations (full Spider, PBFT-only, Raft-only, IRMC-RC,
+IRMC-SC, plus the targeted recovery stacks ``pbft-vc-crash`` and
+``spider-cp-crash``), every safety and liveness invariant green —
+crash/recovered replicas owe completion-after-heal too — plus the
 byte-parity guarantee that a no-fault campaign run is indistinguishable
 from the same workload without the chaos layer loaded.
 
@@ -36,7 +38,7 @@ def _fresh_failure_artifact():
         FAILURES_PATH.unlink()
     yield
 
-#: seeds per configuration; 5 configs x 12 = 60 cases >= the 50 floor.
+#: seeds per configuration; 7 configs x 12 = 84 cases >= the 50 floor.
 SEEDS_PER_CONFIG = 12
 SEED_BASE = 1
 

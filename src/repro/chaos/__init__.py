@@ -12,6 +12,32 @@ seeded pipeline::
 
 ``python -m repro.experiments chaos`` sweeps seeds over every stack
 configuration; ``benchmarks/test_chaos.py`` pins the sweep in CI.
+
+Public API in one breath
+------------------------
+* :class:`FaultAction` — one declarative fault window ``(kind, target,
+  start_ms, duration_ms, param)``.  Frozen dataclass with scalar fields,
+  so a failing schedule prints as a paste-able literal.
+* :class:`ChaosEngine` — schedules apply/undo events for a list of
+  actions on a live simulation.  **Undo semantics**: every applied action
+  registers exactly one undo closure, run at ``end_ms`` (or by
+  :meth:`~ChaosEngine.undo_all`, the end-of-run safety net).  Undo goes
+  through reversible :class:`~repro.faults.behaviours.Behaviour` handles
+  and the network's compositional fault API, so overlapping windows do
+  not clobber each other — with two deliberate subtleties: overlapping
+  *identical* windows on one target are rejected at generation time (a
+  ``recover()`` while another crash window runs would be ambiguous), and
+  a link-mod undo only clears the mod it installed itself.  ``crash``
+  undo calls ``node.recover()``, which since the recovery subsystem also
+  fires the node's registered recovery hooks (driver-process respawn,
+  PBFT state transfer, timer re-arm) — see ``docs/architecture.md``.
+* :class:`ChaosProfile` / :func:`generate_schedule` — what a stack
+  tolerates, and the seeded draw of a schedule inside that budget.
+* :data:`HARNESSES` / :func:`get_harness` — the runnable stack
+  configurations; each ``run(seed)`` is a pure function of its inputs.
+* :func:`check_*` — evidence-level invariant checkers (see
+  :mod:`repro.chaos.invariants`); :func:`shrink_schedule` /
+  :func:`repro_snippet` — ddmin minimisation and regression snippets.
 """
 
 from repro.chaos.actions import ChaosEngine, FaultAction, NET_KINDS, NODE_KINDS

@@ -16,12 +16,25 @@ schedules and workloads all derive from string-seeded private RNGs, so a
 failing case is reproducible from its one-line ``(name, seed)`` and
 shrinkable offline (:mod:`repro.chaos.shrink`).
 
+Besides the palette-drawing stacks there are two *targeted* recovery
+configurations (``pbft-vc-crash``, ``spider-cp-crash``) whose schedules
+are hand-shaped — crash a replica mid-view-change, or crash the same
+execution replica twice across checkpoint windows — with seeded jitter
+for coverage.
+
 Design notes on fault budgets: node-targeted faults only ever hit the
-victims chosen per run (at most the stack's ``f``); liveness obligations
-exclude replicas that were *crashed* during the run where the stack's
-recovery story does not include state transfer (PBFT replicas crashed
-across a view change, execution replicas whose driver process died with
-them) — their logs still participate in all safety checks.
+victims chosen per run (at most the stack's ``f``).  Crash/recovered
+replicas owe **full liveness**: PBFT state transfer, Raft timer re-arm
+and the Spider driver-process restart (checkpoint-fetch-on-boot) make
+crash/recover symmetric, so completion-after-heal is asserted for
+ever-crashed replicas too.  The one recovery-aware twist is at the
+Spider layer, where a rejoiner that adopted a checkpoint legitimately
+skips the covered operations — there the obligation becomes *state*
+completion plus journal-subsequence safety instead of journal-prefix
+equality (see :mod:`repro.chaos.invariants`).  The harnesses' own driver
+loops (drains, IRMC sender/receiver loops) are restartable through node
+recovery hooks, mirroring how the real replicas respawn their driver
+processes.
 """
 
 from __future__ import annotations
@@ -38,7 +51,9 @@ from repro.chaos.invariants import (
     check_completion,
     check_exactly_once,
     check_journal_agreement,
+    check_journal_subsequence,
     check_sequence_agreement,
+    check_state_completion,
 )
 from repro.chaos.schedule import ChaosProfile, generate_schedule
 from repro.consensus.interface import batch_items
@@ -88,6 +103,16 @@ class StackHarness:
     def profile(self, seed: int) -> ChaosProfile:
         raise NotImplementedError
 
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        """The seeded fault schedule for this ``(config, seed)`` case.
+
+        Default: draw from the stack's fault palette via
+        :func:`~repro.chaos.schedule.generate_schedule`.  Targeted
+        harnesses override this to shape specific scenarios (e.g. a crash
+        inside a view-change window) while keeping seeded jitter.
+        """
+        return generate_schedule(self.name, seed, self.profile(seed))
+
     def run(
         self,
         seed: int,
@@ -108,10 +133,6 @@ def _victims(name: str, seed: int, pool: Sequence[str], count: int) -> Tuple[str
     rng = random.Random(f"chaos:{seed}:{name}:victims")
     pool = list(pool)
     return tuple(rng.sample(pool, min(count, len(pool))))
-
-
-def _schedule_for(harness: StackHarness, seed: int) -> List[FaultAction]:
-    return generate_schedule(harness.name, seed, harness.profile(seed))
 
 
 # ======================================================================
@@ -155,14 +176,40 @@ class PbftHarness(StackHarness):
         config = PbftConfig(view_timeout_ms=500.0)
         replicas = [PbftReplica(node, "pbft", nodes, config) for node in nodes]
         delivered: Dict[str, List[Tuple[int, Any]]] = {n.name: [] for n in nodes}
+        drains: Dict[str, Process] = {}
 
         def drain(replica):
             while True:
                 seq, payload = yield replica.next_delivery()
                 delivered[replica.node.name].append((seq, payload))
 
+        def restart_drain(node, replica):
+            # The old drain's in-flight resumption died with the crash (or
+            # still holds a live continuation if the crash fell between
+            # resumptions) — stop it either way, reconcile deliveries whose
+            # resolution was dropped with the CPU queue from the replica's
+            # own log, and respawn the driver, mirroring the Spider-layer
+            # process restart.
+            drains[node.name].stop()
+            replica.reset_delivery()
+            have = {seq for seq, _ in delivered[node.name]}
+            queued = set(replica.queue.pending_seqs())
+            for seq in sorted(replica.log.slots):
+                slot = replica.log.slots[seq]
+                if slot.delivered and seq not in have and seq not in queued:
+                    delivered[node.name].append((seq, slot.pre_prepare.payload))
+            delivered[node.name].sort(key=lambda pair: pair[0])
+            drains[node.name] = Process(
+                sim, drain(replica), node=node, name=f"drain-{node.name}"
+            )
+
         for node, replica in zip(nodes, replicas):
-            Process(sim, drain(replica), node=node, name=f"drain-{node.name}")
+            drains[node.name] = Process(
+                sim, drain(replica), node=node, name=f"drain-{node.name}"
+            )
+            node.add_recovery_hook(
+                lambda node=node, replica=replica: restart_drain(node, replica)
+            )
 
         expected = [("op", index) for index in range(self.ops)]
         for index, payload in enumerate(expected):
@@ -171,7 +218,7 @@ class PbftHarness(StackHarness):
                 sim.schedule_at(at, replica.order, payload)
 
         if actions is None and chaos:
-            actions = _schedule_for(self, seed)
+            actions = self.derive_schedule(seed)
         actions = list(actions or [])
         engine = None
         if chaos:
@@ -206,13 +253,10 @@ class PbftHarness(StackHarness):
         violations = []
         violations += check_sequence_agreement(delivered, names)
         violations += check_exactly_once(flat, names)
-        # PBFT has no recovery state transfer: a replica crashed across a
-        # view change can stall in an old view, so only never-crashed
-        # replicas owe completion.
-        observers = {
-            name: flat[name] for name in names if name not in crashed_ever
-        }
-        violations += check_completion(expected + probes, observers)
+        # Crash/recovered replicas rejoin via state transfer (NewView
+        # replay + log-suffix evidence), so *everyone* owes the complete
+        # history once faults healed — no exemption.
+        violations += check_completion(expected + probes, flat)
         stats = {
             "delivered": {name: delivered[name] for name in names},
             "view": max(r.view for r in replicas),
@@ -220,6 +264,47 @@ class PbftHarness(StackHarness):
             "events": sim.events_processed,
         }
         return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+class PbftViewChangeCrashHarness(PbftHarness):
+    """Crash a replica *while the group is mid-view-change*.
+
+    A targeted two-window schedule instead of a palette draw: the view-0
+    leader is silenced long enough for its peers' view timers (500 ms
+    here) to fire, and a seeded non-leader victim crashes inside that
+    view-change turbulence.  Both windows heal before the horizon; the
+    recovered replica must re-enter the — possibly several views later —
+    protocol via state transfer and still deliver the complete workload.
+    Note the overlap deliberately exceeds ``f = 1`` benign faults (one
+    silenced, one crashed): progress may fully stall inside the windows,
+    which is exactly what makes completion-after-heal a recovery claim
+    rather than a masking claim.
+    """
+
+    name = "pbft-vc-crash"
+    settle_ms = 25_000.0  # state transfer adds a round trip or two
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        names = self._names()
+        leader = names[0]  # leader of view 0
+        victim = names[1 + rng.randrange(len(names) - 1)]
+        silence_at = round(self.min_start_ms + rng.random() * 1_000.0, 3)
+        silence_dur = round(1_200.0 + rng.random() * 1_800.0, 3)
+        # The crash window opens right as the view change kicks off
+        # (view_timeout_ms = 500 in this harness).
+        crash_at = round(silence_at + 300.0 + rng.random() * 700.0, 3)
+        crash_dur = round(1_500.0 + rng.random() * 2_500.0, 3)
+        return [
+            FaultAction(
+                kind="silence", target=leader,
+                start_ms=silence_at, duration_ms=silence_dur,
+            ),
+            FaultAction(
+                kind="crash", target=victim,
+                start_ms=crash_at, duration_ms=crash_dur,
+            ),
+        ]
 
 
 # ======================================================================
@@ -262,14 +347,38 @@ class RaftHarness(StackHarness):
         ]
         replicas = [RaftReplica(node, "raft", nodes, RaftConfig()) for node in nodes]
         delivered: Dict[str, List[Tuple[int, Any]]] = {n.name: [] for n in nodes}
+        drains: Dict[str, Process] = {}
 
         def drain(replica):
             while True:
                 seq, payload = yield replica.next_delivery()
                 delivered[replica.node.name].append((seq, payload))
 
+        def restart_drain(node, replica):
+            # Same pattern as the PBFT harness: stop the orphaned driver,
+            # reconcile resolutions that died with the CPU queue from the
+            # replica's own log, respawn.
+            drains[node.name].stop()
+            replica.reset_delivery()
+            have = {seq for seq, _ in delivered[node.name]}
+            queued = set(replica.queue.pending_seqs())
+            for index in range(replica.low_water, replica.delivered_index + 1):
+                if index <= replica.offset or index in have or index in queued:
+                    continue
+                entry = replica.log[index - replica.offset - 1]
+                delivered[node.name].append((index, entry.payload))
+            delivered[node.name].sort(key=lambda pair: pair[0])
+            drains[node.name] = Process(
+                sim, drain(replica), node=node, name=f"drain-{node.name}"
+            )
+
         for node, replica in zip(nodes, replicas):
-            Process(sim, drain(replica), node=node, name=f"drain-{node.name}")
+            drains[node.name] = Process(
+                sim, drain(replica), node=node, name=f"drain-{node.name}"
+            )
+            node.add_recovery_hook(
+                lambda node=node, replica=replica: restart_drain(node, replica)
+            )
 
         expected = [("op", index) for index in range(self.ops)]
         for index, payload in enumerate(expected):
@@ -278,7 +387,7 @@ class RaftHarness(StackHarness):
                 sim.schedule_at(at, replica.order, payload)
 
         if actions is None and chaos:
-            actions = _schedule_for(self, seed)
+            actions = self.derive_schedule(seed)
         actions = list(actions or [])
         engine = None
         if chaos:
@@ -311,12 +420,10 @@ class RaftHarness(StackHarness):
         violations = []
         violations += check_sequence_agreement(delivered, names)
         violations += check_exactly_once(flat, names)
-        # A recovered Raft follower catches up through AppendEntries, but a
-        # node crashed near the end of the settle window may not have had
-        # traffic to resync off; only never-crashed replicas owe the full
-        # history (the crashed one still participates in safety checks).
-        observers = {name: flat[name] for name in names if name not in crashed_ever}
-        violations += check_completion(expected + probes, observers)
+        # Recovered replicas re-arm their timer chains and resync through
+        # AppendEntries (probe traffic guarantees post-heal replication),
+        # so everyone owes the full history — no exemption.
+        violations += check_completion(expected + probes, flat)
         stats = {
             "delivered": {name: delivered[name] for name in names},
             "terms": max(r.term for r in replicas),
@@ -404,25 +511,29 @@ class IrmcHarness(StackHarness):
             name: [] for name in self._receiver_names()
         }
         finished: Dict[str, int] = {}
+        #: highest position each sender loop completed (restart cursor)
+        sent_upto: Dict[str, int] = {name: 0 for name in self._sender_names()}
+        procs: Dict[Tuple[str, str], Process] = {}
 
-        def sender_loop(endpoint):
+        def sender_loop(endpoint, name, start):
             from repro.sim.process import sleep
 
-            for position in range(1, self.positions + 1):
+            for position in range(start, self.positions + 1):
                 endpoint.move_window("s", max(1, position - self.capacity + 1))
                 endpoint.send("s", position, ("m", position))
                 endpoint.send("bulk", position, ("b", position))
+                sent_upto[name] = position
                 yield sleep(self.send_interval_ms)
 
-        def bulk_loop(endpoint, name):
-            for position in range(1, self.positions + 1):
+        def bulk_loop(endpoint, name, start):
+            for position in range(start, self.positions + 1):
                 result = yield endpoint.receive("bulk", position)
                 if isinstance(result, TooOld):  # cannot happen: full window
                     continue
                 received[name].append((position, result))
 
-        def window_loop(endpoint, name):
-            position = 1
+        def window_loop(endpoint, name, start):
+            position = start
             while position <= self.positions:
                 result = yield endpoint.receive("s", position)
                 if isinstance(result, TooOld):
@@ -432,16 +543,61 @@ class IrmcHarness(StackHarness):
                 position += 1
             finished[name] = position
 
+        def restart_sender(endpoint, name):
+            # Driver-process restart, harness edition: resume the stream
+            # where the dead loop left off (loop bodies are atomic on the
+            # node CPU, so the cursor is exact).
+            procs[("tx", name)].stop()
+            procs[("tx", name)] = Process(
+                sim,
+                sender_loop(endpoint, name, sent_upto[name] + 1),
+                node=endpoint.node,
+                name=f"tx-{name}",
+            )
+
+        def restart_receiver(endpoint, name):
+            # Re-reads land on the endpoint's retained ``_delivered`` book
+            # (bulk never moves its window), so resolutions lost with the
+            # crash are recovered instantly; the sliding-window loop's
+            # TooOld handling absorbs any window movement it slept through.
+            procs[("rxb", name)].stop()
+            next_bulk = received[name][-1][0] + 1 if received[name] else 1
+            procs[("rxb", name)] = Process(
+                sim,
+                bulk_loop(endpoint, name, next_bulk),
+                node=endpoint.node,
+                name=f"rxb-{name}",
+            )
+            if name not in finished:
+                procs[("rxw", name)].stop()
+                next_window = progressed[name][-1][0] + 1 if progressed[name] else 1
+                procs[("rxw", name)] = Process(
+                    sim,
+                    window_loop(endpoint, name, next_window),
+                    node=endpoint.node,
+                    name=f"rxw-{name}",
+                )
+
         for name, endpoint in senders.items():
-            Process(sim, sender_loop(endpoint), node=endpoint.node, name=f"tx-{name}")
+            procs[("tx", name)] = Process(
+                sim, sender_loop(endpoint, name, 1), node=endpoint.node, name=f"tx-{name}"
+            )
+            endpoint.node.add_recovery_hook(
+                lambda endpoint=endpoint, name=name: restart_sender(endpoint, name)
+            )
         for name, endpoint in receivers.items():
-            Process(sim, bulk_loop(endpoint, name), node=endpoint.node, name=f"rxb-{name}")
-            Process(
-                sim, window_loop(endpoint, name), node=endpoint.node, name=f"rxw-{name}"
+            procs[("rxb", name)] = Process(
+                sim, bulk_loop(endpoint, name, 1), node=endpoint.node, name=f"rxb-{name}"
+            )
+            procs[("rxw", name)] = Process(
+                sim, window_loop(endpoint, name, 1), node=endpoint.node, name=f"rxw-{name}"
+            )
+            endpoint.node.add_recovery_hook(
+                lambda endpoint=endpoint, name=name: restart_receiver(endpoint, name)
             )
 
         if actions is None and chaos:
-            actions = _schedule_for(self, seed)
+            actions = self.derive_schedule(seed)
         actions = list(actions or [])
         engine = None
         if chaos:
@@ -475,17 +631,15 @@ class IrmcHarness(StackHarness):
         )
         expected = list(range(1, self.positions + 1))
         observers = {
-            name: [p for p, _ in entries]
-            for name, entries in received.items()
-            if name not in crashed_ever
+            name: [p for p, _ in entries] for name, entries in received.items()
         }
-        # Full-window channel: honest receivers must deliver everything.
+        # Full-window channel: every honest receiver — crash/recovered ones
+        # included, their loops respawn and re-read the retained delivery
+        # book — must deliver everything.
         violations += check_completion(expected, observers, where="receiver")
-        # Sliding-window channel: honest receivers must reach the end of
-        # the stream (delivering or skipping), never wedge.
+        # Sliding-window channel: every honest receiver must reach the end
+        # of the stream (delivering or skipping), never wedge.
         for name in self._receiver_names():
-            if name in crashed_ever:
-                continue
             if name not in finished:
                 last = progressed[name][-1][0] if progressed[name] else 0
                 violations.append(
@@ -562,11 +716,14 @@ class SpiderHarness(StackHarness):
             max_actions=4,
         )
 
+    def make_config(self) -> SpiderConfig:
+        return SpiderConfig()
+
     def run(self, seed, actions=None, chaos=True):
         sim = Simulator(seed=seed)
         network = Network(sim, Topology(), jitter=0.0)
         system = SpiderSystem(
-            sim, config=SpiderConfig(), network=network, app_factory=_JournalKVStore
+            sim, config=self.make_config(), network=network, app_factory=_JournalKVStore
         )
         system.add_execution_group("g0", "virginia")
         system.add_execution_group("g1", "tokyo")
@@ -593,7 +750,7 @@ class SpiderHarness(StackHarness):
             sim.schedule_at(200.0, issue, client)
 
         if actions is None and chaos:
-            actions = _schedule_for(self, seed)
+            actions = self.derive_schedule(seed)
         actions = list(actions or [])
         engine = None
         if chaos:
@@ -614,26 +771,65 @@ class SpiderHarness(StackHarness):
             for client in clients
             for index in range(self.requests_per_client)
         ]
+        expected_state = {
+            f"w-{client.name}-{index}": index
+            for client in clients
+            for index in range(self.requests_per_client)
+        }
         for group in system.groups.values():
             journals = {
                 replica.name: [op for op in replica.app.journal if op[0] == "put"]
                 for replica in group.replicas
             }
-            honest = [name for name in journals]
-            violations += check_journal_agreement(journals, honest)
-            violations += check_exactly_once(journals, honest)
-            # Never-crashed replicas must hold the full write history once
-            # faults healed (crashed ones lost their main loop with their
-            # CPU state — they still count for safety above).
-            observers = {
-                name: journal
-                for name, journal in journals.items()
-                if name not in crashed_ever
-            }
+            never_crashed = [n for n in journals if n not in crashed_ever]
+            recovered = [n for n in journals if n in crashed_ever]
+            # Prefix agreement among replicas that never skipped anything;
+            # a recovered replica that rejoined via checkpoint adoption
+            # legitimately has a gap, so it owes the weaker (but still
+            # order-safe) subsequence property against the group canon.
+            violations += check_journal_agreement(journals, never_crashed)
+            violations += check_exactly_once(journals, journals)
+            if recovered:
+                reference_pool = never_crashed or list(journals)
+                reference = max(
+                    (journals[n] for n in reference_pool), key=len
+                )
+                violations += check_journal_subsequence(
+                    reference,
+                    {n: journals[n] for n in recovered},
+                    where=f"{group.group_id} recovered replica",
+                )
+            # Journal completion for replicas that never skipped; *state*
+            # completion for everyone — a rejoiner's adopted checkpoint
+            # must carry the effects of whatever it skipped, and its
+            # respawned main loop must have caught up to the frontier.
             violations += check_completion(
-                expected_writes, observers, where=f"{group.group_id} replica"
+                expected_writes,
+                {n: journals[n] for n in never_crashed},
+                where=f"{group.group_id} replica",
+            )
+            violations += check_state_completion(
+                expected_state,
+                {
+                    replica.name: replica.app.snapshot()[0]
+                    for replica in group.replicas
+                },
+                where=f"{group.group_id} replica",
             )
         violations += check_client_fifo(completions)
+        # Recovered agreement replicas owe full liveness too: after heal
+        # plus settle, every agreement replica must have delivered the
+        # same consensus prefix (PBFT state transfer + gap fetch + cp-ag
+        # adoption close any hole a crash or partition opened).
+        delivered_seqs = {
+            replica.name: replica.ag.delivered_seq
+            for replica in system.agreement_replicas
+        }
+        if len(set(delivered_seqs.values())) > 1:
+            violations.append(
+                "liveness/agreement-catchup: delivered_seq diverged after "
+                f"heal: {delivered_seqs}"
+            )
         for client in clients:
             done = len(completions[client.name])
             if done < self.requests_per_client:
@@ -650,11 +846,49 @@ class SpiderHarness(StackHarness):
         return CampaignResult(self.name, seed, actions, violations, stats)
 
 
+class SpiderCheckpointCrashHarness(SpiderHarness):
+    """Crash an execution replica across checkpoint windows — twice.
+
+    Tightened checkpoint cadence (``ke = 4``) and a minimal commit-channel
+    window (capacity 4) make the group checkpoint every few requests and
+    move the window right behind, so a multi-second crash almost surely
+    straddles checkpoint generation *and* forces the rejoiner through the
+    ``TooOld`` → checkpoint-fetch-on-boot path.  The second window makes
+    the same replica crash/recover twice within one run — the respawned
+    driver processes must survive being killed again.
+    """
+
+    name = "spider-cp-crash"
+
+    def make_config(self) -> SpiderConfig:
+        return SpiderConfig(ka=8, ke=4, commit_capacity=4)
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        victim = f"g0-e{rng.randrange(3)}"
+        first_at = round(self.min_start_ms + rng.random() * 2_000.0, 3)
+        first_dur = round(2_000.0 + rng.random() * 2_000.0, 3)
+        second_at = round(first_at + first_dur + 400.0 + rng.random() * 800.0, 3)
+        second_dur = round(1_500.0 + rng.random() * 2_000.0, 3)
+        return [
+            FaultAction(
+                kind="crash", target=victim,
+                start_ms=first_at, duration_ms=first_dur,
+            ),
+            FaultAction(
+                kind="crash", target=victim,
+                start_ms=second_at, duration_ms=second_dur,
+            ),
+        ]
+
+
 HARNESSES: Dict[str, StackHarness] = {
     harness.name: harness
     for harness in (
         SpiderHarness(),
+        SpiderCheckpointCrashHarness(),
         PbftHarness(),
+        PbftViewChangeCrashHarness(),
         RaftHarness(),
         IrmcHarness(),
         IrmcScHarness(),

@@ -22,6 +22,20 @@ Liveness
 * :func:`check_completion` — everything issued before the fault horizon
   is decided/answered once faults healed (the paper's adaptivity claim:
   Spider recovers, it does not just survive).
+
+Recovery-aware variants
+-----------------------
+A replica that crash/recovered and rejoined through checkpoint adoption
+never re-applies the operations the checkpoint covers, so the two
+journal-shaped checks above are respectively too strong and too weak for
+it.  The pair below expresses the symmetric crash/recovery contract:
+
+* :func:`check_journal_subsequence` — whatever a recovered replica *did*
+  apply must appear in the canonical order (safety: skipping is legal,
+  reordering or inventing is not).
+* :func:`check_state_completion` — the recovered replica's final
+  application state must reflect every expected write (liveness: the
+  adopted checkpoint carries the effects of everything it skipped).
 """
 
 from __future__ import annotations
@@ -32,8 +46,10 @@ __all__ = [
     "check_sequence_agreement",
     "check_exactly_once",
     "check_journal_agreement",
+    "check_journal_subsequence",
     "check_client_fifo",
     "check_completion",
+    "check_state_completion",
 ]
 
 
@@ -113,6 +129,37 @@ def check_journal_agreement(
     return violations
 
 
+def check_journal_subsequence(
+    reference: Sequence[Any],
+    journals: Dict[str, Sequence[Any]],
+    where: str = "recovered replica",
+) -> List[str]:
+    """Each journal must be an order-preserving subsequence of ``reference``.
+
+    The safety contract for replicas that rejoined via checkpoint
+    adoption: they may have *skipped* checkpoint-covered operations, but
+    everything they did apply must occur in the canonical order, with no
+    inversions and nothing the reference never applied.  ``reference`` is
+    typically the longest journal of a never-crashed group member.
+    """
+    violations: List[str] = []
+    reference_keys = [repr(item) for item in reference]
+    for name in sorted(journals):
+        cursor = 0
+        for position, item in enumerate(journals[name]):
+            key = repr(item)
+            while cursor < len(reference_keys) and reference_keys[cursor] != key:
+                cursor += 1
+            if cursor >= len(reference_keys):
+                violations.append(
+                    f"safety/journal-subsequence: {where} {name}[{position}]="
+                    f"{key} is out of order or unknown to the reference journal"
+                )
+                break
+            cursor += 1
+    return violations
+
+
 def check_client_fifo(results: Dict[str, Sequence[Tuple[int, Any]]]) -> List[str]:
     """Per-client results must complete in issue order (strictly rising)."""
     violations: List[str] = []
@@ -152,5 +199,34 @@ def check_completion(
             violations.append(
                 f"liveness/completion: {where} {name} still missing "
                 f"{len(missing)} item(s) after heal: {shown}{more}"
+            )
+    return violations
+
+
+def check_state_completion(
+    expected: Dict[Any, Any],
+    states: Dict[str, Dict[Any, Any]],
+    where: str = "replica",
+) -> List[str]:
+    """Every observer's final state must map each expected key to its value.
+
+    The completion-after-heal obligation for *recovered* replicas: a
+    checkpoint-adopting rejoiner never re-applies the skipped operations
+    (so journal completion cannot hold), but the adopted state carries
+    their effects — once faults healed and the replica caught up to the
+    live frontier, its application state must reflect every write.
+    """
+    violations: List[str] = []
+    for name in sorted(states):
+        state = states[name]
+        missing = [
+            key for key, value in expected.items() if state.get(key) != value
+        ]
+        if missing:
+            shown = ", ".join(repr(key) for key in missing[:3])
+            more = f" (+{len(missing) - 3} more)" if len(missing) > 3 else ""
+            violations.append(
+                f"liveness/state-completion: {where} {name} state lacks "
+                f"{len(missing)} expected entr(ies) after heal: {shown}{more}"
             )
     return violations

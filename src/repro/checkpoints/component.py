@@ -93,6 +93,19 @@ class CheckpointComponent(Component):
             if provider is not self.node:
                 self.send(provider, request)
 
+    def fetch_latest(self) -> None:
+        """Boot-time catch-up: ask providers for any checkpoint newer than ours.
+
+        Used by replicas rebooting after a crash (checkpoint-fetch-on-boot):
+        a replica that slept through the whole vote exchange holds no
+        candidate certificates of its own, so without an active pull
+        nothing would ever trigger the transfer.  Harmless when nothing
+        newer exists — providers with no qualifying checkpoint (or no
+        stable checkpoint at all) simply stay silent and the replica
+        continues from its preserved in-memory state.
+        """
+        self.fetch_cp(self.delivered_seq + 1)
+
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------

@@ -163,6 +163,14 @@ class Agreement(ABC):
         delivered.
         """
 
+    def reset_delivery(self) -> None:
+        """Forget an outstanding :meth:`next_delivery` pull, if any.
+
+        A host whose delivery driver died with a node crash respawns the
+        driver on recovery; the fresh loop must be able to pull even
+        though the dead loop's pull was never resolved.  Default: no-op.
+        """
+
 
 class DeliveryQueue:
     """Shared helper implementing the pull-based delivery contract."""
@@ -190,6 +198,14 @@ class DeliveryQueue:
 
     def drop_below(self, seq: int) -> None:
         self._ready = deque(item for item in self._ready if item[0] >= seq)
+
+    def cancel_pull(self) -> None:
+        """Discard the outstanding pull (its consumer died); not resolved."""
+        self._waiter = None
+
+    def pending_seqs(self) -> Tuple[int, ...]:
+        """Sequence numbers pushed but not yet pulled (crash reconciliation)."""
+        return tuple(seq for seq, _ in self._ready)
 
     def __len__(self) -> int:
         return len(self._ready)
@@ -225,3 +241,6 @@ class SingleSequencer(Agreement):
     def gc(self, before_seq: int) -> None:
         self._low_water = max(self._low_water, before_seq)
         self._queue.drop_below(self._low_water)
+
+    def reset_delivery(self) -> None:
+        self._queue.cancel_pull()

@@ -40,6 +40,10 @@ class PbftConfig:
     fetch_delay_ms:
         How long a delivery gap may persist before the replica asks a peer
         to retransmit the missing instance.
+    recovery_retry_ms:
+        Cadence of the post-crash state-transfer retry: after recovery the
+        replica re-requests ``StateTransfer`` from its peers until a whole
+        retry period passes without view or delivery progress.
     batch_size:
         Maximum number of ordered messages the leader amortises over one
         consensus instance.  ``1`` (the default) proposes every message
@@ -55,6 +59,7 @@ class PbftConfig:
     window: int = 1024
     weights: Optional[Dict[str, float]] = None
     fetch_delay_ms: float = 500.0
+    recovery_retry_ms: float = 500.0
     batch_size: int = 1
     batch_timeout_ms: float = 10.0
     extra: dict = field(default_factory=dict)

@@ -157,3 +157,26 @@ class FetchSlot(Message, Digestible):
 
     def payload_size(self) -> int:
         return 16
+
+
+@dataclass(frozen=True)
+class StateTransfer(Message, Digestible):
+    """A rejoining replica asks a peer for everything it slept through.
+
+    ``view`` and ``low_water`` describe the requester's state: peers
+    answer with their stored (signed, hence transferable) ``NewView`` when
+    the requester's view is stale, plus per-slot evidence — the original
+    leader's ``PrePrepare`` and the peer's own ``Prepare``/``Commit`` —
+    for every live instance at or above ``low_water``.  All replies are
+    ordinary protocol messages verified through the normal handlers, so a
+    Byzantine responder can at worst withhold information (the requester
+    asks every peer and retries until it stops making progress).
+    """
+
+    tag: str
+    view: int
+    low_water: int
+    sender: str
+
+    def payload_size(self) -> int:
+        return 24

@@ -1,8 +1,21 @@
 """The PBFT replica component.
 
 Implements the normal-case three-phase protocol, leader-relay of incoming
-messages, weighted quorums, gap retransmission, and view changes, behind the
-pull-based :class:`~repro.consensus.interface.Agreement` interface.
+messages, weighted quorums, gap retransmission, view changes, and
+crash-recovery state transfer, behind the pull-based
+:class:`~repro.consensus.interface.Agreement` interface.
+
+Recovery
+--------
+A replica whose node crash/recovered missed arbitrary protocol history —
+possibly including view changes.  On recovery (a node recovery hook) it
+resets its timer chains, then broadcasts a ``StateTransfer`` request;
+peers answer with their stored signed ``NewView`` (moving the rejoiner
+into the current view) and per-slot evidence (the original PrePrepare
+plus their own Prepare/Commit), all of which the rejoiner verifies
+through the ordinary handlers — no trusted-summary shortcut exists, so a
+Byzantine responder can only withhold, never mislead.  The request is
+retried until a whole retry period brings no progress.
 
 Fidelity notes
 --------------
@@ -37,6 +50,7 @@ from repro.consensus.pbft.messages import (
     PrePrepare,
     Prepare,
     PreparedProof,
+    StateTransfer,
     ViewChange,
 )
 from repro.crypto.primitives import (
@@ -106,6 +120,10 @@ class PbftReplica(Component, Agreement):
 
         self.in_view_change = False
         self.vc_store: Dict[int, Dict[str, ViewChange]] = {}
+        #: the latest accepted NewView, kept as transferable (signed)
+        #: evidence for replicas rejoining after a crash: replaying it
+        #: moves them into the current view through the normal handler.
+        self.last_new_view: Optional[NewView] = None
         self._view_timer = None
         #: generation counter guarding timer callbacks: a timer event that
         #: already fired at the simulator level may still be queued behind
@@ -115,6 +133,13 @@ class PbftReplica(Component, Agreement):
         self._timeout_factor = 1.0
         self._fetch_timer = None
         self._fetch_epoch = 0
+        #: state-transfer retry machinery (post-crash rejoin); the epoch
+        #: guards stale retry callbacks like the other timers.
+        self._recovery_timer = None
+        self._recovery_epoch = 0
+        self._recovery_progress: Optional[tuple] = None
+        self.state_transfers_requested = 0
+        node.add_recovery_hook(self._on_node_recover)
 
         #: leader-side batch under construction (batch_size > 1 only);
         #: _batch_keys mirrors the accumulator buffer for O(1) dedup and
@@ -171,6 +196,9 @@ class PbftReplica(Component, Agreement):
 
     def next_delivery(self) -> SimFuture:
         return self.queue.pull()
+
+    def reset_delivery(self) -> None:
+        self.queue.cancel_pull()
 
     def gc(self, before_seq: int) -> None:
         if before_seq <= self.low_water:
@@ -275,6 +303,8 @@ class PbftReplica(Component, Agreement):
             self._on_new_view(message)
         elif isinstance(message, FetchSlot):
             self._on_fetch(src, message)
+        elif isinstance(message, StateTransfer):
+            self._on_state_transfer(src, message)
 
     def _on_forward(self, message: Forward) -> None:
         if message.sender not in self.peer_names:
@@ -499,6 +529,17 @@ class PbftReplica(Component, Agreement):
         slot = self.log.get(message.seq)
         if slot is None or src is self.node:
             return
+        self._send_slot_evidence(src, slot)
+
+    def _send_slot_evidence(self, src, slot: Slot) -> None:
+        """Retransmit one instance: stored PrePrepare + own votes.
+
+        The PrePrepare carries the original leader's MAC vector (one entry
+        per group member), so relaying it verifies at the receiver; the
+        Prepare/Commit are freshly authenticated by this replica.  The
+        receiver accumulates such evidence from many peers through the
+        normal handlers until its own quorum rules are satisfied.
+        """
         if slot.pre_prepare is not None:
             self.send(src, slot.pre_prepare)
         if slot.sent_prepare and slot.payload_digest is not None:
@@ -527,6 +568,85 @@ class PbftReplica(Component, Agreement):
                     )
                 ),
             )
+
+    # ------------------------------------------------------------------
+    # Crash recovery: state transfer
+    # ------------------------------------------------------------------
+    def _on_node_recover(self) -> None:
+        """Re-enter the protocol after the hosting node recovered.
+
+        Timer callbacks that fired while the node was crashed were dropped
+        with the CPU queue, leaving stale handles that would block
+        re-arming forever; reset every timer chain, abandon any half-built
+        batch (its messages stay in ``pending``), then actively pull the
+        protocol state we slept through from our peers.
+        """
+        if self._view_timer is not None:
+            self._view_timer.cancel()
+            self._view_timer = None
+        self._view_epoch += 1
+        self._cancel_fetch_timer()
+        self._flush_batch_buffer()
+        self._arm_view_timer()
+        self._maybe_schedule_fetch()
+        self.request_state_transfer()
+
+    def request_state_transfer(self) -> None:
+        """Ask all peers for the current view and the log suffix we miss.
+
+        Retries every ``config.recovery_retry_ms`` until one whole period
+        passes without view or delivery progress — at that point we are
+        either caught up or partitioned, and the always-armed gap fetch
+        plus commit-certificate adoption remain as the backstop.
+        """
+        self._recovery_epoch += 1
+        self._recovery_progress = None
+        self._send_state_transfer()
+        self._arm_recovery_timer()
+
+    def _send_state_transfer(self) -> None:
+        self.state_transfers_requested += 1
+        request = StateTransfer(
+            tag=self.tag,
+            view=self.view,
+            low_water=self.delivered_seq + 1,
+            sender=self.name,
+        )
+        for peer in self.peers:
+            if peer is not self.node:
+                self.send(peer, request)
+
+    def _arm_recovery_timer(self) -> None:
+        self._recovery_timer = self.node.set_timeout(
+            self.config.recovery_retry_ms, self._on_recovery_retry, self._recovery_epoch
+        )
+
+    def _on_recovery_retry(self, epoch: int) -> None:
+        if epoch != self._recovery_epoch:
+            return  # superseded (e.g. by a second crash/recover cycle)
+        self._recovery_timer = None
+        progress = (self.view, self.delivered_seq)
+        if self._recovery_progress == progress:
+            return  # no progress for a whole period: converged or blocked
+        self._recovery_progress = progress
+        self._send_state_transfer()
+        self._arm_recovery_timer()
+
+    def _on_state_transfer(self, src, message: StateTransfer) -> None:
+        if message.sender not in self.peer_names or src is self.node:
+            return
+        # Bring the requester into the current view first: the NewView is
+        # signed by its leader, hence transferable evidence (the requester
+        # verifies and applies it through the normal handler).  ``>=``, not
+        # ``>``: a replica that crashed *mid*-view-change already bumped
+        # its view to the one the group then completed, but never saw the
+        # NewView — without the equal-view replay it would stay wedged in
+        # ``in_view_change`` forever, contributing no commit votes.
+        if self.last_new_view is not None and self.last_new_view.new_view >= message.view:
+            self.send(src, self.last_new_view)
+        for seq in sorted(self.log.slots):
+            if seq >= message.low_water:
+                self._send_slot_evidence(src, self.log.slots[seq])
 
     # ------------------------------------------------------------------
     # View changes
@@ -656,6 +776,18 @@ class PbftReplica(Component, Agreement):
             return
         if not verify(message.signature, message, signer=message.sender):
             return
+        if (
+            message.new_view == self.view
+            and not self.in_view_change
+            and self.last_new_view is not None
+            and self.last_new_view.new_view == message.new_view
+        ):
+            # A state-transfer replay of the view change we already
+            # completed: reprocessing would be idempotent but would skew
+            # the completion counter (and burn CPU); the per-slot evidence
+            # arrives separately.
+            return
+        self.last_new_view = message
         self.view = message.new_view
         self.in_view_change = False
         self.view_changes_completed += 1

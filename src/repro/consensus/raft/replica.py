@@ -107,6 +107,7 @@ class RaftReplica(Component, Agreement):
         self._heartbeat_timer = None
         self.elections_won = 0
         self._reset_election_timer()
+        node.add_recovery_hook(self._on_node_recover)
 
     # ------------------------------------------------------------------
     # Log helpers
@@ -204,6 +205,28 @@ class RaftReplica(Component, Agreement):
 
     def next_delivery(self) -> SimFuture:
         return self.queue.pull()
+
+    def reset_delivery(self) -> None:
+        self.queue.cancel_pull()
+
+    def _on_node_recover(self) -> None:
+        """Restore liveness after a crash/recover of the hosting node.
+
+        Timer callbacks that fired while the node was crashed were dropped
+        with the CPU queue, breaking the heartbeat/election chains; re-arm
+        them so the recovered replica owes full liveness again.  Log and
+        term state survived the crash (fail-stop, not disk loss), so the
+        ordinary AppendEntries flow resynchronises the history.
+        """
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        if self.role == LEADER:
+            # Peers may have elected someone newer meanwhile; their higher
+            # term steps us down on the first reply.
+            self._send_heartbeats()
+        else:
+            self._reset_election_timer()
 
     def gc(self, before_seq: int) -> None:
         if before_seq <= self.low_water:

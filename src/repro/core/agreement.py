@@ -136,6 +136,39 @@ class AgreementReplica(RoutedNode):
         self._delivery = Process(
             self.sim, self._delivery_loop(), node=self, name=f"{self.name}.deliver"
         )
+        self.add_recovery_hook(self._boot_after_recovery)
+
+    def _boot_after_recovery(self) -> None:
+        """Respawn the driver processes after a crash/recover of this node.
+
+        The delivery loop and the per-client request loops lose their
+        in-flight resumptions with the crash; stop the old processes
+        (they may still hold live continuations when the crash window fell
+        between resumptions) and start fresh ones on the preserved state.
+        The consensus black-box drops its orphaned delivery pull so the
+        new loop can pull again, and the boot fetch adopts the group's
+        newest stable checkpoint in case agreement moved past our window
+        while we were down.  (The black-box itself — e.g. PBFT state
+        transfer — rejoins through its own recovery hook.)
+        """
+        if self._delivery is not None:
+            self._delivery.stop()
+        if self.ag is not None:
+            self.ag.reset_delivery()
+        self._delivery = Process(
+            self.sim, self._delivery_loop(), node=self, name=f"{self.name}.deliver"
+        )
+        for channels in self.groups.values():
+            for client, process in list(channels.client_loops.items()):
+                process.stop()
+                channels.client_loops[client] = Process(
+                    self.sim,
+                    self._client_loop(channels, client),
+                    node=self,
+                    name=f"{self.name}.client.{client}",
+                )
+        if self.cp is not None:
+            self.cp.fetch_latest()
 
     def connect_group(self, group_id: str, member_nodes) -> None:
         """Create the IRMC pair towards an execution group (Fig. 2)."""

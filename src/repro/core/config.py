@@ -113,6 +113,7 @@ class SpiderConfig:
             window=max(self.pbft.window, self.ag_window * 4),
             weights=self.pbft.weights,
             fetch_delay_ms=self.pbft.fetch_delay_ms,
+            recovery_retry_ms=self.pbft.recovery_retry_ms,
             batch_size=self.batch_size,
             batch_timeout_ms=self.batch_timeout_ms,
         )

@@ -102,6 +102,25 @@ class ExecutionReplica(RoutedNode):
             state_size_fn=self._checkpoint_size,
         )
         self._main = Process(self.sim, self._main_loop(), node=self, name=f"{self.name}.main")
+        self.add_recovery_hook(self._boot_after_recovery)
+
+    def _boot_after_recovery(self) -> None:
+        """Respawn the driver process and catch up from a stable checkpoint.
+
+        A crash takes the main loop's in-flight resumption with it; the
+        old :class:`Process` is stopped (it may still hold a live
+        continuation if the crash window fell between resumptions) and a
+        fresh one started at the preserved ``sn``.  The boot fetch pulls
+        the group's newest stable checkpoint in case the commit-channel
+        window moved past us while we were down — the main loop's
+        ``TooOld`` handling then lands on the transferred state instead of
+        spinning.
+        """
+        if self._main is not None:
+            self._main.stop()
+        self._main = Process(self.sim, self._main_loop(), node=self, name=f"{self.name}.main")
+        if self.cp is not None:
+            self.cp.fetch_latest()
 
     def set_checkpoint_providers(self, providers) -> None:
         """Nodes (possibly in other groups) to query for missed checkpoints."""

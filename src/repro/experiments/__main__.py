@@ -3,9 +3,12 @@
 Usage::
 
     python -m repro.experiments <experiment> [--quick] [--seed N]
+    python -m repro.experiments chaos --configs spider-cp-crash,pbft
     python -m repro.experiments all [--quick]
 
-Experiments: fig7, fig8, fig9_modularity, fig9_irmc, fig10, fig11.
+Experiments: fig7, fig8, fig9_modularity, fig9_irmc, fig10, fig11, chaos.
+``--configs`` narrows the chaos campaign to a comma-separated subset of
+its stack configurations (see ``repro.chaos.HARNESSES``).
 """
 
 from __future__ import annotations
@@ -23,13 +26,24 @@ def main(argv=None) -> int:
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
     parser.add_argument("--quick", action="store_true", help="reduced scale")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--configs",
+        default=None,
+        help="chaos only: comma-separated stack configurations to sweep "
+        "(default: all of them)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         module = importlib.import_module(EXPERIMENTS[name])
         started = time.time()
-        result = module.run(quick=args.quick, seed=args.seed)
+        kwargs = dict(quick=args.quick, seed=args.seed)
+        if args.configs is not None:
+            if name != "chaos":
+                parser.error("--configs only applies to the chaos experiment")
+            kwargs["configs"] = [c for c in args.configs.split(",") if c]
+        result = module.run(**kwargs)
         elapsed = time.time() - started
         print(result.format())
         print(f"({name} finished in {elapsed:.1f} s wall time)")

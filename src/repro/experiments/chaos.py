@@ -2,11 +2,15 @@
 
 Not a paper figure — this is the repo's systematic answer to the ROADMAP's
 "as many scenarios as you can imagine": for each stack configuration
-(full Spider, PBFT-only, Raft-only, IRMC-RC, IRMC-SC) it sweeps seeds,
-each seed deriving a deterministic fault schedule (crash/recover,
-silence, delay, loss, duplication, partition/heal, Byzantine-style
-partial muting) plus a deterministic workload, and checks safety and
-liveness invariants once every fault healed.
+(full Spider, PBFT-only, Raft-only, IRMC-RC, IRMC-SC, plus the targeted
+recovery stacks ``pbft-vc-crash`` — crash inside a view change — and
+``spider-cp-crash`` — double crash/recover across checkpoint windows) it
+sweeps seeds, each seed deriving a deterministic fault schedule
+(crash/recover, silence, delay, loss, duplication, partition/heal,
+Byzantine-style partial muting) plus a deterministic workload, and checks
+safety and liveness invariants once every fault healed.  Crash/recovered
+replicas owe full liveness: recovery is a protocol phase (state transfer,
+driver respawn, checkpoint-fetch-on-boot), not an exemption.
 
 Any failing ``(config, seed)`` is shrunk to a minimal schedule and
 reported as a paste-able regression snippet; failures are also written to
@@ -14,6 +18,7 @@ reported as a paste-able regression snippet; failures are also written to
 
     python -m repro.experiments chaos --quick
     python -m repro.experiments chaos --seed 7   # shifts the seed window
+    python -m repro.experiments chaos --configs spider-cp-crash
 """
 
 from __future__ import annotations

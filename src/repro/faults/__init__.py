@@ -6,9 +6,39 @@ nodes: staying silent, delaying, equivocating, corrupting state machines,
 or flooding.  :class:`FaultInjector` wraps live nodes with these
 behaviours; tests use it to check the paper's f-tolerance claims.
 
-Every behaviour is a reversible :class:`Behaviour` with
-``install``/``uninstall``; the chaos campaign (:mod:`repro.chaos`)
-composes them into seeded fault schedules.
+Behaviour handles — the sharp edges
+-----------------------------------
+Every behaviour is a reversible :class:`Behaviour`:
+``install(node)`` returns a *handle* whose ``uninstall()`` restores the
+node, and the ``make_*`` helpers return that handle too.  The contract
+worth knowing before composing them:
+
+* **Stacking** works by chaining the node's ``send``; handles may be
+  uninstalled in *any* order (a mid-chain uninstall deactivates its
+  wrapper, which then forwards untouched until the chain unwinds past
+  it).  ``uninstall()`` is idempotent.
+* **Byzantine flag**: the first install marks ``node.byzantine = True``;
+  removing the last behaviour restores the node's original flag.
+* **Randomised behaviours** (:class:`DropBehaviour`,
+  :class:`DuplicateBehaviour`) draw from a private
+  ``random.Random(f"fault:{seed}:{node}")`` — arming them never perturbs
+  the shared simulator RNG, so the honest part of a run is bit-identical
+  with the fault on or off (and ``drop_fraction=0`` is a true no-op).
+* **Crash interaction**: :class:`DelayBehaviour` parks transmissions on
+  the simulator; parked sends are discarded if the behaviour was
+  uninstalled or the node crashed in the meantime (tracked via
+  ``node.crash_count``, so even a crash *and* recovery within the delay
+  kills the message — a rebooted machine does not replay an old NIC
+  queue).
+* **Crashes are not behaviours**: ``FaultInjector.crash()`` fail-stops
+  the node directly and :meth:`FaultInjector.undo_all` will *not* revive
+  it; recovery is ``node.recover()``, which also runs the node's
+  registered recovery hooks (driver respawn, state transfer — see
+  :mod:`repro.sim.node`).  The chaos layer's ``crash`` windows undo via
+  exactly that path.
+
+The chaos campaign (:mod:`repro.chaos`) composes these handles into
+seeded fault schedules with per-window undo.
 """
 
 from repro.faults.behaviours import (

@@ -115,6 +115,15 @@ class IrmcEndpoint(Component):
         self.closed = False
         #: per-subchannel active window start (all windows begin at 1)
         self.window_start: Dict[Any, int] = {}
+        node.add_recovery_hook(self._on_node_recover)
+
+    def _on_node_recover(self) -> None:
+        """Re-arm endpoint timer chains after a node crash/recover.
+
+        Timer callbacks dropped while the node was crashed break the
+        heartbeat/timeout chains permanently; subclasses override this to
+        restart theirs.  Base endpoints own no timers.
+        """
 
     # ------------------------------------------------------------------
     # Window helpers
@@ -156,6 +165,7 @@ class IrmcEndpoint(Component):
 
     def close(self) -> None:
         self.closed = True
+        self.node.remove_recovery_hook(self._on_node_recover)
         super().close()
 
 
@@ -220,6 +230,17 @@ class SenderEndpointBase(IrmcEndpoint):
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
         super().close()
+
+    def _on_node_recover(self) -> None:
+        if self.closed:
+            return
+        if self.config.move_heartbeat_ms > 0:
+            # Cancelling a fired handle is a no-op, so this is safe whether
+            # the old chain died (callback dropped while crashed) or still
+            # has a pending link — either way exactly one chain survives.
+            if self._heartbeat_timer is not None:
+                self._heartbeat_timer.cancel()
+            self._schedule_heartbeat()
 
     # -- public API (paper Fig. 14) -----------------------------------
     def send(self, subchannel: Any, position: int, payload: Any) -> SimFuture:

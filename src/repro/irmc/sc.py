@@ -207,6 +207,14 @@ class ScSenderEndpoint(SenderEndpointBase):
             self._progress_timer.cancel()
         super().close()
 
+    def _on_node_recover(self) -> None:
+        super()._on_node_recover()
+        if self.closed:
+            return
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+        self._schedule_progress()
+
 
 class ScReceiverEndpoint(ReceiverEndpointBase):
     """Receiver endpoint of an IRMC-SC."""
@@ -321,6 +329,26 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
             timer.cancel()
         self._timers.clear()
         super().close()
+
+    def _on_node_recover(self) -> None:
+        """Rebuild the collector-watchdog timers lost with the crash.
+
+        A stale entry in ``_timers`` (its callback was dropped with the
+        CPU queue) would otherwise suppress re-arming for that subchannel
+        forever, leaving collector failover dead.
+        """
+        if self.closed:
+            return
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        for subchannel in list(self._merged_progress):
+            if self._has_missing(subchannel):
+                self._timers[subchannel] = self.node.set_timeout(
+                    self.config.collector_timeout_ms,
+                    self._on_collector_timeout,
+                    subchannel,
+                )
 
 
 def make_sc_channel(tag, sender_nodes, receiver_nodes, config: IrmcConfig):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappush
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -82,6 +82,10 @@ class Node:
         self._dispatch_scheduled = False
         self._executing = False
         self._outbox: list = []
+        #: callbacks run (as CPU tasks) after :meth:`recover`; components
+        #: hosting timer chains or driver processes register here so a
+        #: crash/recover cycle restores their liveness obligations.
+        self._recovery_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # CPU scheduling
@@ -211,8 +215,30 @@ class Node:
         self._outbox.clear()
 
     def recover(self) -> None:
-        """Clear the crash flag (state is whatever the subclass preserved)."""
+        """Clear the crash flag and run the registered recovery hooks.
+
+        State is whatever the subclass preserved; what a crash *does*
+        destroy is the node's scheduled work — queued tasks, in-flight
+        process resumptions, fired-but-undispatched timer callbacks.
+        Recovery hooks are each component's chance to re-arm those (respawn
+        driver processes, restart timer chains, request state transfer);
+        they run as ordinary CPU tasks in registration order.  Idempotent:
+        recovering a node that is not crashed does nothing.
+        """
+        if not self.crashed:
+            return
         self.crashed = False
+        for hook in list(self._recovery_hooks):
+            self.run_task(hook)
+
+    def add_recovery_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run on this node's CPU after each recovery."""
+        self._recovery_hooks.append(hook)
+
+    def remove_recovery_hook(self, hook: Callable[[], None]) -> None:
+        """Deregister a recovery hook (e.g. when a component closes)."""
+        if hook in self._recovery_hooks:
+            self._recovery_hooks.remove(hook)
 
     def nic_delay(self, size_bytes: int) -> float:
         """Queueing + serialization delay of sending ``size_bytes`` now.

@@ -1,0 +1,408 @@
+"""Crash/recovery symmetry: state transfer, process restart, boot fetch.
+
+Covers the recovery subsystem end to end:
+
+* node-level recovery hooks (the substrate everything else builds on),
+* the PBFT ``StateTransfer`` path — a replica crashed across a view
+  change rejoins the current view and delivers the complete history,
+* Raft timer re-arm after recovery,
+* Spider driver-process restart with checkpoint-fetch-on-boot,
+  including the edge cases: recovery with no stable checkpoint yet,
+  recovery landing mid-batch (the checkpoint's residual-request cadence),
+  and a double crash/recover of the same replica within one window.
+"""
+
+from repro.consensus.interface import DeliveryQueue
+from repro.consensus.pbft import PbftConfig, PbftReplica
+from repro.consensus.raft import RaftConfig, RaftReplica
+from repro.faults import make_silent
+from repro.sim import Process
+
+from tests.conftest import Cluster
+from tests.test_pbft import PbftHarness
+from tests.test_spider_basic import build_system
+
+
+class TestNodeRecoveryHooks:
+    def test_hooks_run_on_recover_not_on_crash(self, cluster):
+        node = cluster.add_node("n0")
+        fired = []
+        node.add_recovery_hook(lambda: fired.append("a"))
+        node.crash()
+        cluster.run(until=10.0)
+        assert fired == []
+        node.recover()
+        cluster.run(until=20.0)
+        assert fired == ["a"]
+
+    def test_recover_without_crash_is_a_no_op(self, cluster):
+        node = cluster.add_node("n0")
+        fired = []
+        node.add_recovery_hook(lambda: fired.append("a"))
+        node.recover()
+        cluster.run(until=10.0)
+        assert fired == []
+
+    def test_hooks_run_in_registration_order_and_can_be_removed(self, cluster):
+        node = cluster.add_node("n0")
+        fired = []
+        first = lambda: fired.append("first")  # noqa: E731
+        node.add_recovery_hook(first)
+        node.add_recovery_hook(lambda: fired.append("second"))
+        node.remove_recovery_hook(first)
+        node.crash()
+        node.recover()
+        cluster.run(until=10.0)
+        assert fired == ["second"]
+
+    def test_double_cycle_runs_hooks_each_time(self, cluster):
+        node = cluster.add_node("n0")
+        fired = []
+        node.add_recovery_hook(lambda: fired.append("x"))
+        node.crash()
+        node.recover()
+        cluster.run(until=10.0)
+        node.crash()
+        node.recover()
+        cluster.run(until=20.0)
+        assert fired == ["x", "x"]
+
+    def test_immediate_recrash_kills_the_queued_hook(self, cluster):
+        """A second crash before the recovery hook's CPU task ran drops it
+        with the rest of the queue — fail-stop semantics apply to the
+        recovery work itself; only the final recovery's hook runs."""
+        node = cluster.add_node("n0")
+        fired = []
+        node.add_recovery_hook(lambda: fired.append("x"))
+        node.crash()
+        node.recover()
+        node.crash()  # synchronously: the queued hook task dies here
+        node.recover()
+        cluster.run(until=10.0)
+        assert fired == ["x"]
+
+
+class TestDeliveryQueueReset:
+    def test_cancel_pull_allows_a_fresh_pull(self):
+        queue = DeliveryQueue()
+        dead = queue.pull()  # the consumer that will "die"
+        queue.cancel_pull()
+        fresh = queue.pull()  # must not raise "pull outstanding"
+        queue.push(1, "payload")
+        assert fresh.done and fresh.value == (1, "payload")
+        assert not dead.done  # the orphaned pull is never resolved
+
+    def test_pending_seqs_reports_unpulled_items(self):
+        queue = DeliveryQueue()
+        queue.push(3, "a")
+        queue.push(4, "b")
+        assert queue.pending_seqs() == (3, 4)
+
+
+class TestPbftStateTransfer:
+    def test_crash_across_view_change_rejoins_current_view(self):
+        """The headline scenario: r3 sleeps through a view change and
+        must rejoin via state transfer — current view adopted from the
+        transferred NewView, history replayed from slot evidence — rather
+        than lingering on commit-certificate adoption alone."""
+        cluster = Cluster()
+        harness = PbftHarness(cluster)
+        harness.order_everywhere(("op", 0))
+        cluster.run(until=300.0)
+        victim = harness.nodes[3]
+        victim.crash()
+        # Silence the view-0 leader: the survivors view-change to view 1
+        # and keep ordering there while the victim is down.
+        silencer = make_silent(harness.nodes[0])
+        harness.order_everywhere(("op", 1))
+        cluster.run(until=2_500.0)
+        harness.order_everywhere(("op", 2))
+        cluster.run(until=3_500.0)
+        silencer.uninstall()
+        assert harness.replicas[1].view >= 1  # the view change happened
+        victim.recover()
+        cluster.run(until=8_000.0)
+        rejoined = harness.replicas[3]
+        assert rejoined.view == max(r.view for r in harness.replicas)
+        assert rejoined.state_transfers_requested >= 1
+        assert harness.flat_payloads("r3") == [("op", 0), ("op", 1), ("op", 2)]
+        # ... and it owes full liveness again: new traffic reaches it too.
+        harness.order_everywhere(("op", 3))
+        cluster.run(until=9_000.0)
+        assert harness.flat_payloads("r3")[-1] == ("op", 3)
+
+    def test_crash_mid_view_change_rejoins_same_view(self):
+        """Regression: a replica that crashed *after* bumping its view for
+        a view change the group then completed must receive the equal-view
+        NewView through state transfer — with a strictly-greater check it
+        stayed wedged in ``in_view_change`` forever, contributing no
+        commit votes in the new view."""
+        cluster = Cluster()
+        harness = PbftHarness(cluster)
+        harness.order_everywhere(("op", 0))
+        cluster.run(until=300.0)
+        victim_node, victim = harness.nodes[3], harness.replicas[3]
+        harness.order_everywhere(("op", 1))
+        # Every replica suspects the leader simultaneously (the timer
+        # path, triggered directly for determinism); the victim crashes
+        # right after broadcasting its ViewChange, before the NewView —
+        # view already bumped to 1, in_view_change still set.
+        for replica, node in zip(harness.replicas, harness.nodes):
+            node.run_task(replica._start_view_change, 1)
+        cluster.run(until=300.2)
+        assert victim.in_view_change and victim.view == 1
+        victim_node.crash()
+        # The three survivors are a full quorum: they complete view 1,
+        # deliver op1 there, and the group *stays* at view 1.
+        cluster.run(until=3_000.0)
+        survivor = harness.replicas[1]
+        assert survivor.view == 1 and not survivor.in_view_change
+        assert ("op", 1) in harness.flat_payloads("r1")
+        victim_node.recover()
+        cluster.run(until=8_000.0)
+        assert victim.view == 1
+        assert not victim.in_view_change  # healed by the equal-view replay
+        assert harness.flat_payloads("r3") == [("op", 0), ("op", 1)]
+        # Replayed NewViews from the retry rounds are deduplicated.
+        assert victim.view_changes_completed == 1
+        # Full liveness: the rejoiner votes commit again in the new view.
+        harness.order_everywhere(("op", 2))
+        cluster.run(until=9_000.0)
+        slot = victim.log.get(victim.delivered_seq)
+        assert slot is not None and slot.sent_commit
+
+    def test_recovered_replica_rearms_timers(self):
+        """A fired-but-dropped view-timeout callback must not wedge the
+        timer chain: after recovery the replica can still suspect a
+        faulty leader and join view changes."""
+        cluster = Cluster()
+        harness = PbftHarness(cluster)
+        harness.order_everywhere(("warm",))
+        cluster.run(until=300.0)
+        victim = harness.nodes[2]
+        victim.crash()
+        cluster.run(until=1_500.0)  # long enough for timers to fire and drop
+        victim.recover()
+        cluster.run(until=2_000.0)
+        make_silent(harness.nodes[0])  # leader goes silent *after* recovery
+        harness.order_everywhere(("stuck",))
+        cluster.run(until=6_000.0)
+        # The recovered replica took part in the view change and delivered.
+        assert harness.replicas[2].view >= 1
+        assert ("stuck",) in harness.flat_payloads("r2")
+
+    def test_state_transfer_responder_ignores_strangers(self, cluster):
+        from repro.consensus.pbft.messages import StateTransfer
+
+        nodes = cluster.add_group("r", 4)
+        replicas = [PbftReplica(node, "pbft", nodes, PbftConfig()) for node in nodes]
+        outsider = cluster.add_node("mallory")
+        request = StateTransfer(tag="pbft", view=0, low_water=1, sender="mallory")
+        outsider.run_task(outsider.send, nodes[0], request)
+        cluster.run(until=500.0)
+        assert replicas[0].state_transfers_requested == 0
+
+
+class TestRaftRecovery:
+    def test_recovered_follower_rejoins_replication(self, cluster):
+        nodes = cluster.add_group("n", 3)
+        replicas = [RaftReplica(node, "raft", nodes, RaftConfig()) for node in nodes]
+        delivered = {node.name: [] for node in nodes}
+
+        def drain(replica):
+            while True:
+                seq, payload = yield replica.next_delivery()
+                delivered[replica.node.name].append((seq, payload))
+
+        for node, replica in zip(nodes, replicas):
+            Process(cluster.sim, drain(replica), node=node, name=f"drain-{node.name}")
+        cluster.run(until=1_500.0)  # first election settles
+        for replica in replicas:
+            replica.order(("op", 0))
+        cluster.run(until=2_500.0)
+        follower = next(r for r in replicas if r.role != "leader")
+        follower.node.crash()
+        for replica in replicas:
+            replica.order(("op", 1))
+        cluster.run(until=4_000.0)
+        follower.node.recover()
+        cluster.run(until=8_000.0)
+        assert follower.delivered_index >= 2  # caught up via AppendEntries
+
+    def test_recovered_leader_steps_down_or_resumes(self, cluster):
+        nodes = cluster.add_group("n", 3)
+        replicas = [RaftReplica(node, "raft", nodes, RaftConfig()) for node in nodes]
+        cluster.run(until=1_500.0)
+        leader = next(r for r in replicas if r.role == "leader")
+        leader.node.crash()
+        cluster.run(until=4_000.0)  # survivors elect a new leader
+        leader.node.recover()
+        cluster.run(until=8_000.0)
+        # Exactly one leader in the highest term; the recovered node either
+        # stepped down on seeing it or (no election happened) resumed.
+        max_term = max(r.term for r in replicas)
+        leaders = [r for r in replicas if r.role == "leader" and r.term == max_term]
+        assert len(leaders) == 1
+        assert leader.term == max_term
+
+
+class TestSpiderCheckpointFetchOnBoot:
+    def test_recover_with_no_stable_checkpoint_yet(self):
+        """Before the first checkpoint exists the boot fetch finds nothing
+        and must be harmless: the replica resumes from its preserved state
+        through the still-open commit window."""
+        sim, system = build_system(ke=64, ka=64)
+        client = system.make_client("c1", "virginia", group_id="g0")
+        client.write(("put", "a", 1))
+        sim.run(until=2_000.0)
+        victim = system.groups["g0"].replicas[0]
+        assert victim.cp.latest_stable is None
+        victim.crash()
+        client.write(("put", "b", 2))
+        sim.run(until=4_000.0)
+        victim.recover()
+        client.write(("put", "c", 3))
+        sim.run(until=10_000.0)
+        assert victim.checkpoints_applied == 0
+        assert victim.app.apply(("get", "b")) == ("value", 2)
+        assert victim.app.apply(("get", "c")) == ("value", 3)
+
+    def test_recover_after_window_moved_adopts_checkpoint(self):
+        """The group checkpoints past the crashed replica and moves the
+        commit window: on boot the rejoiner's receive resolves TooOld and
+        the boot fetch lands the transferred state."""
+        sim, system = build_system(ke=2, ka=8, commit_capacity=2)
+        client = system.make_client("c1", "virginia", group_id="g0")
+        victim = system.groups["g0"].replicas[0]
+        client.write(("put", "w0", 0))
+        sim.run(until=2_000.0)
+        victim.crash()
+        for index in range(1, 8):
+            client.write(("put", f"w{index}", index))
+            sim.run(until=2_000.0 + index * 1_000.0)
+        victim.recover()
+        for index in range(8, 10):
+            client.write(("put", f"w{index}", index))
+            sim.run(until=2_000.0 + index * 1_000.0)
+        sim.run(until=20_000.0)
+        assert victim.checkpoints_applied >= 1  # rejoined via state transfer
+        for index in range(10):
+            assert victim.app.apply(("get", f"w{index}")) == ("value", index)
+
+    def test_recover_landing_mid_batch_keeps_checkpoint_cadence(self):
+        """With request batching the checkpoint counter tracks *requests*
+        and a batch may straddle the ke boundary; the residual is part of
+        the snapshot, so a rejoiner adopting such a checkpoint continues
+        the cadence at the same point as the replicas that generated it
+        (stability needs matching gen_cp sequence numbers)."""
+        sim, system = build_system(
+            ke=3, ka=8, commit_capacity=3, batch_size=4, batch_timeout_ms=40.0
+        )
+        clients = [
+            system.make_client(f"c{i}", "virginia", group_id="g0") for i in range(3)
+        ]
+        victim = system.groups["g0"].replicas[0]
+
+        def burst(round_index, at):
+            for client_index, client in enumerate(clients):
+                sim.schedule_at(
+                    at + client_index * 2.0,
+                    lambda c=client, r=round_index, i=client_index: c.write(
+                        ("put", f"k-{r}-{i}", r)
+                    ),
+                )
+
+        burst(0, 100.0)
+        sim.schedule_at(1_500.0, victim.crash)
+        for round_index in range(1, 5):
+            burst(round_index, 1_000.0 + round_index * 1_500.0)
+        sim.schedule_at(9_000.0, victim.recover)
+        burst(5, 11_000.0)
+        sim.run(until=30_000.0)
+        assert victim.checkpoints_applied >= 1
+        peer = system.groups["g0"].replicas[1]
+        # The cadence survived the adoption: the rejoiner's own later
+        # checkpoints land on the same sequence numbers as its peers'
+        # (otherwise fe+1 matching votes would never form again).
+        assert victim._ops_since_cp == peer._ops_since_cp
+        for round_index in range(6):
+            for client_index in range(3):
+                key = f"k-{round_index}-{client_index}"
+                assert victim.app.apply(("get", key)) == ("value", round_index), key
+
+    def test_double_crash_recover_same_replica_single_main_loop(self):
+        """Crash the same replica twice in one window: each recovery must
+        stop the previous main loop before respawning (no double apply)."""
+        sim, system = build_system(ke=4, ka=8, commit_capacity=4)
+        client = system.make_client("c1", "virginia", group_id="g0")
+        victim = system.groups["g0"].replicas[0]
+        client.write(("put", "a", 1))
+        sim.run(until=2_000.0)
+        sim.schedule_at(2_100.0, victim.crash)
+        sim.schedule_at(3_000.0, victim.recover)
+        sim.schedule_at(3_400.0, victim.crash)
+        sim.schedule_at(4_500.0, victim.recover)
+        for index in range(8):
+            client.write(("put", f"k{index}", index))
+            sim.run(until=5_000.0 + index * 1_000.0)
+        sim.run(until=25_000.0)
+        peer = system.groups["g0"].replicas[1]
+        # Converged state, no duplicated application effects: versions are
+        # identical to a replica that never crashed (a double-applied put
+        # would bump the version twice).
+        assert victim.app.snapshot() == peer.app.snapshot()
+
+    def test_recovered_agreement_replica_resumes_driving(self):
+        """An agreement replica's delivery and client loops respawn on
+        recovery and the consensus black-box rejoins via its own hook —
+        the replica must end fully caught up with its peers."""
+        sim, system = build_system()
+        client = system.make_client("c1", "virginia", group_id="g0")
+        client.write(("put", "a", 1))
+        sim.run(until=2_000.0)
+        victim = system.agreement_replicas[3]
+        victim.crash()
+        client.write(("put", "b", 2))
+        sim.run(until=5_000.0)
+        victim.recover()
+        client.write(("put", "c", 3))
+        sim.run(until=20_000.0)
+        seqs = {r.name: r.ag.delivered_seq for r in system.agreement_replicas}
+        assert len(set(seqs.values())) == 1, seqs
+        assert victim.sn == max(r.sn for r in system.agreement_replicas)
+
+
+class TestIrmcRecovery:
+    def test_sender_heartbeat_chain_survives_crash_recover(self, cluster):
+        """Only the restarted heartbeat chains can heal a receiver whose
+        initial copies were lost: the vouching senders send while their
+        links to r3 are blocked, crash through a few heartbeat periods
+        (the fired callbacks are dropped), then recover after the links
+        healed — r3 delivers iff retransmission came back to life."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=8, move_heartbeat_ms=100.0)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        laggard = receivers[3]
+        for index in (0, 1):
+            cluster.network.block_link(senders[index], laggard)
+        tx["s0"].send("sub", 1, ("m", 1))
+        tx["s1"].send("sub", 1, ("m", 1))
+        cluster.run(until=300.0)
+        assert rx["r0"]._delivered.get("sub", {}).get(1) == ("m", 1)
+        assert rx["r3"]._delivered.get("sub", {}) == {}
+        senders[0].crash()
+        senders[1].crash()
+        cluster.run(until=1_200.0)  # heartbeat callbacks fire and drop
+        for index in (0, 1):
+            cluster.network.unblock_link(senders[index], laggard)
+        senders[0].recover()
+        senders[1].recover()
+        cluster.run(until=6_000.0)
+        assert rx["r3"]._delivered.get("sub", {}).get(1) == ("m", 1)
+        # The chains are armed (a pending handle, not a dead fired one).
+        for name in ("s0", "s1"):
+            timer = tx[name]._heartbeat_timer
+            assert timer is not None and not timer.fired

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Check that internal links in the markdown docs resolve.
+
+Usage::
+
+    python tools/check_docs_links.py README.md docs
+
+Arguments are markdown files or directories (scanned recursively for
+``*.md``).  For every inline link or image ``[text](target)``:
+
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped;
+* pure in-page anchors (``#section``) are checked against the file's own
+  headings;
+* relative paths are resolved against the containing file and must exist
+  (an optional ``#anchor`` is checked against the target's headings when
+  the target is itself markdown).
+
+Anchors are derived from headings the way GitHub does (lowercase,
+punctuation stripped, spaces to hyphens).  Exits non-zero listing every
+broken link; prints a one-line summary otherwise.  No dependencies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    heading = re.sub(r"[`*_]", "", heading.strip()).lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    return {github_anchor(match) for match in HEADING.findall(text)}
+
+
+def collect_files(arguments) -> list:
+    files = []
+    for argument in arguments:
+        path = pathlib.Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: pathlib.Path) -> list:
+    problems = []
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors_of(path):
+                problems.append(f"{path}: broken in-page anchor {target!r}")
+            continue
+        raw, _, anchor = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md" and anchor not in anchors_of(resolved):
+            problems.append(
+                f"{path}: link {target!r} -> missing anchor #{anchor} in {resolved.name}"
+            )
+    return problems
+
+
+def main(argv) -> int:
+    files = collect_files(argv or ["README.md", "docs"])
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing), file=sys.stderr)
+        return 2
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken link(s) across {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} markdown file(s), all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
