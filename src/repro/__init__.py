@@ -25,6 +25,7 @@ Sub-packages
 ``repro.checkpoints`` the f+1-certificate checkpoint component
 ``repro.irmc``        inter-regional message channels (RC and SC variants)
 ``repro.core``        Spider itself (clients, execution/agreement groups)
+``repro.deploy``      declarative ClusterSpec -> build() -> sharded sessions
 ``repro.baselines``   BFT, BFT-WV and HFT (Steward-style) comparison systems
 ``repro.workload``    closed-loop client drivers
 ``repro.metrics``     latency percentiles, time series, message tracing
@@ -33,6 +34,7 @@ Sub-packages
 """
 
 from repro.core import SpiderClient, SpiderConfig, SpiderSystem
+from repro.deploy import ClusterSpec, Consistency, GroupSpec, Session, ShardSpec, build
 from repro.net import Network, Site, Topology
 from repro.sim import Simulator
 
@@ -46,5 +48,11 @@ __all__ = [
     "SpiderSystem",
     "SpiderConfig",
     "SpiderClient",
+    "ClusterSpec",
+    "ShardSpec",
+    "GroupSpec",
+    "Session",
+    "Consistency",
+    "build",
     "__version__",
 ]

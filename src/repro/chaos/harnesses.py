@@ -20,7 +20,12 @@ Besides the palette-drawing stacks there are two *targeted* recovery
 configurations (``pbft-vc-crash``, ``spider-cp-crash``) whose schedules
 are hand-shaped — crash a replica mid-view-change, or crash the same
 execution replica twice across checkpoint windows — with seeded jitter
-for coverage.
+for coverage, plus the sharding configuration ``spider-shard``: a
+two-shard :class:`~repro.deploy.ClusterSpec` deployment where faults
+only ever hit one shard and the other owes *normal-latency* completion
+throughout (shard isolation), with completion-after-heal asserted per
+shard.  The Spider stacks build from declarative specs via
+:func:`repro.deploy.build`.
 
 Design notes on fault budgets: node-targeted faults only ever hit the
 victims chosen per run (at most the stack's ``f``).  Crash/recovered
@@ -59,7 +64,8 @@ from repro.chaos.schedule import ChaosProfile, generate_schedule
 from repro.consensus.interface import batch_items
 from repro.consensus.pbft import PbftConfig, PbftReplica, is_noop
 from repro.consensus.raft import RaftConfig, RaftReplica
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import SpiderConfig
+from repro.deploy import ClusterSpec, GroupSpec, ShardSpec, build
 from repro.irmc import IrmcConfig, TooOld, make_channel
 from repro.net import Network, Site, Topology
 from repro.sim import Process, Simulator
@@ -689,6 +695,59 @@ class _JournalKVStore(KVStore):
         return super().apply(operation)
 
 
+def _check_spider_group_invariants(
+    groups, crashed_ever, expected_writes, expected_state
+) -> List[str]:
+    """The recovery-aware per-group obligations shared by every Spider
+    harness: prefix agreement + exactly-once for never-crashed replicas,
+    subsequence safety for checkpoint-adopting rejoiners, journal
+    completion for the former and *state* completion for everyone."""
+    violations: List[str] = []
+    for group in groups:
+        journals = {
+            replica.name: [op for op in replica.app.journal if op[0] == "put"]
+            for replica in group.replicas
+        }
+        never_crashed = [n for n in journals if n not in crashed_ever]
+        recovered = [n for n in journals if n in crashed_ever]
+        violations += check_journal_agreement(journals, never_crashed)
+        violations += check_exactly_once(journals, journals)
+        if recovered:
+            reference_pool = never_crashed or list(journals)
+            reference = max((journals[n] for n in reference_pool), key=len)
+            violations += check_journal_subsequence(
+                reference,
+                {n: journals[n] for n in recovered},
+                where=f"{group.group_id} recovered replica",
+            )
+        violations += check_completion(
+            expected_writes,
+            {n: journals[n] for n in never_crashed},
+            where=f"{group.group_id} replica",
+        )
+        violations += check_state_completion(
+            expected_state,
+            {replica.name: replica.app.snapshot()[0] for replica in group.replicas},
+            where=f"{group.group_id} replica",
+        )
+    return violations
+
+
+def _check_agreement_frontier(agreement_replicas, label: str = "") -> List[str]:
+    """After heal + settle every agreement replica of one shard must sit
+    at the same consensus frontier (state transfer + gap fetch + cp-ag
+    adoption close any hole a crash or partition opened)."""
+    delivered_seqs = {
+        replica.name: replica.ag.delivered_seq for replica in agreement_replicas
+    }
+    if len(set(delivered_seqs.values())) > 1:
+        return [
+            f"liveness/agreement-catchup{label}: delivered_seq diverged "
+            f"after heal: {delivered_seqs}"
+        ]
+    return []
+
+
 class SpiderHarness(StackHarness):
     """The full deployment: agreement in Virginia, groups in VA + Tokyo."""
 
@@ -719,14 +778,23 @@ class SpiderHarness(StackHarness):
     def make_config(self) -> SpiderConfig:
         return SpiderConfig()
 
+    def make_spec(self) -> ClusterSpec:
+        """The stack as a declarative spec (single shard, groups g0/g1).
+
+        One shard keeps the node graph byte-identical to the historical
+        hand-wired harness, so recorded sweep outcomes carry over."""
+        shard = ShardSpec(
+            "s0",
+            groups=(GroupSpec("g0", "virginia"), GroupSpec("g1", "tokyo")),
+        )
+        return ClusterSpec(
+            shards=(shard,), config=self.make_config(), app_factory=_JournalKVStore
+        )
+
     def run(self, seed, actions=None, chaos=True):
         sim = Simulator(seed=seed)
         network = Network(sim, Topology(), jitter=0.0)
-        system = SpiderSystem(
-            sim, config=self.make_config(), network=network, app_factory=_JournalKVStore
-        )
-        system.add_execution_group("g0", "virginia")
-        system.add_execution_group("g1", "tokyo")
+        system = build(sim, self.make_spec(), network=network).system
         homes = ["g0", "g0", "g1"]
         regions = {"g0": "virginia", "g1": "tokyo"}
         clients = [
@@ -776,60 +844,14 @@ class SpiderHarness(StackHarness):
             for client in clients
             for index in range(self.requests_per_client)
         }
-        for group in system.groups.values():
-            journals = {
-                replica.name: [op for op in replica.app.journal if op[0] == "put"]
-                for replica in group.replicas
-            }
-            never_crashed = [n for n in journals if n not in crashed_ever]
-            recovered = [n for n in journals if n in crashed_ever]
-            # Prefix agreement among replicas that never skipped anything;
-            # a recovered replica that rejoined via checkpoint adoption
-            # legitimately has a gap, so it owes the weaker (but still
-            # order-safe) subsequence property against the group canon.
-            violations += check_journal_agreement(journals, never_crashed)
-            violations += check_exactly_once(journals, journals)
-            if recovered:
-                reference_pool = never_crashed or list(journals)
-                reference = max(
-                    (journals[n] for n in reference_pool), key=len
-                )
-                violations += check_journal_subsequence(
-                    reference,
-                    {n: journals[n] for n in recovered},
-                    where=f"{group.group_id} recovered replica",
-                )
-            # Journal completion for replicas that never skipped; *state*
-            # completion for everyone — a rejoiner's adopted checkpoint
-            # must carry the effects of whatever it skipped, and its
-            # respawned main loop must have caught up to the frontier.
-            violations += check_completion(
-                expected_writes,
-                {n: journals[n] for n in never_crashed},
-                where=f"{group.group_id} replica",
-            )
-            violations += check_state_completion(
-                expected_state,
-                {
-                    replica.name: replica.app.snapshot()[0]
-                    for replica in group.replicas
-                },
-                where=f"{group.group_id} replica",
-            )
+        # Prefix agreement / exactly-once / subsequence safety for
+        # rejoiners / journal + state completion (see the shared helper).
+        violations += _check_spider_group_invariants(
+            system.groups.values(), crashed_ever, expected_writes, expected_state
+        )
         violations += check_client_fifo(completions)
-        # Recovered agreement replicas owe full liveness too: after heal
-        # plus settle, every agreement replica must have delivered the
-        # same consensus prefix (PBFT state transfer + gap fetch + cp-ag
-        # adoption close any hole a crash or partition opened).
-        delivered_seqs = {
-            replica.name: replica.ag.delivered_seq
-            for replica in system.agreement_replicas
-        }
-        if len(set(delivered_seqs.values())) > 1:
-            violations.append(
-                "liveness/agreement-catchup: delivered_seq diverged after "
-                f"heal: {delivered_seqs}"
-            )
+        # Recovered agreement replicas owe full liveness too.
+        violations += _check_agreement_frontier(system.agreement_replicas)
         for client in clients:
             done = len(completions[client.name])
             if done < self.requests_per_client:
@@ -882,11 +904,183 @@ class SpiderCheckpointCrashHarness(SpiderHarness):
         ]
 
 
+class SpiderShardHarness(StackHarness):
+    """Two shards, faults confined to one: the other must not stall.
+
+    The cluster runs two complete agreement domains (``sa`` / ``sb``,
+    each 4 agreement replicas + one 3-replica execution group in
+    Virginia) behind the sharded session surface; sessions write keys
+    owned by their designated shard.  The fault palette only ever hits
+    shard ``sa``'s nodes.  Obligations:
+
+    * completion-after-heal **per shard** — both shards (including the
+      faulted one, crash/recovered replicas and all) eventually apply
+      every write and answer every session;
+    * **non-interference** — the unfaulted shard's operations complete at
+      normal latency *during* shard ``sa``'s fault windows: every
+      ``sb``-keyed operation finishes within ``latency_budget_ms`` of
+      issue, orders of magnitude below the settle horizon.  Shards share
+      nothing but the network, so a wedged shard ``sa`` leaking into
+      ``sb``'s latency would be a routing/isolation bug.
+    """
+
+    name = "spider-shard"
+    shard_ids = ("sa", "sb")
+    exec_groups = {"sa": "a0", "sb": "b0"}
+    sessions_per_shard = 2
+    requests_per_session = 6
+    think_ms = 1_800.0
+    min_start_ms = 1_000.0
+    horizon_ms = 12_000.0
+    settle_ms = 75_000.0
+    #: per-op completion bound for the unfaulted shard (normal Virginia
+    #: round trips are tens of ms; this allows queueing slack while still
+    #: catching any cross-shard stall).
+    latency_budget_ms = 5_000.0
+
+    def make_spec(self) -> ClusterSpec:
+        return ClusterSpec(
+            shards=tuple(
+                ShardSpec(
+                    shard_id,
+                    groups=(GroupSpec(self.exec_groups[shard_id], "virginia"),),
+                )
+                for shard_id in self.shard_ids
+            ),
+            app_factory=_JournalKVStore,
+        )
+
+    def profile(self, seed: int) -> ChaosProfile:
+        victims = _victims(
+            self.name + ":ag", seed, [f"sa-ag{i}" for i in range(4)], 1
+        )
+        victims += _victims(
+            self.name + ":ex", seed, [f"a0-e{i}" for i in range(3)], 1
+        )
+        return ChaosProfile(
+            node_kinds=("crash", "silence", "delay", "drop", "mute_half"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+            max_actions=4,
+        )
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        cluster = build(sim, self.make_spec(), network=network)
+
+        sessions = []
+        session_shard: Dict[str, str] = {}
+        keys: Dict[str, List[str]] = {}
+        for shard_id in self.shard_ids:
+            for index in range(self.sessions_per_shard):
+                session = cluster.session(f"u-{shard_id}-{index}", "virginia")
+                sessions.append(session)
+                session_shard[session.name] = shard_id
+                # Disjoint per-session key pools: expected_state below maps
+                # each key to exactly one session's write, so the invariant
+                # holds regardless of how concurrent sessions interleave.
+                keys[session.name] = cluster.partitioner.keys_for(
+                    shard_id,
+                    self.requests_per_session,
+                    prefix=f"{shard_id}:{index}:k",
+                )
+        #: (index, issued_at, done_at) per session, for FIFO + latency
+        completions: Dict[str, List[Tuple[int, float, float]]] = {
+            s.name: [] for s in sessions
+        }
+
+        def issue(session, index=0):
+            if index >= self.requests_per_session:
+                return
+            issued_at = sim.now
+            key = keys[session.name][index]
+            future = session.write(key, f"{session.name}:{index}")
+            future.add_callback(
+                lambda result: (
+                    completions[session.name].append((index, issued_at, sim.now)),
+                    sim.schedule(self.think_ms, issue, session, index + 1),
+                )
+            )
+
+        for session in sessions:
+            sim.schedule_at(200.0, issue, session)
+
+        if actions is None and chaos:
+            actions = self.derive_schedule(seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            chaos_nodes = {n.name: n for n in cluster.all_nodes}
+            engine = ChaosEngine(
+                sim, network, chaos_nodes, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        sim.run(until=self.settle_ms, max_events=12_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        crashed_ever = {n.name for n in cluster.all_nodes if n.crash_count > 0}
+        violations = []
+        # Per-shard expectations: every write a shard's sessions issued.
+        for shard_id in self.shard_ids:
+            shard = cluster.shard(shard_id)
+            my_sessions = [s for s in sessions if session_shard[s.name] == shard_id]
+            expected_writes = [
+                ("put", keys[s.name][index], f"{s.name}:{index}")
+                for s in my_sessions
+                for index in range(self.requests_per_session)
+            ]
+            expected_state = {
+                keys[s.name][index]: f"{s.name}:{index}"
+                for s in my_sessions
+                for index in range(self.requests_per_session)
+            }
+            violations += _check_spider_group_invariants(
+                shard.groups.values(), crashed_ever, expected_writes, expected_state
+            )
+            violations += _check_agreement_frontier(
+                shard.agreement_replicas, label=f"[{shard_id}]"
+            )
+        violations += check_client_fifo(
+            {name: [(i, done) for i, _, done in comps] for name, comps in completions.items()}
+        )
+        for session in sessions:
+            done = len(completions[session.name])
+            if done < self.requests_per_session:
+                violations.append(
+                    f"liveness/session: {session.name} completed {done}/"
+                    f"{self.requests_per_session} requests"
+                )
+        # Non-interference: the unfaulted shard runs at normal latency
+        # even while shard sa's fault windows are open.
+        for session in sessions:
+            if session_shard[session.name] != "sb":
+                continue
+            for index, issued_at, done_at in completions[session.name]:
+                latency = done_at - issued_at
+                if latency > self.latency_budget_ms:
+                    violations.append(
+                        "liveness/shard-isolation: unfaulted shard op "
+                        f"{session.name}#{index} took {latency:.0f} ms "
+                        f"(> {self.latency_budget_ms:.0f} ms budget)"
+                    )
+        stats = {
+            "completions": completions,
+            "crashed_ever": sorted(crashed_ever),
+            "events": sim.events_processed,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
 HARNESSES: Dict[str, StackHarness] = {
     harness.name: harness
     for harness in (
         SpiderHarness(),
         SpiderCheckpointCrashHarness(),
+        SpiderShardHarness(),
         PbftHarness(),
         PbftViewChangeCrashHarness(),
         RaftHarness(),

@@ -28,9 +28,10 @@ from repro.core.messages import (
     RequestWrapper,
     WeakRead,
 )
-from repro.core.system import ExecutionGroup, SpiderSystem
+from repro.core.system import ExecutionGroup, Shard, SpiderSystem
 
 __all__ = [
+    "Shard",
     "SpiderSystem",
     "ExecutionGroup",
     "SpiderConfig",

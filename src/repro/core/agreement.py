@@ -192,6 +192,9 @@ class AgreementReplica(RoutedNode):
         request_rx.on_new_subchannel = lambda client: self._start_client_loop(
             channels, client
         )
+        request_rx.on_subchannel_retired = lambda client: self._retire_client_loop(
+            channels, client
+        )
 
     def disconnect_group(self, group_id: str) -> None:
         channels = self.groups.pop(group_id, None)
@@ -215,6 +218,17 @@ class AgreementReplica(RoutedNode):
             node=self,
             name=f"{self.name}.client.{client}",
         )
+
+    def _retire_client_loop(self, channels: _GroupChannels, client: str) -> None:
+        """The client's session closed (fs+1-vouched subchannel retirement):
+        stop its request loop and drop the local next-expected cursor.  The
+        agreed counter book ``t`` stays — it is replicated state (part of
+        checkpoint snapshots), and keeping it preserves duplicate filtering
+        should a Byzantine group replay the retired client's old requests."""
+        process = channels.client_loops.pop(client, None)
+        if process is not None:
+            process.stop()
+        self.t_plus.pop(client, None)
 
     def _client_loop(self, channels: _GroupChannels, client: str):
         while channels.group_id in self.groups:

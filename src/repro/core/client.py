@@ -9,6 +9,7 @@ from repro.core.messages import (
     WRITE,
     AddGroup,
     ClientRequest,
+    CloseSession,
     RegistryInfo,
     RegistryQuery,
     RemoveGroup,
@@ -41,6 +42,17 @@ class SpiderClient(Node):
 
         self.counter = 0  # t_c: strictly increasing request counter
         self.nonce = 0  # weak-read nonce (independent of t_c)
+        self.closed = False
+        #: optional callback fired once the close fully completes (all
+        #: CloseSession announcements sent, no weak reads outstanding) —
+        #: sessions use it to release the client object (network
+        #: registration, builder dictionaries).
+        self.on_closed = None
+        self._open_announcements = 0
+        self._close_finished = False
+        #: groups this client previously targeted via switch_group — the
+        #: session close must retire its subchannel on those too.
+        self._former_groups: Dict[str, list] = {}
         self._pending: Optional[dict] = None
         self._weak_pending: Dict[int, dict] = {}
         self.completed: List[Tuple[str, float, float]] = []  # (kind, start, latency)
@@ -81,6 +93,8 @@ class SpiderClient(Node):
     def _direct_read(
         self, operation: Tuple, threshold: int, label: str, fallback_after: int = 0
     ) -> SimFuture:
+        if self.closed:
+            raise RuntimeError(f"client {self.name} is closed")
         self.nonce += 1
         future = SimFuture(name=f"{self.name}.{label}#{self.nonce}")
         state = {
@@ -98,6 +112,75 @@ class SpiderClient(Node):
         self.run_task(self._send_weak, state)
         return future
 
+    #: CloseSession transmissions per close (the message is re-announced
+    #: ``retry_ms`` apart so replicas that were crashed or cut off during
+    #: one transmission still learn of the retirement; processing is
+    #: idempotent on every hop).
+    CLOSE_ANNOUNCEMENTS = 3
+
+    def close_session(self) -> None:
+        """Retire this client's request subchannel (session close).
+
+        Sent once the caller has no request in flight: the execution
+        replicas drop the client's request-channel books and propagate
+        the retirement to the agreement group (which stops the
+        per-client loop), so churning clients leave no per-client window
+        state behind.  The announcement repeats a bounded number of
+        times so a replica that was down or partitioned for one
+        transmission still retires (and still contributes its fs+1
+        retirement voucher) when a later one lands.  The client name
+        must not be reused afterwards — duplicate filtering remembers
+        the old counters.
+        """
+        if self._pending is not None and not self._pending["future"].done:
+            raise RuntimeError(
+                f"client {self.name} cannot close with request "
+                f"#{self.counter} in flight"
+            )
+        if self.closed:
+            return
+        self.closed = True
+        body = CloseSession(client=self.name, counter=self.counter)
+        signature = sign(self.name, body)  # group-independent: sign once
+        # Every group this client ever targeted holds per-client channel
+        # books — the current one and any it switched away from.
+        targets = dict(self._former_groups)
+        targets[self.group_id] = self.group_nodes
+        self._open_announcements = len(targets)
+        for nodes in targets.values():
+            group_names = [node.name for node in nodes]
+            message = attach_auth(
+                body,
+                signature=signature,
+                auth=make_mac_vector(self.name, group_names, body),
+            )
+            self._announce_close(message, list(nodes), self.CLOSE_ANNOUNCEMENTS)
+
+    def _announce_close(self, message, nodes, remaining: int) -> None:
+        for replica in nodes:
+            self.send(replica, message)
+        if remaining > 1:
+            self.set_timeout(
+                self.retry_ms, self._announce_close, message, nodes, remaining - 1
+            )
+        else:
+            self._open_announcements -= 1
+            self._maybe_finish_close()
+
+    def _maybe_finish_close(self) -> None:
+        """Fire ``on_closed`` once the close fully completed: the last
+        announcement went out on every group chain and no weak read is
+        still retrying (replies to those must keep reaching us)."""
+        if (
+            self.closed
+            and not self._close_finished
+            and self._open_announcements == 0
+            and not self._weak_pending
+        ):
+            self._close_finished = True
+            if self.on_closed is not None:
+                self.on_closed(self)
+
     def switch_group(self, group_id, group_nodes) -> None:
         """Direct requests at a different execution group (used when a
         group fails or is removed, or a closer one appears, Section 3.1).
@@ -106,6 +189,9 @@ class SpiderClient(Node):
         under its existing counter; whichever group completes it first
         produces the accepted reply (duplicate filtering makes this safe).
         """
+        if group_id != self.group_id:
+            self._former_groups[self.group_id] = self.group_nodes
+            self._former_groups.pop(group_id, None)
         self.group_id = group_id
         self.group_nodes = list(group_nodes)
         if self._pending is not None and not self._pending["future"].done:
@@ -118,6 +204,11 @@ class SpiderClient(Node):
     # Write / strong-read path
     # ------------------------------------------------------------------
     def _submit(self, operation: Tuple, kind: str) -> SimFuture:
+        if self.closed:
+            # A write after close would silently re-open the retired
+            # subchannel (the replicas' duplicate filters were cleared)
+            # with nothing left to ever retire it again.
+            raise RuntimeError(f"client {self.name} is closed")
         if self._pending is not None:
             raise RuntimeError(
                 f"client {self.name} already has request #{self.counter} in flight"
@@ -181,13 +272,16 @@ class SpiderClient(Node):
 
     def _upgrade_to_strong_read(self, state) -> None:
         """The weak read kept stalling: order it instead (Section 3.3)."""
-        self._weak_pending.pop(state["nonce"], None)
-        if self._pending is not None:
-            # A write is already in flight; keep retrying weakly instead of
-            # violating the one-outstanding-request discipline.
+        if self._pending is not None or self.closed:
+            # A write is already in flight (one-outstanding-request
+            # discipline), or the session closed while the read was still
+            # retrying — its retired subchannel cannot order anything, but
+            # replicas still answer weak reads, so keep retrying weakly
+            # (the state stays registered so weak replies can resolve it).
             state["retry"] = self.set_timeout(self.retry_ms, self._send_weak, state)
             state["attempts"] = 0
             return
+        self._weak_pending.pop(state["nonce"], None)
         strong = self.strong_read(state["operation"])
         strong.add_callback(lambda result: state["future"].try_resolve(result))
 
@@ -246,6 +340,8 @@ class SpiderClient(Node):
             self.completed.append((state.get("label", "weak-read"), state["start"], latency))
             del self._weak_pending[message.nonce]
             state["future"].resolve(message.result)
+            if self.closed:
+                self._maybe_finish_close()
 
 
 class AdminClient(Node):

@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 from repro.consensus.pbft.config import PbftConfig
 from repro.errors import ConfigurationError
 
+#: Default availability-zone order for agreement groups (paper: the V-1 /
+#: V-2 / V-4 / V-6 leader placement, continued for larger groups).  The
+#: single source of truth — spec validation and shard wiring must agree
+#: on it or a validated spec could build a different placement.
+DEFAULT_AGREEMENT_ZONES = (1, 2, 4, 6, 3, 5, 7, 8, 9, 10)
+
 
 @dataclass
 class SpiderConfig:

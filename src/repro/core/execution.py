@@ -23,6 +23,7 @@ from repro.checkpoints import CheckpointComponent
 from repro.core.config import SpiderConfig
 from repro.core.messages import (
     ClientRequest,
+    CloseSession,
     Execute,
     Reply,
     RequestWrapper,
@@ -54,6 +55,13 @@ class ExecutionReplica(RoutedNode):
         self.t: Dict[str, int] = {}  # latest forwarded counter per client
         #: reply cache: client -> (counter, result | PLACEHOLDER)
         self.u: Dict[str, Tuple[int, Any]] = {}
+        #: clients whose sessions closed: tombstones so a straggler
+        #: duplicate of a retired client's last request (retry in flight,
+        #: chaos delay/duplicate faults) cannot re-open the retired
+        #: subchannel.  One name per churned client — the same growth
+        #: class as the reply cache ``u``, which only an *agreed*
+        #: retirement command could shrink (see ROADMAP).
+        self.closed_clients: set = set()
 
         self.group_nodes = []
         self.request_tx = None  # request-channel sender endpoint
@@ -135,10 +143,16 @@ class ExecutionReplica(RoutedNode):
             self._on_request(src, message)
         elif isinstance(message, WeakRead):
             self._on_weak_read(src, message)
+        elif isinstance(message, CloseSession):
+            self._on_close_session(src, message)
 
     def _on_request(self, src, message: ClientRequest) -> None:
         body = message.body
         if body.client != src.name:
+            return
+        if body.client in self.closed_clients:
+            # The session retired; even a valid straggler must not touch
+            # the request channel again (it would re-grow retired books).
             return
         if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
@@ -164,6 +178,28 @@ class ExecutionReplica(RoutedNode):
             body=body, signature=message.signature, group=self.group_id
         )
         self.request_tx.send(body.client, body.counter, wrapper)
+
+    def _on_close_session(self, src, message: CloseSession) -> None:
+        """Retire a closing client's request subchannel.
+
+        The forwarded-counter book ``t`` is dropped too (it is replica
+        local — unlike the reply cache ``u``, which is part of the
+        checkpointed state and must stay deterministic across replicas).
+        A stale CloseSession (counter below the client's forwarded
+        frontier) is ignored: it was signed before requests that are
+        still live.
+        """
+        if message.client != src.name:
+            return
+        if not verify_mac_vector(message.auth, message, message.client, self.name):
+            return
+        if message.counter < self.t.get(message.client, 0):
+            return
+        if not verify(message.signature, message, signer=message.client):
+            return
+        self.closed_clients.add(message.client)
+        self.t.pop(message.client, None)
+        self.request_tx.retire_subchannel(message.client)
 
     def _on_weak_read(self, src, message: WeakRead) -> None:
         if message.client != src.name:

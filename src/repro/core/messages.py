@@ -165,6 +165,31 @@ class WeakReadReply(Message, Digestible):
         return 16 + len(repr(self.result)) + 32
 
 
+@dataclass(frozen=True)
+class CloseSession(Message, Digestible):
+    """A client retires its request subchannel (session close).
+
+    Signed by the client and MAC'd towards its execution group; each
+    execution replica then retires the client's request-channel
+    subchannel (and propagates the retirement towards the agreement
+    group, which stops the per-client loop).  ``counter`` pins the
+    client's final request counter — a close is only honoured for the
+    session's live counter frontier, so a replayed old CloseSession
+    cannot retire a session that kept running.
+    """
+
+    client: str
+    counter: int
+    signature: Optional[Signature] = None
+    auth: Optional[MacVector] = None
+
+    def signed_content(self) -> Tuple:
+        return ("close-session", self.client, self.counter)
+
+    def payload_size(self) -> int:
+        return 16 + 128 + (self.auth.size_bytes() if self.auth else 0)
+
+
 # ----------------------------------------------------------------------
 # Reconfiguration (Section 3.6) and the execution-replica registry
 # ----------------------------------------------------------------------

@@ -1,11 +1,19 @@
-"""Deployment builder for Spider systems.
+"""Node-graph wiring for one Spider shard.
 
-:class:`SpiderSystem` owns the node graph of a deployment: the agreement
+:class:`Shard` owns the node graph of one agreement domain: the agreement
 group in one region (one replica per availability zone), execution groups
 near clients, and the clients themselves.  It supports both static
 bootstrap (groups wired before the simulation starts) and dynamic
 reconfiguration through the :class:`~repro.core.client.AdminClient`
 (Section 3.6).
+
+Deployments are normally *described* rather than hand-wired: the
+:mod:`repro.deploy` subsystem turns a declarative
+:class:`~repro.deploy.ClusterSpec` into one :class:`Shard` per spec'd
+shard via :func:`repro.deploy.build`.  :class:`SpiderSystem` — the
+historical hand-wiring entry point — remains as a thin deprecated alias
+of :class:`Shard` for one release; see ``docs/architecture.md`` for the
+migration notes.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from repro.app.kvstore import KVStore
 from repro.consensus.pbft.replica import PbftReplica
 from repro.core.agreement import AgreementReplica
 from repro.core.client import AdminClient, SpiderClient
-from repro.core.config import SpiderConfig
+from repro.core.config import DEFAULT_AGREEMENT_ZONES, SpiderConfig
 from repro.core.execution import ExecutionReplica
 from repro.errors import ConfigurationError
 from repro.net import Network, Site, Topology
@@ -37,18 +45,25 @@ class ExecutionGroup:
         return tuple(replica.name for replica in self.replicas)
 
 
-class SpiderSystem:
-    """Builds and manages a complete Spider deployment.
+class Shard:
+    """Builds and manages one agreement domain of a Spider deployment.
+
+    A shard is one agreement group plus the execution groups it feeds —
+    the unit :func:`repro.deploy.build` instantiates per
+    :class:`~repro.deploy.ShardSpec`.  ``name_prefix`` keeps node names
+    (``ag0`` .. ``ag{n}``, ``admin``) unique when several shards share one
+    network; single-shard deployments use the empty prefix, which keeps
+    their node graph byte-identical to the historical hand-wired one.
 
     Example
     -------
     ::
 
         sim = Simulator(seed=1)
-        system = SpiderSystem(sim, agreement_region="virginia")
-        system.add_execution_group("va", "virginia")
-        system.add_execution_group("jp", "tokyo")
-        client = system.make_client("c1", "tokyo", group_id="jp")
+        shard = Shard(sim, agreement_region="virginia")
+        shard.add_execution_group("va", "virginia")
+        shard.add_execution_group("jp", "tokyo")
+        client = shard.make_client("c1", "tokyo", group_id="jp")
         future = client.write(("put", "k", "v"))
         sim.run(until=1000)
         assert future.done
@@ -65,6 +80,7 @@ class SpiderSystem:
         execute_locally: bool = False,
         agreement_zones: Optional[List[int]] = None,
         agreement_sites: Optional[List[Site]] = None,
+        name_prefix: str = "",
     ):
         self.sim = sim
         self.config = config or SpiderConfig()
@@ -73,6 +89,7 @@ class SpiderSystem:
         self.agreement_region = agreement_region
         self.app_factory = app_factory
         self.execute_locally = execute_locally
+        self.name_prefix = name_prefix
         self.groups: Dict[str, ExecutionGroup] = {}
         self.clients: Dict[str, SpiderClient] = {}
         self._group_counter = 0
@@ -89,7 +106,7 @@ class SpiderSystem:
                 raise ConfigurationError("not enough agreement sites provided")
             sites = list(agreement_sites)
         else:
-            zones = agreement_zones or [1, 2, 4, 6, 3, 5, 7, 8, 9, 10]
+            zones = agreement_zones or list(DEFAULT_AGREEMENT_ZONES)
             if len(zones) < size:
                 raise ConfigurationError(
                     "not enough availability zones for agreement group"
@@ -99,7 +116,7 @@ class SpiderSystem:
         for index in range(size):
             replica = AgreementReplica(
                 sim,
-                f"ag{index}",
+                f"{name_prefix}ag{index}",
                 sites[index],
                 self.config,
                 execute_locally=execute_locally,
@@ -114,7 +131,7 @@ class SpiderSystem:
 
         self.admin = AdminClient(
             sim,
-            "admin",
+            f"{name_prefix}admin",
             Site(agreement_region, 1),
             self.agreement_replicas,
             fa=self.config.fa,
@@ -273,3 +290,23 @@ class SpiderSystem:
         for group in self.groups.values():
             nodes.extend(group.replicas)
         return nodes
+
+
+class SpiderSystem(Shard):
+    """Deprecated hand-wiring alias of :class:`Shard` (one release grace).
+
+    Historically the only way to build a deployment; superseded by the
+    declarative :class:`~repro.deploy.ClusterSpec` +
+    :func:`repro.deploy.build` pair, which also unlocks multi-shard
+    deployments and the :class:`~repro.deploy.Session` client surface.
+    The constructor signature and every method are unchanged, so existing
+    callers keep working — new code should describe the deployment as a
+    spec instead::
+
+        from repro.deploy import ClusterSpec, GroupSpec, ShardSpec, build
+        spec = ClusterSpec(shards=(
+            ShardSpec("s0", groups=(GroupSpec("va", "virginia"),)),
+        ))
+        cluster = build(sim, spec)
+        client = cluster.make_client("c1", "virginia", group_id="va")
+    """

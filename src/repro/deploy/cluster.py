@@ -1,0 +1,264 @@
+"""Spec-to-system builder and the multi-shard cluster runtime.
+
+:func:`build` is the single constructor for every architecture in the
+repo: it turns a :class:`~repro.deploy.spec.ClusterSpec` into a
+:class:`Cluster` (one :class:`~repro.core.Shard` per spec'd shard on a
+shared network), and the baseline specs into their respective systems.
+
+A single-shard spec builds the exact node graph the historical
+hand-wired :class:`~repro.core.SpiderSystem` would have built — same
+node names, same construction order, same event stream — so a 1-shard
+run is byte-identical to the pre-spec path (regression-tested in
+``tests/test_deploy.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.core.system import Shard
+from repro.deploy.session import Session
+from repro.deploy.spec import BftSpec, ClusterSpec, HftSpec, ShardSpec
+from repro.errors import ConfigurationError
+from repro.net import Network, Topology
+
+__all__ = ["KeyPartitioner", "Cluster", "build"]
+
+
+class KeyPartitioner:
+    """Deterministic key -> shard mapping shared by all sessions.
+
+    ``crc32(str(key))`` modulo the shard count, over the spec's shard
+    order — stable across platforms and interpreter runs (unlike builtin
+    ``hash``), so a key's owner is a pure function of the spec.
+    """
+
+    def __init__(self, shard_ids):
+        self.shard_ids = tuple(shard_ids)
+        if not self.shard_ids:
+            raise ConfigurationError("partitioner needs at least one shard")
+
+    def owner(self, key: Any) -> str:
+        """The shard id owning ``key``."""
+        index = zlib.crc32(str(key).encode("utf-8", errors="replace"))
+        return self.shard_ids[index % len(self.shard_ids)]
+
+    def keys_for(self, shard_id: str, count: int, prefix: str = "key-"):
+        """``count`` generated keys owned by ``shard_id`` (workload helper)."""
+        if shard_id not in self.shard_ids:
+            # owner() can never return an unknown id — without this the
+            # search below would spin forever instead of failing fast.
+            raise ConfigurationError(
+                f"no shard {shard_id!r}; known: {sorted(self.shard_ids)}"
+            )
+        found, index = [], 0
+        while len(found) < count:
+            key = f"{prefix}{index}"
+            if self.owner(key) == shard_id:
+                found.append(key)
+            index += 1
+        return found
+
+
+class Cluster:
+    """A built multi-shard deployment: shards + partitioner + sessions."""
+
+    def __init__(self, sim, network, spec: ClusterSpec, shards: Dict[str, Shard]):
+        self.sim = sim
+        self.network = network
+        self.spec = spec
+        self.shards: Dict[str, Shard] = dict(shards)
+        self.partitioner = KeyPartitioner(self.shards.keys())
+        #: live sessions only — fully closed ones are released, leaving
+        #: just their name tombstone in ``_session_names`` (names are
+        #: single-use because the protocol's duplicate filters remember
+        #: the old request counters).
+        self.sessions: Dict[str, Session] = {}
+        self._session_names: set = set()
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    def shard(self, shard_id: str) -> Shard:
+        try:
+            return self.shards[shard_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no shard {shard_id!r}; known: {sorted(self.shards)}"
+            ) from None
+
+    @property
+    def system(self) -> Shard:
+        """The sole shard of a single-shard cluster (compat convenience)."""
+        if len(self.shards) != 1:
+            raise ConfigurationError(
+                "Cluster.system is defined for single-shard clusters only; "
+                "use cluster.shard(shard_id)"
+            )
+        return next(iter(self.shards.values()))
+
+    def shard_for_key(self, key: Any) -> Shard:
+        return self.shards[self.partitioner.owner(key)]
+
+    @property
+    def all_nodes(self):
+        nodes = []
+        for shard in self.shards.values():
+            nodes.extend(shard.all_nodes)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def session(self, name: str, region: str, zone: int = 1) -> Session:
+        """Open a :class:`~repro.deploy.session.Session` — the sharded
+        key-value surface (``write`` / ``read`` / ``strong_read`` routed
+        by the key partitioner).  Names are single-use: close a session
+        rather than re-opening one under the same name."""
+        if name in self._session_names:
+            raise ConfigurationError(f"session {name!r} already exists")
+        self._session_names.add(name)
+        session = Session(self, name, region, zone=zone)
+        self.sessions[name] = session
+        return session
+
+    def _release_session(self, session: Session) -> None:
+        self.sessions.pop(session.name, None)
+
+    def make_client(
+        self,
+        name: str,
+        region: str,
+        group_id: Optional[str] = None,
+        zone: int = 1,
+        shard_id: Optional[str] = None,
+    ):
+        """A raw protocol client bound to one shard (sessions build on
+        this; direct use mirrors :meth:`repro.core.Shard.make_client`)."""
+        shard = self.shard(shard_id) if shard_id else self._locate(group_id)
+        return shard.make_client(name, region, group_id=group_id, zone=zone)
+
+    def _locate(self, group_id: Optional[str]) -> Shard:
+        if group_id is None:
+            if len(self.shards) == 1:
+                return self.system
+            raise ConfigurationError(
+                "multi-shard cluster: pass shard_id or group_id to make_client"
+            )
+        for shard in self.shards.values():
+            if group_id in shard.groups:
+                return shard
+        raise ConfigurationError(f"no shard hosts group {group_id!r}")
+
+
+# ----------------------------------------------------------------------
+# The builder
+# ----------------------------------------------------------------------
+def build(sim, spec, network: Optional[Network] = None):
+    """Materialise a spec: ``ClusterSpec -> Cluster``,
+    ``BftSpec -> BftSystem``, ``HftSpec -> HftSystem``.
+
+    ``network`` defaults to a fresh :class:`~repro.net.Network` over the
+    standard topology; pass one to share jitter settings with a caller's
+    environment (the experiment harnesses do).
+    """
+    if isinstance(spec, ClusterSpec):
+        return _build_cluster(sim, spec, network)
+    if isinstance(spec, BftSpec):
+        return _build_bft(sim, spec, network)
+    if isinstance(spec, HftSpec):
+        return _build_hft(sim, spec, network)
+    raise ConfigurationError(f"unknown spec type {type(spec).__name__}")
+
+
+def _agreement_factory(spec: ClusterSpec):
+    if spec.agreement_factory is not None:
+        return spec.agreement_factory
+    if spec.consensus == "raft":
+        from repro.consensus.raft import RaftConfig, RaftReplica
+
+        raft_config = RaftConfig()
+        return lambda node, peers: RaftReplica(node, "raft-ag", peers, raft_config)
+    # "pbft": None lets the Shard install its default PBFT factory — the
+    # byte-identical historical path.
+    return None
+
+
+def _build_cluster(sim, spec: ClusterSpec, network: Optional[Network]) -> Cluster:
+    spec.validate()
+    network = network or Network(sim, Topology())
+    multi = len(spec.shards) > 1
+    factory = _agreement_factory(spec)
+    shards: Dict[str, Shard] = {}
+    for shard_spec in spec.shards:
+        prefix = f"{shard_spec.shard_id}-" if multi else ""
+        config = spec.config
+        if multi:
+            # Each shard gets its own admin principal; everything else is
+            # shared.  (The nested PbftConfig is immutable in practice —
+            # pbft_config() derives a fresh one per shard.)
+            config = replace(spec.config, admins=(f"{prefix}admin",))
+        shard = Shard(
+            sim,
+            config=config,
+            network=network,
+            agreement_region=shard_spec.agreement_region,
+            app_factory=spec.app_factory,
+            agreement_factory=factory,
+            execute_locally=spec.execute_locally,
+            agreement_zones=(
+                list(shard_spec.agreement_zones)
+                if shard_spec.agreement_zones is not None
+                else None
+            ),
+            agreement_sites=(
+                list(shard_spec.agreement_sites)
+                if shard_spec.agreement_sites is not None
+                else None
+            ),
+            name_prefix=prefix,
+        )
+        for group in shard_spec.groups:
+            shard.add_execution_group(
+                group.group_id,
+                group.region,
+                sites=list(group.sites) if group.sites is not None else None,
+            )
+        shards[shard_spec.shard_id] = shard
+    return Cluster(sim, network, spec, shards)
+
+
+def _build_bft(sim, spec: BftSpec, network: Optional[Network]):
+    from repro.baselines import BftSystem
+
+    spec.validate()
+    return BftSystem(
+        sim,
+        list(spec.ordered_regions()),
+        spec.app_factory,
+        f=spec.f,
+        network=network,
+        weights=dict(spec.weights) if spec.weights else None,
+        view_timeout_ms=spec.view_timeout_ms,
+        checkpoint_interval=spec.checkpoint_interval,
+    )
+
+
+def _build_hft(sim, spec: HftSpec, network: Optional[Network]):
+    from repro.baselines import HftSystem
+
+    spec.validate()
+    return HftSystem(
+        sim,
+        list(spec.ordered_regions()),
+        spec.app_factory,
+        f=spec.f,
+        network=network,
+        site_layout=(
+            {region: list(sites) for region, sites in spec.site_layout}
+            if spec.site_layout
+            else None
+        ),
+    )

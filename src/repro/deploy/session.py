@@ -1,0 +1,195 @@
+"""The sharded, session-based client surface.
+
+A :class:`Session` is the key-value face of a multi-shard cluster: every
+operation names a *key*, the cluster's deterministic
+:class:`~repro.deploy.cluster.KeyPartitioner` maps the key to its owning
+shard, and the session multiplexes one underlying
+:class:`~repro.core.client.SpiderClient` per shard it touches (created
+lazily, named ``{session}@{shard_id}``).
+
+Semantics:
+
+* **Writes** and **strong reads** are ordered operations; the underlying
+  protocol client allows one in flight at a time, so the session queues
+  them *per shard* — per-key FIFO follows (a key always maps to the same
+  shard), while operations on keys owned by different shards proceed in
+  parallel.  That independence is the scale-out axis: N shards give a
+  session up to N concurrently ordered operations.
+* **Weak reads** (:attr:`Consistency.WEAK`, the :meth:`Session.read`
+  default) go straight to the owning shard's nearest execution group and
+  may be served concurrently with ordered traffic, exactly like
+  :meth:`SpiderClient.weak_read`.
+* :meth:`Session.close` retires the session's per-client request-channel
+  subchannels once the ordered queues drain (Fig. 14's channels are
+  per-client: without retirement every replica's window books grow one
+  entry per client *forever*).  A closed session rejects new operations;
+  session names must not be reused (the protocol's duplicate filtering
+  remembers the old request counters).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Deque, Dict, Tuple
+
+from repro.sim.futures import SimFuture
+
+__all__ = ["Consistency", "Session"]
+
+
+class Consistency(enum.Enum):
+    """Read consistency levels (paper Section 3.3).
+
+    ``WEAK`` — answered by the local execution group, may be stale;
+    ``STRONG`` — totally ordered with all writes through agreement.
+    """
+
+    WEAK = "weak"
+    STRONG = "strong"
+
+
+class Session:
+    """A named client session over a sharded cluster (see module docs).
+
+    Obtained from :meth:`repro.deploy.Cluster.session`; not constructed
+    directly.
+    """
+
+    def __init__(self, cluster, name: str, region: str, zone: int = 1):
+        self.cluster = cluster
+        self.name = name
+        self.region = region
+        self.zone = zone
+        self.closed = False
+        #: completed operations: (kind, key, issued_at, latency_ms)
+        self.completed: list = []
+        self._clients: Dict[str, Any] = {}
+        self._queues: Dict[str, Deque[Tuple[str, Tuple, SimFuture]]] = {}
+        self._busy: Dict[str, bool] = {}
+        self._released: set = set()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def write(self, key: str, value: Any) -> SimFuture:
+        """Linearizable ``put`` on the shard owning ``key``."""
+        return self._submit_ordered("write", key, ("put", key, value))
+
+    def read(self, key: str, consistency: Consistency = Consistency.WEAK) -> SimFuture:
+        """``get`` at the requested consistency level."""
+        if consistency is Consistency.STRONG:
+            return self._submit_ordered("strong-read", key, ("get", key))
+        self._check_open()
+        shard_id = self.cluster.partitioner.owner(key)
+        future = self._client(shard_id).weak_read(("get", key))
+        self._track(future, "weak-read", key)
+        return future
+
+    def strong_read(self, key: str) -> SimFuture:
+        """``get`` totally ordered with all writes (Section 3.3)."""
+        return self.read(key, Consistency.STRONG)
+
+    def close(self) -> None:
+        """Retire the session: reject new operations and, once each
+        shard's ordered queue drains, retire its request subchannel so the
+        channel endpoints drop this client's window books.  When every
+        underlying client finishes its close, the session releases the
+        client objects (network registration, builder dictionaries) and
+        itself — churned sessions leave only their single-use name
+        behind."""
+        if self.closed:
+            return
+        self.closed = True
+        if not self._clients:
+            self.cluster._release_session(self)
+            return
+        for shard_id in list(self._clients):
+            # _pump owns the drain-then-retire rule: it retires idle
+            # shards now and draining shards at their last completion.
+            self._pump(shard_id)
+
+    @property
+    def pending_ops(self) -> int:
+        """Ordered operations queued or in flight across all shards."""
+        return sum(len(q) for q in self._queues.values()) + sum(
+            1 for busy in self._busy.values() if busy
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"session {self.name!r} is closed")
+
+    def _client(self, shard_id: str):
+        client = self._clients.get(shard_id)
+        if client is None:
+            client = self.cluster.make_client(
+                f"{self.name}@{shard_id}",
+                self.region,
+                zone=self.zone,
+                shard_id=shard_id,
+            )
+            client.on_closed = (
+                lambda closed, shard_id=shard_id: self._release_client(shard_id, closed)
+            )
+            self._clients[shard_id] = client
+            self._queues[shard_id] = deque()
+            self._busy[shard_id] = False
+        return client
+
+    def _release_client(self, shard_id: str, client) -> None:
+        """The client's close fully completed: drop every reference that
+        would otherwise grow one entry per churned session forever."""
+        shard = self.cluster.shard(shard_id)
+        shard.clients.pop(client.name, None)
+        self.cluster.network.unregister(client)
+        self._released.add(shard_id)
+        if self._released >= set(self._clients):
+            self._clients.clear()
+            self._queues.clear()
+            self._busy.clear()
+            self._released.clear()
+            self.cluster._release_session(self)
+
+    def _submit_ordered(self, kind: str, key: str, operation: Tuple) -> SimFuture:
+        self._check_open()
+        shard_id = self.cluster.partitioner.owner(key)
+        self._client(shard_id)  # ensure queue exists
+        future = SimFuture(name=f"{self.name}.{kind}:{key}")
+        self._track(future, kind, key)
+        self._queues[shard_id].append((kind, operation, future))
+        self._pump(shard_id)
+        return future
+
+    def _pump(self, shard_id: str) -> None:
+        if self._busy[shard_id]:
+            return
+        queue = self._queues[shard_id]
+        if not queue:
+            if self.closed:
+                self._clients[shard_id].close_session()
+            return
+        kind, operation, outer = queue.popleft()
+        self._busy[shard_id] = True
+        client = self._clients[shard_id]
+        if kind == "write":
+            inner = client.write(operation)
+        else:
+            inner = client.strong_read(operation)
+        inner.add_callback(lambda result: self._on_done(shard_id, outer, result))
+
+    def _on_done(self, shard_id: str, outer: SimFuture, result: Any) -> None:
+        self._busy[shard_id] = False
+        outer.try_resolve(result)
+        self._pump(shard_id)
+
+    def _track(self, future: SimFuture, kind: str, key: str) -> None:
+        issued_at = self.cluster.sim.now
+        future.add_callback(
+            lambda _result: self.completed.append(
+                (kind, key, issued_at, self.cluster.sim.now - issued_at)
+            )
+        )

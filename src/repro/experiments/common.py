@@ -6,8 +6,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.app import KVStore
-from repro.baselines import BftSystem, HftSystem
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
+from repro.core.config import DEFAULT_AGREEMENT_ZONES
+from repro.deploy import BftSpec, ClusterSpec, HftSpec, build
 from repro.metrics import LatencySummary, summarize
 from repro.net import Network, Topology
 from repro.sim import Simulator
@@ -85,42 +86,61 @@ def fresh_env(seed: int = 1, jitter: float = 0.05):
 
 
 # ----------------------------------------------------------------------
-# System builders (the paper's standard 4-region deployment, f=1)
+# Deployment specs (the paper's standard 4-region deployment, f=1)
 # ----------------------------------------------------------------------
+def spider_spec(
+    regions: Sequence[str] = tuple(REGIONS),
+    leader_zone_order: Optional[List[int]] = None,
+    config: Optional[SpiderConfig] = None,
+    app_factory=KVStore,
+) -> ClusterSpec:
+    """The paper's deployment as a spec: agreement group in Virginia AZs,
+    one execution group per region (each group named after its region).
+    ``leader_zone_order`` rotates which AZ hosts the initial consensus
+    leader (paper: V-1 / V-2 / V-4 / V-6)."""
+    return ClusterSpec.single(
+        regions=tuple(regions),
+        agreement_region="virginia",
+        agreement_zones=tuple(leader_zone_order or DEFAULT_AGREEMENT_ZONES),
+        config=config or SpiderConfig(),
+        app_factory=app_factory,
+    )
+
+
 def build_spider(
     sim,
     network,
     regions: Sequence[str] = tuple(REGIONS),
     leader_zone_order: Optional[List[int]] = None,
     config: Optional[SpiderConfig] = None,
-) -> SpiderSystem:
-    """Spider: agreement group in Virginia AZs, one execution group per
-    region.  ``leader_zone_order`` rotates which AZ hosts the initial
-    consensus leader (paper: V-1 / V-2 / V-4 / V-6)."""
-    system = SpiderSystem(
+) -> Shard:
+    """Build the paper's Spider deployment from :func:`spider_spec`.
+
+    Returns the cluster's single shard — the historical ``SpiderSystem``
+    surface — so figure runners keep their direct group/client access."""
+    cluster = build(
         sim,
-        config=config or SpiderConfig(),
+        spider_spec(regions=regions, leader_zone_order=leader_zone_order, config=config),
         network=network,
-        agreement_region="virginia",
-        agreement_zones=leader_zone_order or [1, 2, 4, 6, 3, 5, 7, 8, 9, 10],
     )
-    for region in regions:
-        system.add_execution_group(region, region)
-    return system
+    return cluster.system
 
 
 def build_bft(sim, network, leader: str = "virginia", regions=None, weights=None, f=1):
-    """BFT: one replica per region; first region is the leader."""
-    regions = list(regions or REGIONS)
-    ordered = [leader] + [region for region in regions if region != leader]
-    return BftSystem(sim, ordered, KVStore, network=network, weights=weights, f=f)
+    """BFT: one replica per region; ``leader`` hosts the initial leader."""
+    spec = BftSpec(
+        regions=tuple(regions or REGIONS),
+        leader=leader,
+        f=f,
+        weights=tuple(sorted(weights.items())) if weights else None,
+    )
+    return build(sim, spec, network=network)
 
 
 def build_hft(sim, network, leader: str = "virginia", regions=None, f=1):
-    """HFT: one 3f+1 cluster per region; first region is the leader site."""
-    regions = list(regions or REGIONS)
-    ordered = [leader] + [region for region in regions if region != leader]
-    return HftSystem(sim, ordered, KVStore, network=network, f=f)
+    """HFT: one 3f+1 cluster per region; ``leader`` is the leader site."""
+    spec = HftSpec(regions=tuple(regions or REGIONS), leader=leader, f=f)
+    return build(sim, spec, network=network)
 
 
 # ----------------------------------------------------------------------
@@ -128,12 +148,19 @@ def build_hft(sim, network, leader: str = "virginia", regions=None, f=1):
 # ----------------------------------------------------------------------
 @dataclass
 class RunScale:
-    """Knobs shrinking an experiment for quick runs."""
+    """Knobs shrinking an experiment for quick runs.
+
+    ``drain_ms`` is how long the simulation keeps running past the
+    issue window so in-flight requests complete; long-tail deployments
+    (sharded runs, heavy batching, WAN-heavy routes) can widen it rather
+    than silently truncating their slowest requests.
+    """
 
     clients_per_region: int = 3
     duration_ms: float = 15_000.0
     warmup_ms: float = 2_000.0
     think_ms: float = 300.0
+    drain_ms: float = 20_000.0
 
     @classmethod
     def quick(cls) -> "RunScale":
@@ -164,7 +191,7 @@ def measure_latency(
                 duration_ms=scale.duration_ms,
                 strong_read_quorum=strong_read_quorum,
             )
-    sim.run(until=scale.duration_ms + 20_000.0)
+    sim.run(until=scale.duration_ms + scale.drain_ms)
     summaries: Dict[str, LatencySummary] = {}
     for region in regions:
         samples = [

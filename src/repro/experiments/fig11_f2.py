@@ -14,7 +14,8 @@ quorums, more crypto); Spider stays clearly below BFT and HFT.
 
 from __future__ import annotations
 
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
+from repro.deploy import ClusterSpec, GroupSpec, HftSpec, ShardSpec, build
 from repro.experiments.common import (
     NEARBY,
     REGION_LABEL,
@@ -40,38 +41,42 @@ def build_hft_f2(sim, network):
     """HFT with 7-replica clusters spanning each region and its nearby
     partner (the paper's extra fault domains): threshold 2f+1 = 5 pulls at
     least one cross-region share into every local round."""
-    from repro.app import KVStore
-    from repro.baselines import HftSystem
-
-    layout = {
-        region: [Site(region, zone) for zone in (1, 2, 3, 4)]
-        + [Site(NEARBY[region], zone) for zone in (1, 2, 3)]
+    layout = tuple(
+        (
+            region,
+            tuple(Site(region, zone) for zone in (1, 2, 3, 4))
+            + tuple(Site(NEARBY[region], zone) for zone in (1, 2, 3)),
+        )
         for region in REGIONS
-    }
-    return HftSystem(
-        sim, list(REGIONS), KVStore, f=2, network=network, site_layout=layout
+    )
+    return build(
+        sim, HftSpec(regions=tuple(REGIONS), f=2, site_layout=layout), network=network
     )
 
 
-def build_spider_f2(sim, network, leader_zones) -> SpiderSystem:
-    """Spider with fa=fe=2: the 7-member agreement group spans four
-    Virginia AZs and three Ohio AZs, so the PBFT quorum of 5 includes one
-    Ohio replica — the source of the paper's moderate latency rise."""
-    config = SpiderConfig(fa=2, fe=2)
-    agreement_sites = [Site("virginia", zone) for zone in leader_zones[:4]] + [
+def spider_f2_spec(leader_zones) -> ClusterSpec:
+    """Spider with fa=fe=2 as a spec: the 7-member agreement group spans
+    four Virginia AZs and three Ohio AZs, so the PBFT quorum of 5 includes
+    one Ohio replica — the source of the paper's moderate latency rise;
+    each execution group of 5 spans its region plus the paired nearby one."""
+    agreement_sites = tuple(Site("virginia", zone) for zone in leader_zones[:4]) + tuple(
         Site("ohio", zone) for zone in (1, 2, 3)
-    ]
-    system = SpiderSystem(
-        sim, config=config, network=network, agreement_sites=agreement_sites
     )
-    for region in REGIONS:
-        nearby = NEARBY[region]
-        sites = [Site(region, zone) for zone in (1, 2, 3)] + [
-            Site(nearby, 1),
-            Site(nearby, 2),
-        ]
-        system.add_execution_group(region, region, sites=sites)
-    return system
+    groups = tuple(
+        GroupSpec(
+            region,
+            region,
+            sites=tuple(Site(region, zone) for zone in (1, 2, 3))
+            + (Site(NEARBY[region], 1), Site(NEARBY[region], 2)),
+        )
+        for region in REGIONS
+    )
+    shard = ShardSpec("s0", groups=groups, agreement_sites=agreement_sites)
+    return ClusterSpec(shards=(shard,), config=SpiderConfig(fa=2, fe=2))
+
+
+def build_spider_f2(sim, network, leader_zones) -> Shard:
+    return build(sim, spider_f2_spec(leader_zones), network=network).system
 
 
 def run(quick: bool = False, seed: int = 1) -> ExperimentResult:

@@ -15,7 +15,8 @@ full, for each client region) stays small — the paper reports < 14 ms.
 
 from __future__ import annotations
 
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import SpiderConfig
+from repro.deploy import ClusterSpec, ShardSpec, build
 from repro.experiments.common import (
     REGION_LABEL,
     REGIONS,
@@ -38,9 +39,10 @@ def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
 
     # Spider-0E: agreement group executes locally, clients connect directly.
     sim, network = fresh_env(seed=seed)
-    system = SpiderSystem(
-        sim, config=SpiderConfig(), network=network, execute_locally=True
+    spec_0e = ClusterSpec(
+        shards=(ShardSpec("s0"),), config=SpiderConfig(), execute_locally=True
     )
+    system = build(sim, spec_0e, network=network).system
     summaries = measure_latency(
         sim,
         lambda name, region: system.make_direct_client(name, region),

@@ -15,6 +15,10 @@ receiver replicas in another region (paper Section 3.2).  Key semantics:
 * **TooOld** — operations on positions below the window resolve with a
   :class:`TooOld` marker carrying the new lower bound, which is how trailing
   replicas learn they must fetch a checkpoint.
+* **Retirement** — subchannels are client identities; when a client session
+  closes, ``f_s + 1`` sender endpoints vouch a :class:`RetireMsg` and both
+  sides drop every book keyed by the subchannel, so long-horizon deployments
+  with churning clients keep bounded window state.
 
 Blocking calls are futures: ``send`` and ``receive`` return a
 :class:`~repro.sim.futures.SimFuture` resolving with ``"ok"`` / the message,
@@ -27,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.primitives import attach_auth, make_mac_vector, verify_mac_vector
-from repro.irmc.messages import MoveMsg
+from repro.irmc.messages import MoveMsg, RetireMsg
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
 
@@ -93,6 +97,16 @@ class _WindowBook:
         if len(positions) < self.quorum_rank:
             return 1
         return positions[self.quorum_rank - 1]
+
+    def forget(self, subchannel: Any) -> None:
+        """Drop a retired subchannel's requests (it will never move again)."""
+        self._requests.pop(subchannel, None)
+
+    def __contains__(self, subchannel: Any) -> bool:
+        return subchannel in self._requests
+
+    def __len__(self) -> int:
+        return len(self._requests)
 
 
 class IrmcEndpoint(Component):
@@ -271,6 +285,37 @@ class SenderEndpointBase(IrmcEndpoint):
         for receiver in self.remote_group:
             self.send_msg(receiver, move)
 
+    def retire_subchannel(self, subchannel: Any) -> None:
+        """Permanently drop one subchannel (the client's session closed).
+
+        Announces the retirement to every receiver endpoint (they retire
+        once ``f_s + 1`` senders vouch), then drops every sender-side book
+        keyed by the subchannel.  Without this, long-running deployments
+        grow one window-book entry per client *forever* — retirement is
+        what keeps churning-client workloads bounded.  Parked sends (the
+        client cannot have any in a clean close) resolve with
+        :class:`TooOld`.
+        """
+        if self.closed:
+            return
+        body = RetireMsg(tag=self.tag, subchannel=subchannel, sender=self.node.name)
+        message = attach_auth(
+            body, auth=make_mac_vector(self.node.name, self.remote_names, body)
+        )
+        for receiver in self.remote_group:
+            self.send_msg(receiver, message)
+        start = self.start_of(subchannel)
+        self.window_start.pop(subchannel, None)
+        self._own_moves.pop(subchannel, None)
+        self._buffer.pop(subchannel, None)
+        for _position, _payload, future in self._parked.pop(subchannel, ()):
+            future.try_resolve(TooOld(start))
+        self._receiver_moves.forget(subchannel)
+        self._retire_local(subchannel)
+
+    def _retire_local(self, subchannel: Any) -> None:
+        """Drop subclass-owned books for a retired subchannel (hook)."""
+
     # -- implementation hooks ------------------------------------------
     def _transmit(self, subchannel: Any, position: int, payload: Any) -> None:
         raise NotImplementedError
@@ -339,6 +384,11 @@ class ReceiverEndpointBase(IrmcEndpoint):
         #: Spider's agreement replicas use it to spawn per-client loops.
         self.on_new_subchannel = None
         self._known_subchannels: set = set()
+        #: optional callback fired when a subchannel retires (fs+1-vouched);
+        #: Spider's agreement replicas use it to stop the per-client loop.
+        self.on_subchannel_retired = None
+        #: distinct senders vouching for a subchannel's retirement
+        self._retire_votes: Dict[Any, set] = {}
 
     def _note_subchannel(self, subchannel: Any) -> None:
         """Fire ``on_new_subchannel`` exactly once per subchannel.
@@ -415,6 +465,74 @@ class ReceiverEndpointBase(IrmcEndpoint):
             # fs+1 senders vouch for the move: adopt it and confirm to the
             # sender side so their windows advance too (Fig. 18 L. 50-57).
             self.move_window(message.subchannel, agreed)
+
+    # -- subchannel retirement (client sessions closing) ----------------
+    def _on_retire(self, message: RetireMsg) -> None:
+        """Count retirement vouchers; retire at ``f_s + 1`` distinct senders.
+
+        Votes are only tracked for subchannels this endpoint actually
+        holds state for (vouched-delivered at least once, a moved window,
+        or recorded sender Moves), so a Byzantine sender cannot grow
+        ``_retire_votes`` with fabricated subchannel names — the very
+        leak retirement exists to prevent.  The ``_sender_moves`` arm
+        matters for healing: a sender that was crashed during the close
+        re-announces its window Move on recovery (re-growing that book
+        on receivers that already retired), and the client's repeated
+        CloseSession announcements then let the sender group re-vouch
+        the retirement and sweep the stale entry out.  The healing only
+        reaches senders that recover within the client's announcement
+        window — one down past all announcements keeps its books and
+        Move heartbeat for that subchannel (the documented residual; see
+        the ROADMAP retirement-reconciliation follow-up).
+        """
+        if not self._valid_move(message, self.remote_names):
+            return
+        subchannel = message.subchannel
+        if (
+            subchannel not in self._known_subchannels
+            and subchannel not in self.window_start
+            and subchannel not in self._sender_moves
+            and not self._has_retire_state(subchannel)
+        ):
+            return
+        votes = self._retire_votes.setdefault(subchannel, set())
+        votes.add(message.sender)
+        if len(votes) >= self.config.fs + 1:
+            self._retire_subchannel(subchannel)
+
+    def _retire_subchannel(self, subchannel: Any) -> None:
+        """Drop every receiver-side book keyed by a retired subchannel.
+
+        Fires ``on_subchannel_retired`` *first* so the consumer can stop
+        its per-subchannel driver (Spider stops the client loop) before
+        the remaining waiters resolve with :class:`TooOld` — resolution
+        is then inert for the stopped loop, and no future for the
+        subchannel can dangle unresolved.
+        """
+        self._retire_votes.pop(subchannel, None)
+        self._known_subchannels.discard(subchannel)
+        if self.on_subchannel_retired is not None:
+            self.on_subchannel_retired(subchannel)
+        start = self.start_of(subchannel)
+        self.window_start.pop(subchannel, None)
+        self._sender_moves.forget(subchannel)
+        self._delivered.pop(subchannel, None)
+        for futures in self._waiters.pop(subchannel, {}).values():
+            for future in futures:
+                future.try_resolve(TooOld(start))
+        self._retire_local(subchannel)
+
+    def _retire_local(self, subchannel: Any) -> None:
+        """Drop subclass-owned books for a retired subchannel (hook)."""
+
+    def _has_retire_state(self, subchannel: Any) -> bool:
+        """Whether subclass books hold state for ``subchannel`` (hook).
+
+        Consulted by the retire-vote eligibility guard: a receiver whose
+        *only* trace of a subchannel is partially collected evidence
+        (e.g. RC votes below fs+1 after a loss window) must still accept
+        retirement vouchers, or that evidence leaks forever."""
+        return False
 
     def _deliver(self, subchannel: Any, position: int, payload: Any) -> None:
         if position < self.start_of(subchannel):

@@ -67,6 +67,29 @@ class MoveMsg(Message, Digestible):
 
 
 @dataclass(frozen=True)
+class RetireMsg(Message, Digestible):
+    """``<Retire, sc>`` — the subchannel's client session closed for good.
+
+    Sent by sender endpoints towards receiver endpoints; a receiver drops
+    the subchannel's window books once ``f_s + 1`` distinct senders
+    vouched for the retirement (mirroring the Move quorum rule), so a
+    single Byzantine sender can neither retire a live client nor block a
+    retirement.
+    """
+
+    tag: str
+    subchannel: Any
+    sender: str
+    auth: Optional[MacVector] = None
+
+    def signed_content(self) -> Tuple:
+        return ("irmc-retire", self.tag, self.subchannel, self.sender)
+
+    def payload_size(self) -> int:
+        return 16 + (self.auth.size_bytes() if self.auth else 0)
+
+
+@dataclass(frozen=True)
 class SigShare(Message, Digestible):
     """IRMC-SC: a sender's signature share over a Send content hash."""
 

@@ -13,7 +13,7 @@ from typing import Any, Dict
 
 from repro.crypto.primitives import attach_auth, digest, sign, verify
 from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
-from repro.irmc.messages import MoveMsg, SendMsg
+from repro.irmc.messages import MoveMsg, RetireMsg, SendMsg
 
 
 class RcSenderEndpoint(SenderEndpointBase):
@@ -55,6 +55,8 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
             self._on_send(message)
         elif isinstance(message, MoveMsg):
             self._on_sender_move(message)
+        elif isinstance(message, RetireMsg):
+            self._on_retire(message)
 
     def _on_send(self, message: SendMsg) -> None:
         sender = message.sender
@@ -105,6 +107,13 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
                     del per_channel[old]
                 if not per_channel:
                     del book[subchannel]
+
+    def _retire_local(self, subchannel: Any) -> None:
+        self._votes.pop(subchannel, None)
+        self._payloads.pop(subchannel, None)
+
+    def _has_retire_state(self, subchannel: Any) -> bool:
+        return subchannel in self._votes or subchannel in self._payloads
 
 
 def make_rc_channel(tag, sender_nodes, receiver_nodes, config: IrmcConfig):

@@ -20,7 +20,14 @@ from repro.crypto.primitives import (
     verify_mac_vector,
 )
 from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
-from repro.irmc.messages import CertificateMsg, MoveMsg, ProgressMsg, SelectMsg, SigShare
+from repro.irmc.messages import (
+    CertificateMsg,
+    MoveMsg,
+    ProgressMsg,
+    RetireMsg,
+    SelectMsg,
+    SigShare,
+)
 
 
 class ScSenderEndpoint(SenderEndpointBase):
@@ -202,6 +209,14 @@ class ScSenderEndpoint(SenderEndpointBase):
         for key in [k for k in self._shares if k[0] == subchannel and k[1] < new_start]:
             del self._shares[key]
 
+    def _retire_local(self, subchannel: Any) -> None:
+        self._bundles.pop(subchannel, None)
+        self._collector.pop(subchannel, None)
+        for key in [k for k in self._pending if k[0] == subchannel]:
+            del self._pending[key]
+        for key in [k for k in self._shares if k[0] == subchannel]:
+            del self._shares[key]
+
     def close(self) -> None:
         if self._progress_timer is not None:
             self._progress_timer.cancel()
@@ -245,6 +260,8 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
             self._on_progress(message)
         elif isinstance(message, MoveMsg):
             self._on_sender_move(message)
+        elif isinstance(message, RetireMsg):
+            self._on_retire(message)
 
     def _on_certificate(self, message: CertificateMsg) -> None:
         if message.sender not in self.remote_names:
@@ -322,6 +339,23 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
         # Keep watching until the gap closes.
         self._timers[subchannel] = self.node.set_timeout(
             self.config.collector_timeout_ms, self._on_collector_timeout, subchannel
+        )
+
+    def _retire_local(self, subchannel: Any) -> None:
+        self._merged_progress.pop(subchannel, None)
+        self._collector_index.pop(subchannel, None)
+        for per_sender in self._peer_progress.values():
+            per_sender.pop(subchannel, None)
+        timer = self._timers.pop(subchannel, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _has_retire_state(self, subchannel: Any) -> bool:
+        return (
+            subchannel in self._merged_progress
+            or subchannel in self._collector_index
+            or subchannel in self._timers
+            or any(subchannel in per_sender for per_sender in self._peer_progress.values())
         )
 
     def close(self) -> None:

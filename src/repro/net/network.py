@@ -118,8 +118,11 @@ class Network:
         return node
 
     def unregister(self, node: Node) -> None:
+        """Detach ``node`` from delivery: messages addressed to it are
+        dropped from now on.  ``node.network`` stays set so sends the
+        node already queued (e.g. a batched outbox from the CPU task
+        that decided to leave) still flush instead of crashing."""
         self.nodes.pop(node.name, None)
-        node.network = None
         if self._node_links:
             self._node_links = {
                 pair: profile

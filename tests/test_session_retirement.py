@@ -1,0 +1,383 @@
+"""Regression tests for IRMC subchannel retirement (session close).
+
+The request channel keys a subchannel per client; before retirement every
+``_WindowBook`` / ``window_start`` / ``_known_subchannels`` entry — and
+the agreement replicas' per-client loops — lived forever, so a
+long-horizon deployment with churning clients leaked one entry per client
+per replica.  ``Session.close()`` (and ``SpiderClient.close_session()``
+underneath) must leave all of those books bounded by the *live* client
+population, and the control case asserts the leak is real without it —
+these tests cannot be green by vacuity.
+"""
+
+import pytest
+
+from repro.core import SpiderConfig
+from repro.deploy import ClusterSpec, build
+from repro.irmc.base import ReceiverEndpointBase, SenderEndpointBase
+from repro.net import Network, Topology
+from repro.sim import Simulator
+
+
+def build_cluster(seed=3, irmc_kind="rc"):
+    sim = Simulator(seed=seed)
+    network = Network(sim, Topology(), jitter=0.0)
+    cluster = build(
+        sim,
+        ClusterSpec.single(
+            regions=("virginia", "tokyo"), config=SpiderConfig(irmc_kind=irmc_kind)
+        ),
+        network=network,
+    )
+    return sim, cluster
+
+
+def churn(sim, cluster, n_sessions, writes_each=2, close=True, spacing_ms=400.0):
+    """Short-lived sessions: open, write, (optionally) close, repeat."""
+    sessions = []
+
+    def one(index):
+        session = cluster.session(f"u{index}", "virginia")
+        sessions.append(session)
+        futures = [session.write(f"k-{index}-{j}", j) for j in range(writes_each)]
+        if close:
+            futures[-1].add_callback(lambda _result: session.close())
+
+    for index in range(n_sessions):
+        sim.schedule_at(200.0 + index * spacing_ms, one, index)
+    sim.run(until=200.0 + n_sessions * spacing_ms + 30_000.0)
+    return sessions
+
+
+def request_channel_book_sizes(shard):
+    """Max book sizes across all request-channel endpoints of a shard."""
+    sizes = {
+        "rx_known": 0,
+        "rx_window": 0,
+        "rx_moves": 0,
+        "rx_votes": 0,
+        "client_loops": 0,
+        "t_plus": 0,
+        "tx_window": 0,
+        "tx_own_moves": 0,
+        "tx_moves": 0,
+        "tx_buffer": 0,
+    }
+    for replica in shard.agreement_replicas:
+        sizes["t_plus"] = max(sizes["t_plus"], len(replica.t_plus))
+        for channels in replica.groups.values():
+            rx = channels.request_rx
+            sizes["rx_known"] = max(sizes["rx_known"], len(rx._known_subchannels))
+            sizes["rx_window"] = max(sizes["rx_window"], len(rx.window_start))
+            sizes["rx_moves"] = max(sizes["rx_moves"], len(rx._sender_moves))
+            sizes["rx_votes"] = max(sizes["rx_votes"], len(getattr(rx, "_votes", ())))
+            sizes["client_loops"] = max(
+                sizes["client_loops"], len(channels.client_loops)
+            )
+    for group in shard.groups.values():
+        for replica in group.replicas:
+            tx = replica.request_tx
+            sizes["tx_window"] = max(sizes["tx_window"], len(tx.window_start))
+            sizes["tx_own_moves"] = max(sizes["tx_own_moves"], len(tx._own_moves))
+            sizes["tx_moves"] = max(sizes["tx_moves"], len(tx._receiver_moves))
+            sizes["tx_buffer"] = max(sizes["tx_buffer"], len(tx._buffer))
+    return sizes
+
+
+class TestChurningClients:
+    @pytest.mark.parametrize("irmc_kind", ["rc", "sc"])
+    def test_books_stay_bounded_under_churn(self, irmc_kind):
+        """30 churned sessions, all closed: every per-client book on both
+        channel ends drains to zero once the churn settles."""
+        sim, cluster = build_cluster(irmc_kind=irmc_kind)
+        sessions = churn(sim, cluster, n_sessions=30, close=True)
+        assert all(len(s.completed) == 2 for s in sessions)
+        sizes = request_channel_book_sizes(cluster.system)
+        assert sizes == {key: 0 for key in sizes}, sizes
+        # The client side drains too: closed sessions release their
+        # Session and SpiderClient objects (only name tombstones remain).
+        assert not cluster.sessions
+        assert not cluster.system.clients
+        assert not any(name.startswith("u") for name in cluster.network.nodes)
+
+    def test_books_leak_without_close(self):
+        """Control: the same churn *without* close leaves one entry per
+        ever-seen client in every book — the leak retirement fixes."""
+        sim, cluster = build_cluster()
+        sessions = churn(sim, cluster, n_sessions=10, close=False)
+        assert all(len(s.completed) == 2 for s in sessions)
+        sizes = request_channel_book_sizes(cluster.system)
+        assert sizes["rx_known"] == 10
+        assert sizes["client_loops"] == 10
+        assert sizes["rx_window"] == 10
+        assert sizes["tx_window"] == 10
+
+    def test_live_sessions_unaffected_by_neighbour_retirement(self):
+        """A long-lived session keeps working while neighbours churn, and
+        the books track only the live population."""
+        sim, cluster = build_cluster(seed=9)
+        survivor = cluster.session("survivor", "virginia")
+        results = []
+
+        def long_lived(index=0):
+            if index >= 8:
+                return
+            future = survivor.write(f"s-{index}", index)
+            future.add_callback(
+                lambda result: (results.append(result), sim.schedule(1_500.0, long_lived, index + 1))
+            )
+
+        sim.schedule_at(100.0, long_lived)
+        churn(sim, cluster, n_sessions=8, close=True, spacing_ms=1_000.0)
+        assert len(results) == 8
+        shard = cluster.system
+        sizes = request_channel_book_sizes(shard)
+        # Only the survivor's subchannel (one per shard client) remains.
+        assert sizes["rx_known"] <= 1
+        assert sizes["client_loops"] <= 1
+        assert sizes["rx_window"] <= 1
+
+    def test_close_session_with_request_in_flight_raises(self):
+        sim, cluster = build_cluster()
+        client = cluster.make_client("c1", "virginia", group_id="virginia")
+        client.write(("put", "k", "v"))
+        with pytest.raises(RuntimeError, match="in flight"):
+            client.close_session()
+
+    def test_closed_client_rejects_further_requests(self):
+        """write()/reads after close_session would silently re-open the
+        retired subchannel (duplicate filters were cleared) with nothing
+        left to ever retire it again — they must raise instead."""
+        sim, cluster = build_cluster()
+        client = cluster.make_client("c1", "virginia", group_id="virginia")
+        future = client.write(("put", "k", "v"))
+        sim.run(until=10_000.0)
+        assert future.done
+        client.close_session()
+        client.close_session()  # idempotent
+        for attempt in (
+            lambda: client.write(("put", "k", "w")),
+            lambda: client.strong_read(("get", "k")),
+            lambda: client.weak_read(("get", "k")),
+        ):
+            with pytest.raises(RuntimeError, match="closed"):
+                attempt()
+
+    def test_weak_read_fallback_after_close_does_not_crash(self):
+        """A weak read whose strong-read fallback fires after the session
+        closed must keep retrying weakly (replicas still answer weak
+        reads for closed clients) instead of raising out of sim.run()."""
+        sim, cluster = build_cluster(seed=21)
+        shard = cluster.system
+        client = cluster.make_client("c1", "virginia", group_id="virginia")
+        write = client.write(("put", "k", "v"))
+        sim.run(until=10_000.0)
+        assert write.done
+        for replica in shard.groups["virginia"].replicas:
+            replica.crash()  # no weak replies -> retries -> fallback path
+        future = client.weak_read(("get", "k"), fallback_after=1)
+        client.close_session()
+        sim.run(until=30_000.0)  # must not raise
+        assert not future.done
+        for replica in shard.groups["virginia"].replicas:
+            replica.recover()
+        sim.run(until=60_000.0)
+        assert future.value == ("value", "v")
+
+    def test_close_retires_former_groups_after_switch(self):
+        """A client that switched groups (Section 3.1 failover) leaves
+        per-client books on every group it ever used; close_session must
+        announce the retirement to all of them."""
+        sim, cluster = build_cluster()
+        shard = cluster.system
+        client = cluster.make_client("c1", "virginia", group_id="virginia")
+        first = client.write(("put", "k0", "v0"))
+        sim.run(until=10_000.0)
+        assert first.done
+        tokyo = shard.groups["tokyo"]
+        client.switch_group("tokyo", tokyo.replicas)
+        second = client.write(("put", "k1", "v1"))
+        sim.run(until=25_000.0)
+        assert second.done
+        client.close_session()
+        sim.run(until=60_000.0)
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+    def test_session_close_defers_until_queue_drains(self):
+        """close() with ordered ops still queued retires only after the
+        last one completes — and the final write still succeeds."""
+        sim, cluster = build_cluster()
+        session = cluster.session("u0", "virginia")
+        futures = [session.write(f"k{j}", j) for j in range(3)]
+        session.close()  # ops still pending: retirement must wait
+        sim.run(until=30_000.0)
+        assert all(f.value == ("ok", 1) for f in futures)
+        sizes = request_channel_book_sizes(cluster.system)
+        assert sizes["rx_known"] == 0
+        assert sizes["client_loops"] == 0
+
+
+class TestCrashWindowHealing:
+    def test_replica_crashed_during_close_retires_on_reannouncement(self):
+        """CloseSession is re-announced ``retry_ms`` apart: a replica that
+        was crashed for the first transmission must retire (and vouch)
+        once a later one lands after its recovery."""
+        sim, cluster = build_cluster(seed=13)
+        shard = cluster.system
+        session = cluster.session("u0", "virginia")
+        futures = [session.write(f"k{j}", j) for j in range(2)]
+        sim.run(until=10_000.0)
+        assert all(f.done for f in futures)
+
+        victim = shard.groups["virginia"].replicas[1]
+        victim.crash()
+        session.close()  # first announcement lands while the victim is down
+        sim.run(until=12_000.0)
+        client_name = "u0@s0"
+        assert client_name in victim.request_tx.window_start  # missed it
+        victim.recover()
+        # The client's retry_ms defaults to 4000: run past the remaining
+        # announcements; the recovered replica retires on the next one.
+        sim.run(until=30_000.0)
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+    def test_close_is_idempotent_across_announcements(self):
+        """Replicas process every announcement; books stay empty and no
+        state regrows on the 2nd/3rd transmission."""
+        sim, cluster = build_cluster(seed=14)
+        session = cluster.session("u0", "virginia")
+        future = session.write("k", 1)
+        sim.run(until=10_000.0)
+        assert future.done
+        session.close()
+        sim.run(until=40_000.0)  # all announcements fired
+        sizes = request_channel_book_sizes(cluster.system)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+
+class TestRetirementProtocol:
+    def test_single_sender_cannot_retire(self, cluster):
+        """A lone (possibly Byzantine) sender's RetireMsg must not drop a
+        live subchannel: retirement needs fs+1 vouchers."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for endpoint in tx.values():
+            endpoint.send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        target = rx["r0"]
+        assert "alice" in target._known_subchannels
+        # One sender retires; the other two stay silent.
+        tx["s0"].retire_subchannel("alice")
+        cluster.run(until=4_000.0)
+        assert "alice" in target._known_subchannels
+        assert len(target._retire_votes.get("alice", ())) == 1
+        # A second voucher completes the quorum (fs + 1 = 2).
+        tx["s1"].retire_subchannel("alice")
+        cluster.run(until=6_000.0)
+        assert "alice" not in target._known_subchannels
+        assert "alice" not in target._retire_votes
+        assert "alice" not in target._delivered
+
+    def test_retire_votes_ignored_for_unknown_subchannels(self, cluster):
+        """Fabricated retire floods must not grow the vote book (that would
+        re-open the very leak retirement closes)."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for index in range(50):
+            tx["s0"].retire_subchannel(f"ghost-{index}")
+        cluster.run(until=2_000.0)
+        for endpoint in rx.values():
+            assert not endpoint._retire_votes
+
+    def test_retire_clears_partial_vote_books(self, cluster):
+        """A receiver whose only state for a subchannel is sub-quorum
+        votes (a loss window ate the rest) must still honour retirement
+        vouchers — otherwise those entries leak forever."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        # Only ONE sender's copy arrives: one vote, no delivery, so the
+        # receiver holds _votes/_payloads but no _known/_window entry.
+        tx["s0"].send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        target = rx["r0"]
+        assert "alice" in target._votes and "alice" not in target._known_subchannels
+        # The close reaches every sender (as a real CloseSession does):
+        # s0 also drops its buffer, stopping the heartbeat retransmission
+        # that would otherwise legitimately re-offer the lone copy.
+        for name in ("s0", "s1", "s2"):
+            tx[name].retire_subchannel("alice")
+        cluster.run(until=4_000.0)
+        assert "alice" not in target._votes
+        assert "alice" not in target._payloads
+        assert "alice" not in target._retire_votes
+
+    def test_straggler_duplicate_cannot_reopen_retired_subchannel(self):
+        """A delayed duplicate of the client's last request arriving after
+        retirement must not recreate the request-channel books (the
+        closed-clients tombstone at the execution replica)."""
+        from repro.core.messages import ClientRequest, RequestBody
+        from repro.crypto.primitives import make_mac_vector, sign
+
+        sim, cluster = build_cluster(seed=17)
+        shard = cluster.system
+        session = cluster.session("u0", "virginia")
+        future = session.write("k", "v")
+        sim.run(until=10_000.0)
+        assert future.done
+        client = session._clients["s0"]  # released from the session on close
+        session.close()
+        sim.run(until=40_000.0)
+        assert request_channel_book_sizes(shard) == {
+            key: 0 for key in request_channel_book_sizes(shard)
+        }
+        # Replay the (validly signed) final request straight at a replica.
+        replica = shard.groups["virginia"].replicas[0]
+        body = RequestBody(operation=("put", "k", "v"), client=client.name, counter=1)
+        replay = ClientRequest(
+            body=body,
+            signature=sign(client.name, body),
+            auth=make_mac_vector(client.name, [replica.name], body),
+            group="virginia",
+        )
+        replica.network.send(client, replica, replay)
+        sim.run(until=50_000.0)
+        assert client.name in replica.closed_clients
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+    def test_retired_callback_fires_and_callback_order(self, cluster):
+        """on_subchannel_retired fires before the waiter futures resolve,
+        so consumers can stop per-subchannel drivers cleanly."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for endpoint in tx.values():
+            endpoint.send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        target = rx["r0"]
+        events = []
+        target.on_subchannel_retired = lambda sub: events.append(("retired", sub))
+        waiter = target.receive("alice", 2)
+        waiter.add_callback(lambda value: events.append(("waiter", value)))
+        tx["s0"].retire_subchannel("alice")
+        tx["s1"].retire_subchannel("alice")
+        cluster.run(until=4_000.0)
+        assert events[0] == ("retired", "alice")
+        assert events[1][0] == "waiter"  # resolved (TooOld), after the callback
