@@ -41,12 +41,14 @@ from repro.core.messages import (
     STRONG_READ,
     AddGroup,
     ClientRequest,
+    CloseSession,
     Execute,
     RegistryInfo,
     RegistryQuery,
     RemoveGroup,
     Reply,
     RequestWrapper,
+    RetireClient,
 )
 from repro.crypto.primitives import attach_auth, make_mac, sign, verify, verify_mac_vector
 from repro.irmc import IrmcConfig, TooOld
@@ -109,6 +111,9 @@ class AgreementReplica(RoutedNode):
         #: changes (node lookup lives outside the protocol).
         self.resolve_nodes: Optional[Callable] = None
         self.on_membership_change: Optional[Callable] = None
+        #: fired when an agreed RetireClient released a client's books;
+        #: the deploy layer uses it to recycle the session name.
+        self.on_client_retired: Optional[Callable] = None
         # Spider-0E state
         self.u: Dict[str, Tuple[int, Any]] = {}
 
@@ -282,6 +287,17 @@ class AgreementReplica(RoutedNode):
         if is_noop(payload) or not isinstance(payload, RequestWrapper):
             if isinstance(payload, (AddGroup, RemoveGroup)):
                 self._apply_reconfiguration(payload)
+            elif isinstance(payload, RetireClient):
+                if self._apply_client_retirement(payload):
+                    # Every group's execution replicas must drop the
+                    # client's reply-cache entry at this same sequence
+                    # number, so ship the marker to all of them (and keep
+                    # it in hist so replay matches live classification).
+                    marker = Execute(
+                        seq=seq, request=None, placeholder=("retire", payload.client)
+                    )
+                    self.hist.append(marker)
+                    return {group_id: marker for group_id in self.groups}
             self.hist.append(noop)
             return {group_id: noop for group_id in self.groups}
         body = payload.body
@@ -331,6 +347,20 @@ class AgreementReplica(RoutedNode):
 
         for item in batch.items:
             if is_noop(item) or not isinstance(item, RequestWrapper):
+                if isinstance(item, RetireClient):
+                    # RetireClient is BATCHABLE = False, but a faulty
+                    # leader may batch one anyway; classify it like the
+                    # single-payload path.  The slot stores the plain
+                    # ("retire", client) tuple — identical in hist and
+                    # every group — so replay needs no special variant.
+                    if self._apply_client_retirement(item):
+                        slot = ("retire", item.client)
+                    else:
+                        slot = ("noop",)
+                    full_items.append(slot)
+                    for items in group_items.values():
+                        items.append(slot)
+                    continue
                 if isinstance(item, (AddGroup, RemoveGroup)) and self._apply_reconfiguration(item):
                     sync_groups()
                     # hist keeps the *effective* command itself (groups
@@ -415,6 +445,44 @@ class AgreementReplica(RoutedNode):
         return execute
 
     # ------------------------------------------------------------------
+    # Client retirement (agreed-book release)
+    # ------------------------------------------------------------------
+    def _apply_client_retirement(self, command: RetireClient) -> bool:
+        """Apply an agreed client retirement; True iff it took effect.
+
+        Authority is the client's own close signature, verified against
+        the reconstructed :class:`CloseSession` content — whoever
+        submitted the command is irrelevant.  A command whose pinned
+        counter sits below the client's agreed frontier is stale (signed
+        before requests that were later ordered) and classifies to a
+        no-op, exactly like a duplicate request.
+
+        An effective retirement drops the per-client agreement books that
+        otherwise grow forever under session churn — the agreed-counter
+        book ``t`` (and its checkpoint footprint), the next-expected
+        cursor ``t+``, the 0E reply cache ``u`` — and retires the
+        client's request-channel receiver books in every group (stopping
+        the per-client loop and leaving the bounded tombstone that
+        answers straggling senders with RetireEchoes).  All of this runs
+        at the command's sequence number on every replica, so checkpoint
+        snapshots stay in agreement.
+        """
+        close = CloseSession(client=command.client, counter=command.counter)
+        if not verify(command.close_signature, close, signer=command.client):
+            return False
+        if command.counter < self.t.get(command.client, 0):
+            return False
+        self.t.pop(command.client, None)
+        self.t_plus.pop(command.client, None)
+        self.u.pop(command.client, None)
+        for channels in self.groups.values():
+            if not channels.request_rx.is_retired(command.client):
+                channels.request_rx._retire_subchannel(command.client)
+        if self.on_client_retired is not None:
+            self.on_client_retired(command.client)
+        return True
+
+    # ------------------------------------------------------------------
     # Reconfiguration (Section 3.6)
     # ------------------------------------------------------------------
     def _apply_reconfiguration(self, command) -> bool:
@@ -456,10 +524,40 @@ class AgreementReplica(RoutedNode):
             if not verify(message.signature, message, signer=message.admin):
                 return
             self.ag.order(message)
+        elif isinstance(message, RetireClient):
+            # Escalated by execution replicas on CloseSession.  Accept
+            # from anyone: the authority is the client signature inside,
+            # checked now (cheap pre-filter) and again deterministically
+            # when the agreed command classifies.
+            close = CloseSession(client=message.client, counter=message.counter)
+            if not verify(message.close_signature, close, signer=message.client):
+                return
+            if message.counter < self.t.get(message.client, 0):
+                return
+            self.ag.order(message)
         elif isinstance(message, RegistryQuery):
             self._answer_registry(src, message)
         elif isinstance(message, ClientRequest) and self.execute_locally:
             self._on_local_request(src, message)
+        elif isinstance(message, CloseSession) and self.execute_locally:
+            # Spider-0E: no execution replicas exist to escalate, so the
+            # client's close lands here directly; wrap it into the same
+            # agreed RetireClient path (releases ``t``/``u``).
+            if message.client != src.name:
+                return
+            if not verify_mac_vector(message.auth, message, message.client, self.name):
+                return
+            if message.counter < self.t.get(message.client, 0):
+                return
+            if not verify(message.signature, message, signer=message.client):
+                return
+            self.ag.order(
+                RetireClient(
+                    client=message.client,
+                    counter=message.counter,
+                    close_signature=message.signature,
+                )
+            )
 
     def _answer_registry(self, src, message: RegistryQuery) -> None:
         info = RegistryInfo(

@@ -27,6 +27,7 @@ from repro.core.messages import (
     Execute,
     Reply,
     RequestWrapper,
+    RetireClient,
     WeakRead,
     WeakReadReply,
 )
@@ -53,17 +54,14 @@ class ExecutionReplica(RoutedNode):
 
         self.sn = 0  # sequence number of last processed Execute
         self.t: Dict[str, int] = {}  # latest forwarded counter per client
-        #: reply cache: client -> (counter, result | PLACEHOLDER)
+        #: reply cache: client -> (counter, result | PLACEHOLDER); bounded
+        #: under churn by agreed :class:`RetireClient` commands — the
+        #: ordered stream pops a retired client's entry at the same
+        #: sequence number on every replica, keeping it checkpoint-safe.
         self.u: Dict[str, Tuple[int, Any]] = {}
-        #: clients whose sessions closed: tombstones so a straggler
-        #: duplicate of a retired client's last request (retry in flight,
-        #: chaos delay/duplicate faults) cannot re-open the retired
-        #: subchannel.  One name per churned client — the same growth
-        #: class as the reply cache ``u``, which only an *agreed*
-        #: retirement command could shrink (see ROADMAP).
-        self.closed_clients: set = set()
 
         self.group_nodes = []
+        self.agreement_nodes = []
         self.request_tx = None  # request-channel sender endpoint
         self.commit_rx = None  # commit-channel receiver endpoint
         self.cp: Optional[CheckpointComponent] = None
@@ -85,6 +83,7 @@ class ExecutionReplica(RoutedNode):
     def setup(self, group_nodes, agreement_nodes) -> None:
         """Create IRMC endpoints and the checkpoint component, start loops."""
         self.group_nodes = list(group_nodes)
+        self.agreement_nodes = list(agreement_nodes)
         config = self.config
         request_cfg = IrmcConfig(fs=config.fe, fr=config.fa, capacity=config.request_capacity)
         commit_cfg = IrmcConfig(fs=config.fa, fr=config.fe, capacity=config.commit_channel_capacity)
@@ -95,6 +94,11 @@ class ExecutionReplica(RoutedNode):
         self.request_tx = sender_cls(
             self, f"req-{self.group_id}", group_nodes, agreement_nodes, request_cfg
         )
+        # Whatever retires the request subchannel — CloseSession, an agreed
+        # RetireClient from the commit stream, or fr+1 receiver RetireEchoes
+        # after this replica slept through the close — the forwarded-counter
+        # book must go with it, or ``t`` leaks one entry per churned client.
+        self.request_tx.on_subchannel_retired = lambda client: self.t.pop(client, None)
         self.commit_rx = receiver_cls(
             self, f"com-{self.group_id}", group_nodes, agreement_nodes, commit_cfg
         )
@@ -150,9 +154,10 @@ class ExecutionReplica(RoutedNode):
         body = message.body
         if body.client != src.name:
             return
-        if body.client in self.closed_clients:
+        if self.request_tx.is_retired(body.client):
             # The session retired; even a valid straggler must not touch
-            # the request channel again (it would re-grow retired books).
+            # the request channel again (it would re-grow retired books)
+            # nor re-seed ``t``/``u`` for a name everyone else released.
             return
         if not verify_mac_vector(message.auth, body, body.client, self.name):
             return
@@ -184,10 +189,16 @@ class ExecutionReplica(RoutedNode):
 
         The forwarded-counter book ``t`` is dropped too (it is replica
         local — unlike the reply cache ``u``, which is part of the
-        checkpointed state and must stay deterministic across replicas).
-        A stale CloseSession (counter below the client's forwarded
-        frontier) is ignored: it was signed before requests that are
-        still live.
+        checkpointed state and only shrinks deterministically, via the
+        ordered stream).  A stale CloseSession (counter below the
+        client's forwarded frontier) is ignored: it was signed before
+        requests that are still live.  The close is then *escalated*: the
+        replica submits a :class:`RetireClient` command (carrying the
+        client's close signature as its authority) to the agreement
+        group, so the agreement-side per-client books — ``t``/``t+``,
+        reply caches, receiver channel books — retire too once it is
+        ordered.  Every replica in the group escalates the same command;
+        the ordering layer deduplicates the identical payloads.
         """
         if message.client != src.name:
             return
@@ -197,9 +208,15 @@ class ExecutionReplica(RoutedNode):
             return
         if not verify(message.signature, message, signer=message.client):
             return
-        self.closed_clients.add(message.client)
-        self.t.pop(message.client, None)
         self.request_tx.retire_subchannel(message.client)
+        self.t.pop(message.client, None)
+        command = RetireClient(
+            client=message.client,
+            counter=message.counter,
+            close_signature=message.signature,
+        )
+        for agreement_node in self.agreement_nodes:
+            self.send(agreement_node, command)
 
     def _on_weak_read(self, src, message: WeakRead) -> None:
         if message.client != src.name:
@@ -257,6 +274,17 @@ class ExecutionReplica(RoutedNode):
             cached = self.u.get(client)
             if cached is None or cached[0] < counter:
                 self.u[client] = (counter, self.PLACEHOLDER)
+        elif placeholder and placeholder[0] == "retire":
+            # Agreed client retirement: drop the reply-cache and counter
+            # books at the same sequence number as every other replica
+            # (the pop is part of the checkpointed-state evolution), and
+            # retire the request subchannel — a no-op where CloseSession
+            # already did it, the healing path for a replica that was down
+            # across the whole close and is catching up via this stream.
+            _, client = placeholder
+            self.u.pop(client, None)
+            self.t.pop(client, None)
+            self.request_tx.retire_subchannel(client)
 
     def _apply_request(self, wrapper: RequestWrapper) -> None:
         body = wrapper.body

@@ -190,6 +190,40 @@ class CloseSession(Message, Digestible):
         return 16 + 128 + (self.auth.size_bytes() if self.auth else 0)
 
 
+@dataclass(frozen=True)
+class RetireClient(Message, Digestible):
+    """``<RetireClient, c, t>`` — agree on a closed client's retirement.
+
+    Escalated by execution replicas when they process a
+    :class:`CloseSession`, and ordered through agreement like any other
+    command: once agreed, every agreement replica drops the client's
+    ``t`` / ``t+`` counters and reply-cache entries and retires its
+    request-channel receiver books — the per-client state that would
+    otherwise grow forever under session churn.  Authorisation rides in
+    ``close_signature``: the client's own signature over the matching
+    ``CloseSession`` content, so *any* node may submit the command but
+    none can forge one for a live client.  Deliberately carries no
+    submitter field — identical escalations from every execution replica
+    have identical ``repr`` and deduplicate in the ordering layer's
+    payload cache instead of agreeing the same retirement three times.
+    """
+
+    #: never batched: retirement mutates the per-client books that batch
+    #: classification itself consults, so it must sit on its own sequence
+    #: number (like reconfiguration commands).
+    BATCHABLE = False
+
+    client: str
+    counter: int
+    close_signature: Optional[Signature] = None
+
+    def signed_content(self) -> Tuple:
+        return ("retire-client", self.client, self.counter)
+
+    def payload_size(self) -> int:
+        return 16 + 128
+
+
 # ----------------------------------------------------------------------
 # Reconfiguration (Section 3.6) and the execution-replica registry
 # ----------------------------------------------------------------------

@@ -25,10 +25,30 @@ idiom via :class:`BftSpec` / :class:`HftSpec`.
 """
 
 from repro.deploy.cluster import Cluster, KeyPartitioner, build
+from repro.deploy.middleware import (
+    CLOSED,
+    OVERLOAD,
+    RATE_LIMIT,
+    Middleware,
+    MiddlewareChain,
+    Rejected,
+    Served,
+    register_middleware,
+)
 from repro.deploy.session import Consistency, Session
-from repro.deploy.spec import BftSpec, ClusterSpec, GroupSpec, HftSpec, ShardSpec
+from repro.deploy.spec import (
+    BftSpec,
+    ClusterSpec,
+    GroupSpec,
+    HftSpec,
+    MiddlewareSpec,
+    ShardSpec,
+)
 
 __all__ = [
+    "CLOSED",
+    "OVERLOAD",
+    "RATE_LIMIT",
     "BftSpec",
     "Cluster",
     "ClusterSpec",
@@ -36,7 +56,13 @@ __all__ = [
     "GroupSpec",
     "HftSpec",
     "KeyPartitioner",
+    "Middleware",
+    "MiddlewareChain",
+    "MiddlewareSpec",
+    "Rejected",
+    "Served",
     "Session",
     "ShardSpec",
     "build",
+    "register_middleware",
 ]

@@ -19,6 +19,7 @@ from dataclasses import replace
 from typing import Any, Dict, Optional
 
 from repro.core.system import Shard
+from repro.deploy.middleware import MiddlewareChain, build_middleware
 from repro.deploy.session import Session
 from repro.deploy.spec import BftSpec, ClusterSpec, HftSpec, ShardSpec
 from repro.errors import ConfigurationError
@@ -65,18 +66,40 @@ class KeyPartitioner:
 class Cluster:
     """A built multi-shard deployment: shards + partitioner + sessions."""
 
+    #: how many retired session names the reuse filter remembers (bounded,
+    #: matching the channel layer's bounded retirement tombstones).
+    RETIRED_NAME_CAP = 256
+
     def __init__(self, sim, network, spec: ClusterSpec, shards: Dict[str, Shard]):
         self.sim = sim
         self.network = network
         self.spec = spec
         self.shards: Dict[str, Shard] = dict(shards)
         self.partitioner = KeyPartitioner(self.shards.keys())
-        #: live sessions only — fully closed ones are released, leaving
-        #: just their name tombstone in ``_session_names`` (names are
-        #: single-use because the protocol's duplicate filters remember
-        #: the old request counters).
+        #: live sessions only — fully closed ones are released.  A closed
+        #: session's name stays in ``_session_names`` until the agreement
+        #: group agrees its clients' retirement (RetireClient), then moves
+        #: into the bounded ``_retired_names`` ring: reuse of a remembered
+        #: name is rejected (the channel layer's bounded tombstones still
+        #: remember the old subchannels), but the books no longer grow one
+        #: entry per churned session forever.
         self.sessions: Dict[str, Session] = {}
         self._session_names: set = set()
+        self._retired_names: Dict[str, None] = {}
+        #: client name -> session name, for sessions whose close is
+        #: awaiting agreed retirement; plus a per-session countdown.
+        self._pending_retirement: Dict[str, str] = {}
+        self._retire_remaining: Dict[str, int] = {}
+        for shard in self.shards.values():
+            for replica in getattr(shard, "agreement_replicas", []):
+                replica.on_client_retired = self._note_client_retired
+        #: middleware instances cached by ``name:options`` fingerprint,
+        #: and the per-shard assembled chains (None = empty chain).
+        self._middleware_instances: Dict[str, Any] = {}
+        self._chains: Dict[str, Optional[MiddlewareChain]] = {}
+        self.has_middleware = bool(spec.middleware) or any(
+            shard_spec.middleware for shard_spec in spec.shards
+        )
 
     # ------------------------------------------------------------------
     # Shard access
@@ -117,7 +140,7 @@ class Cluster:
         key-value surface (``write`` / ``read`` / ``strong_read`` routed
         by the key partitioner).  Names are single-use: close a session
         rather than re-opening one under the same name."""
-        if name in self._session_names:
+        if name in self._session_names or name in self._retired_names:
             raise ConfigurationError(f"session {name!r} already exists")
         self._session_names.add(name)
         session = Session(self, name, region, zone=zone)
@@ -126,6 +149,74 @@ class Cluster:
 
     def _release_session(self, session: Session) -> None:
         self.sessions.pop(session.name, None)
+
+    # ------------------------------------------------------------------
+    # Session middleware (see repro.deploy.middleware)
+    # ------------------------------------------------------------------
+    def middleware_chain(self, shard_id: str) -> Optional[MiddlewareChain]:
+        """The assembled chain for one shard (None when empty).
+
+        Instances are cached by their ``name:options`` fingerprint, so
+        identical declarations — cluster-wide or across shards — share
+        one instance; shard-wide books (admission depth) and per-session
+        books (rate buckets, read leases) live inside the instances.
+        """
+        if shard_id not in self._chains:
+            shard_spec = next(
+                s for s in self.spec.shards if s.shard_id == shard_id
+            )
+            entries = tuple(self.spec.middleware) + tuple(shard_spec.middleware)
+            if entries:
+                self._chains[shard_id] = MiddlewareChain(
+                    [self._middleware_instance(entry) for entry in entries]
+                )
+            else:
+                self._chains[shard_id] = None
+        return self._chains[shard_id]
+
+    def _middleware_instance(self, entry):
+        fingerprint = entry.fingerprint()
+        if fingerprint not in self._middleware_instances:
+            self._middleware_instances[fingerprint] = build_middleware(
+                entry.name, entry.options_dict()
+            )
+        return self._middleware_instances[fingerprint]
+
+    def middleware_instance(self, name: str):
+        """The first cached instance registered under ``name`` (metrics
+        surface for benchmarks and tests)."""
+        for instance in self._middleware_instances.values():
+            if instance.name == name:
+                return instance
+        raise ConfigurationError(f"no middleware instance {name!r} built yet")
+
+    # ------------------------------------------------------------------
+    # Retirement bookkeeping (agreed RetireClient commands)
+    # ------------------------------------------------------------------
+    def _expect_retirements(self, session_name: str, shard_ids) -> None:
+        """A closing session's clients await agreed retirement."""
+        for shard_id in shard_ids:
+            self._pending_retirement[f"{session_name}@{shard_id}"] = session_name
+        self._retire_remaining[session_name] = len(list(shard_ids))
+
+    def _note_client_retired(self, client_name: str) -> None:
+        """An agreement replica applied an agreed RetireClient command."""
+        session_name = self._pending_retirement.pop(client_name, None)
+        if session_name is None:
+            return
+        remaining = self._retire_remaining.get(session_name, 1) - 1
+        if remaining > 0:
+            self._retire_remaining[session_name] = remaining
+        else:
+            self._retire_remaining.pop(session_name, None)
+            self._forget_session_name(session_name)
+
+    def _forget_session_name(self, session_name: str) -> None:
+        """Move a name from the unbounded live set to the bounded ring."""
+        self._session_names.discard(session_name)
+        self._retired_names[session_name] = None
+        while len(self._retired_names) > self.RETIRED_NAME_CAP:
+            self._retired_names.pop(next(iter(self._retired_names)))
 
     def make_client(
         self,

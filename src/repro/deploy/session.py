@@ -19,20 +19,32 @@ Semantics:
   default) go straight to the owning shard's nearest execution group and
   may be served concurrently with ordered traffic, exactly like
   :meth:`SpiderClient.weak_read`.
-* :meth:`Session.close` retires the session's per-client request-channel
-  subchannels once the ordered queues drain (Fig. 14's channels are
-  per-client: without retirement every replica's window books grow one
-  entry per client *forever*).  A closed session rejects new operations;
-  session names must not be reused (the protocol's duplicate filtering
-  remembers the old request counters).
+* **Middleware** — when the spec declares a chain
+  (:class:`~repro.deploy.spec.MiddlewareSpec`), every operation passes
+  through it before touching a queue and again on completion
+  (:mod:`repro.deploy.middleware`): admission control may shed it with
+  ``Rejected(OVERLOAD)``, rate limiting with ``Rejected(RATE_LIMIT)``,
+  the read cache may answer it locally.  A spec without middleware skips
+  these paths entirely and runs byte-identical to the pre-middleware
+  session.
+* :meth:`Session.close` sheds ordered operations still *queued* behind a
+  shard backlog — their futures resolve with ``Rejected(CLOSED)``
+  immediately rather than executing after the caller said stop (or, in
+  the pre-fix race, hanging forever) — lets in-flight operations finish,
+  and then retires the session's per-client request-channel subchannels
+  (Fig. 14's channels are per-client: without retirement every replica's
+  window books grow one entry per client *forever*).  A closed session
+  rejects new operations; session names are single-use (the channel
+  layer's bounded retirement tombstones remember old subchannels).
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Any, Deque, Dict, Tuple
+from typing import Any, Deque, Dict, Optional, Tuple
 
+from repro.deploy.middleware import CLOSED, Op, OpContext, Rejected, Served
 from repro.sim.futures import SimFuture
 
 __all__ = ["Consistency", "Session"]
@@ -65,9 +77,13 @@ class Session:
         #: completed operations: (kind, key, issued_at, latency_ms)
         self.completed: list = []
         self._clients: Dict[str, Any] = {}
-        self._queues: Dict[str, Deque[Tuple[str, Tuple, SimFuture]]] = {}
+        #: queued ordered ops: (kind, operation, future, middleware Op|None)
+        self._queues: Dict[str, Deque[Tuple[str, Tuple, SimFuture, Any]]] = {}
         self._busy: Dict[str, bool] = {}
         self._released: set = set()
+        #: per-shard middleware contexts, only populated when the spec
+        #: declares a chain (the empty-chain fast path allocates nothing).
+        self._contexts: Dict[str, OpContext] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -82,6 +98,25 @@ class Session:
             return self._submit_ordered("strong-read", key, ("get", key))
         self._check_open()
         shard_id = self.cluster.partitioner.owner(key)
+        chain = self._chain(shard_id)
+        if chain is not None:
+            ctx = self._context(shard_id)
+            op = Op("weak-read", key, ("get", key), shard_id, self.cluster.sim.now)
+            outcome = chain.admit(ctx, op)
+            if isinstance(outcome, Rejected):
+                future = SimFuture(name=f"{self.name}.weak-read:{key}")
+                future.resolve(outcome)
+                return future
+            if isinstance(outcome, Served):
+                future = SimFuture(name=f"{self.name}.weak-read:{key}")
+                self._track(future, "weak-read", key)
+                future.resolve(outcome.value)
+                return future
+            op = outcome
+            future = self._client(shard_id).weak_read(("get", key))
+            future.add_callback(lambda result: chain.complete(ctx, op, result))
+            self._track(future, "weak-read", key)
+            return future
         future = self._client(shard_id).weak_read(("get", key))
         self._track(future, "weak-read", key)
         return future
@@ -91,22 +126,45 @@ class Session:
         return self.read(key, Consistency.STRONG)
 
     def close(self) -> None:
-        """Retire the session: reject new operations and, once each
-        shard's ordered queue drains, retire its request subchannel so the
-        channel endpoints drop this client's window books.  When every
-        underlying client finishes its close, the session releases the
-        client objects (network registration, builder dictionaries) and
-        itself — churned sessions leave only their single-use name
-        behind."""
+        """Retire the session.
+
+        Ordered operations still *queued* (not in flight) are shed now:
+        their futures resolve with ``Rejected(CLOSED)`` — executing them
+        after the caller said stop would be wrong, and leaving them
+        queued would hang their futures forever, since ``_pump`` switches
+        to retirement once the session is closed.  The per-shard
+        in-flight operation (if any) completes normally, after which
+        ``_pump`` retires that shard's request subchannel so the channel
+        endpoints drop this client's window books.  When every underlying
+        client finishes its close, the session releases the client
+        objects (network registration, builder dictionaries) and itself;
+        the name is released once the agreement group agrees the
+        retirement (see ``Cluster._note_client_retired``)."""
         if self.closed:
             return
         self.closed = True
+        for shard_id, queue in self._queues.items():
+            chain = self._chain(shard_id)
+            while queue:
+                _kind, _operation, future, op = queue.popleft()
+                rejected = Rejected(CLOSED, by="session")
+                if op is not None and chain is not None:
+                    chain.complete(self._context(shard_id), op, rejected)
+                future.try_resolve(rejected)
+        for shard_id in list(self._contexts):
+            chain = self._chain(shard_id)
+            if chain is not None:
+                chain.close_session(self._contexts[shard_id])
         if not self._clients:
             self.cluster._release_session(self)
+            # No protocol client was ever created, so nothing downstream
+            # remembers the name — release it immediately.
+            self.cluster._forget_session_name(self.name)
             return
+        self.cluster._expect_retirements(self.name, list(self._clients))
         for shard_id in list(self._clients):
-            # _pump owns the drain-then-retire rule: it retires idle
-            # shards now and draining shards at their last completion.
+            # _pump owns the finish-then-retire rule: it retires idle
+            # shards now and busy shards at their in-flight completion.
             self._pump(shard_id)
 
     @property
@@ -154,13 +212,41 @@ class Session:
             self._released.clear()
             self.cluster._release_session(self)
 
+    def _chain(self, shard_id: str):
+        if not self.cluster.has_middleware:
+            return None
+        return self.cluster.middleware_chain(shard_id)
+
+    def _context(self, shard_id: str) -> OpContext:
+        ctx = self._contexts.get(shard_id)
+        if ctx is None:
+            ctx = self._contexts[shard_id] = OpContext(self, shard_id)
+        return ctx
+
     def _submit_ordered(self, kind: str, key: str, operation: Tuple) -> SimFuture:
         self._check_open()
         shard_id = self.cluster.partitioner.owner(key)
+        chain = self._chain(shard_id)
+        op: Optional[Op] = None
+        if chain is not None:
+            op = Op(kind, key, operation, shard_id, self.cluster.sim.now)
+            outcome = chain.admit(self._context(shard_id), op)
+            if isinstance(outcome, Rejected):
+                # Shed before queuing: the op never touches the wire and
+                # does not count as a completed operation.
+                future = SimFuture(name=f"{self.name}.{kind}:{key}")
+                future.resolve(outcome)
+                return future
+            if isinstance(outcome, Served):
+                future = SimFuture(name=f"{self.name}.{kind}:{key}")
+                self._track(future, kind, key)
+                future.resolve(outcome.value)
+                return future
+            op = outcome
         self._client(shard_id)  # ensure queue exists
         future = SimFuture(name=f"{self.name}.{kind}:{key}")
         self._track(future, kind, key)
-        self._queues[shard_id].append((kind, operation, future))
+        self._queues[shard_id].append((kind, operation, future, op))
         self._pump(shard_id)
         return future
 
@@ -172,17 +258,21 @@ class Session:
             if self.closed:
                 self._clients[shard_id].close_session()
             return
-        kind, operation, outer = queue.popleft()
+        kind, operation, outer, op = queue.popleft()
         self._busy[shard_id] = True
         client = self._clients[shard_id]
         if kind == "write":
             inner = client.write(operation)
         else:
             inner = client.strong_read(operation)
-        inner.add_callback(lambda result: self._on_done(shard_id, outer, result))
+        inner.add_callback(lambda result: self._on_done(shard_id, outer, result, op))
 
-    def _on_done(self, shard_id: str, outer: SimFuture, result: Any) -> None:
+    def _on_done(self, shard_id: str, outer: SimFuture, result: Any, op=None) -> None:
         self._busy[shard_id] = False
+        if op is not None:
+            chain = self._chain(shard_id)
+            if chain is not None:
+                chain.complete(self._context(shard_id), op, result)
         outer.try_resolve(result)
         self._pump(shard_id)
 

@@ -25,10 +25,50 @@ from typing import Callable, Optional, Tuple
 
 from repro.app.kvstore import KVStore
 from repro.core.config import DEFAULT_AGREEMENT_ZONES, SpiderConfig
+from repro.deploy.middleware import middleware_fingerprint, validate_middleware
 from repro.errors import ConfigurationError
 from repro.net import Site
 
-__all__ = ["GroupSpec", "ShardSpec", "ClusterSpec", "BftSpec", "HftSpec"]
+__all__ = [
+    "GroupSpec",
+    "MiddlewareSpec",
+    "ShardSpec",
+    "ClusterSpec",
+    "BftSpec",
+    "HftSpec",
+]
+
+
+@dataclass(frozen=True)
+class MiddlewareSpec:
+    """One session-middleware entry, as pure data.
+
+    ``options`` is a sorted tuple of ``(key, value)`` pairs so the spec
+    stays hashable; build entries with :meth:`of`.  Entries declared on
+    the :class:`ClusterSpec` apply to every shard, entries on a
+    :class:`ShardSpec` are appended after them (cluster entries
+    outermost).  Identical ``name:options`` fingerprints share one
+    middleware instance cluster-wide (see
+    :mod:`repro.deploy.middleware`).
+    """
+
+    name: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def of(name: str, **options) -> "MiddlewareSpec":
+        return MiddlewareSpec(name, tuple(sorted(options.items())))
+
+    def options_dict(self) -> dict:
+        return dict(self.options)
+
+    def fingerprint(self) -> str:
+        return middleware_fingerprint(self.name, self.options_dict())
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("middleware name must be non-empty")
+        validate_middleware(self.name, self.options_dict())
 
 
 @dataclass(frozen=True)
@@ -61,6 +101,8 @@ class ShardSpec:
     agreement_region: str = "virginia"
     agreement_zones: Optional[Tuple[int, ...]] = None
     agreement_sites: Optional[Tuple[Site, ...]] = None
+    #: shard-local session middleware, appended after the cluster chain.
+    middleware: Tuple[MiddlewareSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -81,6 +123,9 @@ class ClusterSpec:
     consensus: str = "pbft"
     agreement_factory: Optional[Callable] = None
     execute_locally: bool = False
+    #: session middleware chain applied to every shard (declared order =
+    #: outermost first; see :mod:`repro.deploy.middleware`).
+    middleware: Tuple[MiddlewareSpec, ...] = ()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -122,6 +167,8 @@ class ClusterSpec:
             raise ConfigurationError(
                 "execute_locally (Spider-0E) supports single-shard specs only"
             )
+        for entry in self.middleware:
+            entry.validate()
         seen_shards = set()
         seen_groups = set()
         for shard in self.shards:
@@ -134,6 +181,8 @@ class ClusterSpec:
                 raise ConfigurationError(
                     f"shard {shard.shard_id!r}: agreement region must be non-empty"
                 )
+            for entry in shard.middleware:
+                entry.validate()
             size = self.config.agreement_size
             if shard.agreement_sites is not None:
                 if len(shard.agreement_sites) < size:

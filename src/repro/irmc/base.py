@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.primitives import attach_auth, make_mac_vector, verify_mac_vector
-from repro.irmc.messages import MoveMsg, RetireMsg
+from repro.irmc.messages import MoveMsg, RetireEcho, RetireMsg
 from repro.sim.futures import SimFuture
 from repro.sim.routing import Component, RoutedNode
 
@@ -74,6 +74,13 @@ class IrmcConfig:
     #: (the paper assumes reliable links; this heartbeat provides the
     #: equivalent over a lossy simulated network).  0 disables.
     move_heartbeat_ms: float = 500.0
+    #: How many retired subchannels each endpoint remembers (FIFO).  The
+    #: tombstones answer straggler traffic for dead subchannels — a
+    #: receiver echoes retirement at stale Moves, a sender short-circuits
+    #: stale sends with TooOld — without re-growing the books retirement
+    #: just dropped; the bound keeps the memory independent of total
+    #: client churn.
+    retired_tombstones: int = 256
 
 
 class _WindowBook:
@@ -129,7 +136,20 @@ class IrmcEndpoint(Component):
         self.closed = False
         #: per-subchannel active window start (all windows begin at 1)
         self.window_start: Dict[Any, int] = {}
+        #: bounded FIFO of retired subchannels (insertion-ordered dict)
+        self._retired: Dict[Any, None] = {}
         node.add_recovery_hook(self._on_node_recover)
+
+    # ------------------------------------------------------------------
+    # Retirement tombstones
+    # ------------------------------------------------------------------
+    def is_retired(self, subchannel: Any) -> bool:
+        return subchannel in self._retired
+
+    def _note_retired(self, subchannel: Any) -> None:
+        self._retired[subchannel] = None
+        while len(self._retired) > self.config.retired_tombstones:
+            self._retired.pop(next(iter(self._retired)))
 
     def _on_node_recover(self) -> None:
         """Re-arm endpoint timer chains after a node crash/recover.
@@ -153,6 +173,10 @@ class IrmcEndpoint(Component):
 
     def storable(self, subchannel: Any, position: int) -> bool:
         """Positions we are willing to buffer (bounded look-ahead)."""
+        if self.is_retired(subchannel):
+            # Never regrow books for a retired subchannel: straggler
+            # duplicates of a churned client must stay bookless.
+            return False
         start = self.start_of(subchannel)
         limit = start + self.config.capacity * self.config.overflow_factor
         return start <= position < limit
@@ -205,6 +229,13 @@ class SenderEndpointBase(IrmcEndpoint):
         self._activity = False
         self._idle_rounds = 0
         self._heartbeat_timer = None
+        #: optional callback fired when a subchannel retires locally;
+        #: Spider's execution replicas use it to drop the client's
+        #: forwarded-counter entry alongside the channel books.
+        self.on_subchannel_retired = None
+        #: distinct receivers echoing that a subchannel is retired their
+        #: side (see RetireEcho); at ``f_r + 1`` we retire it here too.
+        self._retire_echoes: Dict[Any, set] = {}
         if config.move_heartbeat_ms > 0:
             self._schedule_heartbeat()
 
@@ -260,7 +291,10 @@ class SenderEndpointBase(IrmcEndpoint):
     def send(self, subchannel: Any, position: int, payload: Any) -> SimFuture:
         """Submit ``payload`` at ``position``; resolves "ok" or TooOld."""
         future = SimFuture(name="irmc.send")
-        if self.closed:
+        if self.closed or self.is_retired(subchannel):
+            # A retired subchannel never accepts traffic again: a
+            # straggler duplicate of a churned client's last request must
+            # not re-open the books every endpoint just dropped.
             future.resolve(TooOld(self.start_of(subchannel)))
             return future
         start = self.start_of(subchannel)
@@ -278,7 +312,9 @@ class SenderEndpointBase(IrmcEndpoint):
 
     def move_window(self, subchannel: Any, position: int) -> None:
         """Ask the receiver side to advance the window (Fig. 18 L. 10-14)."""
-        if self.closed or position <= self._own_moves.get(subchannel, 0):
+        if self.closed or self.is_retired(subchannel):
+            return
+        if position <= self._own_moves.get(subchannel, 0):
             return
         self._own_moves[subchannel] = position
         move = self._make_move(subchannel, position)
@@ -290,13 +326,16 @@ class SenderEndpointBase(IrmcEndpoint):
 
         Announces the retirement to every receiver endpoint (they retire
         once ``f_s + 1`` senders vouch), then drops every sender-side book
-        keyed by the subchannel.  Without this, long-running deployments
-        grow one window-book entry per client *forever* — retirement is
-        what keeps churning-client workloads bounded.  Parked sends (the
-        client cannot have any in a clean close) resolve with
-        :class:`TooOld`.
+        keyed by the subchannel and leaves a bounded tombstone behind.
+        Without this, long-running deployments grow one window-book entry
+        per client *forever* — retirement is what keeps churning-client
+        workloads bounded.  Parked sends (the client cannot have any in a
+        clean close) resolve with :class:`TooOld`.  Idempotent: a second
+        retirement of the same subchannel (e.g. via an agreed
+        RetireClient command after the CloseSession already landed here)
+        is a silent no-op.
         """
-        if self.closed:
+        if self.closed or self.is_retired(subchannel):
             return
         body = RetireMsg(tag=self.tag, subchannel=subchannel, sender=self.node.name)
         message = attach_auth(
@@ -311,7 +350,11 @@ class SenderEndpointBase(IrmcEndpoint):
         for _position, _payload, future in self._parked.pop(subchannel, ()):
             future.try_resolve(TooOld(start))
         self._receiver_moves.forget(subchannel)
+        self._retire_echoes.pop(subchannel, None)
         self._retire_local(subchannel)
+        self._note_retired(subchannel)
+        if self.on_subchannel_retired is not None:
+            self.on_subchannel_retired(subchannel)
 
     def _retire_local(self, subchannel: Any) -> None:
         """Drop subclass-owned books for a retired subchannel (hook)."""
@@ -330,6 +373,8 @@ class SenderEndpointBase(IrmcEndpoint):
     # -- receiver Move processing --------------------------------------
     def _on_receiver_move(self, message: MoveMsg) -> None:
         if not self._valid_move(message, self.remote_names):
+            return
+        if self.is_retired(message.subchannel):
             return
         self._receiver_moves.record(message.subchannel, message.sender, message.position)
         new_start = self._receiver_moves.agreed_start(message.subchannel, self.remote_names)
@@ -367,6 +412,41 @@ class SenderEndpointBase(IrmcEndpoint):
 
     def _garbage_collect(self, subchannel: Any, new_start: int) -> None:
         """Drop sender-side buffers below the window (subclass hook)."""
+
+    # -- retirement echoes (straggler healing) --------------------------
+    def _on_retire_echo(self, message: RetireEcho) -> None:
+        """Retire once ``f_r + 1`` receivers say the subchannel is gone.
+
+        The healing path for a sender that was down across a client's
+        *entire* CloseSession announcement window: on recovery it still
+        holds the dead subchannel's books and re-announces its window
+        Move from every heartbeat, forever.  Receivers that already
+        retired the subchannel (they hold a bounded tombstone) answer
+        each such stale Move with a :class:`RetireEcho`; at ``f_r + 1``
+        distinct receivers — the same quorum the sender's window already
+        trusts for receiver Moves, so no coalition of ``f_r`` Byzantine
+        receivers can retire a live client — the straggler retires its
+        own books too.  Echoes are only tracked for subchannels this
+        endpoint actually holds state for, so fabricated echoes cannot
+        grow ``_retire_echoes``.
+        """
+        if not self._valid_move(message, self.remote_names):
+            return
+        subchannel = message.subchannel
+        if self.is_retired(subchannel):
+            return
+        if (
+            subchannel not in self.window_start
+            and subchannel not in self._own_moves
+            and subchannel not in self._buffer
+            and subchannel not in self._parked
+            and subchannel not in self._receiver_moves
+        ):
+            return
+        echoes = self._retire_echoes.setdefault(subchannel, set())
+        echoes.add(message.sender)
+        if len(echoes) >= self.config.fr + 1:
+            self.retire_subchannel(subchannel)
 
 
 class ReceiverEndpointBase(IrmcEndpoint):
@@ -459,6 +539,12 @@ class ReceiverEndpointBase(IrmcEndpoint):
     def _on_sender_move(self, message: MoveMsg) -> None:
         if not self._valid_move(message, self.remote_names):
             return
+        if self.is_retired(message.subchannel):
+            # A Move for a subchannel we already retired can only come
+            # from a straggling sender that slept through the client's
+            # close — tell it so instead of re-growing the Move book.
+            self._echo_retirement(message)
+            return
         self._sender_moves.record(message.subchannel, message.sender, message.position)
         agreed = self._sender_moves.agreed_start(message.subchannel, self.remote_names)
         if agreed > self.start_of(message.subchannel):
@@ -476,18 +562,22 @@ class ReceiverEndpointBase(IrmcEndpoint):
         ``_retire_votes`` with fabricated subchannel names — the very
         leak retirement exists to prevent.  The ``_sender_moves`` arm
         matters for healing: a sender that was crashed during the close
-        re-announces its window Move on recovery (re-growing that book
-        on receivers that already retired), and the client's repeated
-        CloseSession announcements then let the sender group re-vouch
-        the retirement and sweep the stale entry out.  The healing only
-        reaches senders that recover within the client's announcement
-        window — one down past all announcements keeps its books and
-        Move heartbeat for that subchannel (the documented residual; see
-        the ROADMAP retirement-reconciliation follow-up).
+        re-announces its window Move on recovery, and the client's
+        repeated CloseSession announcements then let the sender group
+        re-vouch the retirement and sweep the stale entry out.  A sender
+        down past *all* announcements is healed by the tombstone path
+        instead: its stale Moves bounce off retired receivers as
+        :class:`RetireEcho` replies (see :meth:`_on_sender_move` and
+        ``SenderEndpointBase._on_retire_echo``), so its books and Move
+        heartbeat retire at ``f_r + 1`` echoes without any client help.
         """
         if not self._valid_move(message, self.remote_names):
             return
         subchannel = message.subchannel
+        if self.is_retired(subchannel):
+            # Already retired here; nothing to vote on, and no book may
+            # regrow.  (The vouching sender got our echo if it asked.)
+            return
         if (
             subchannel not in self._known_subchannels
             and subchannel not in self.window_start
@@ -521,6 +611,20 @@ class ReceiverEndpointBase(IrmcEndpoint):
             for future in futures:
                 future.try_resolve(TooOld(start))
         self._retire_local(subchannel)
+        self._note_retired(subchannel)
+
+    def _echo_retirement(self, move: MoveMsg) -> None:
+        """Answer a stale Move for a retired subchannel with a RetireEcho."""
+        body = RetireEcho(
+            tag=self.tag, subchannel=move.subchannel, sender=self.node.name
+        )
+        message = attach_auth(
+            body, auth=make_mac_vector(self.node.name, self.remote_names, body)
+        )
+        for sender_node in self.remote_group:
+            if sender_node.name == move.sender:
+                self.node.send(sender_node, message)
+                return
 
     def _retire_local(self, subchannel: Any) -> None:
         """Drop subclass-owned books for a retired subchannel (hook)."""

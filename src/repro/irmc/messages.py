@@ -90,6 +90,31 @@ class RetireMsg(Message, Digestible):
 
 
 @dataclass(frozen=True)
+class RetireEcho(Message, Digestible):
+    """``<RetireEcho, sc>`` — "that subchannel is retired here".
+
+    Sent by a *receiver* endpoint that already retired ``subchannel``
+    (it holds a bounded retirement tombstone) in response to a window
+    Move for it — i.e. to a sender that was down across the client's
+    entire CloseSession announcement window and is re-announcing the
+    dead subchannel's Move from its heartbeat.  The straggling sender
+    retires its books once ``f_r + 1`` distinct receivers echoed, the
+    same quorum rule its window already trusts for receiver Moves.
+    """
+
+    tag: str
+    subchannel: Any
+    sender: str
+    auth: Optional[MacVector] = None
+
+    def signed_content(self) -> Tuple:
+        return ("irmc-retire-echo", self.tag, self.subchannel, self.sender)
+
+    def payload_size(self) -> int:
+        return 16 + (self.auth.size_bytes() if self.auth else 0)
+
+
+@dataclass(frozen=True)
 class SigShare(Message, Digestible):
     """IRMC-SC: a sender's signature share over a Send content hash."""
 

@@ -13,7 +13,7 @@ from typing import Any, Dict
 
 from repro.crypto.primitives import attach_auth, digest, sign, verify
 from repro.irmc.base import IrmcConfig, ReceiverEndpointBase, SenderEndpointBase
-from repro.irmc.messages import MoveMsg, RetireMsg, SendMsg
+from repro.irmc.messages import MoveMsg, RetireEcho, RetireMsg, SendMsg
 
 
 class RcSenderEndpoint(SenderEndpointBase):
@@ -36,6 +36,8 @@ class RcSenderEndpoint(SenderEndpointBase):
             return
         if isinstance(message, MoveMsg):
             self._on_receiver_move(message)
+        elif isinstance(message, RetireEcho):
+            self._on_retire_echo(message)
 
 
 class RcReceiverEndpoint(ReceiverEndpointBase):

@@ -24,6 +24,7 @@ from repro.irmc.messages import (
     CertificateMsg,
     MoveMsg,
     ProgressMsg,
+    RetireEcho,
     RetireMsg,
     SelectMsg,
     SigShare,
@@ -189,6 +190,8 @@ class ScSenderEndpoint(SenderEndpointBase):
             self._on_receiver_move(message)
         elif isinstance(message, SelectMsg):
             self._on_select(message)
+        elif isinstance(message, RetireEcho):
+            self._on_retire_echo(message)
 
     def _on_select(self, message: SelectMsg) -> None:
         if message.sender not in self.remote_names:

@@ -1,5 +1,13 @@
-"""Workload generation: closed-loop client populations per region."""
+"""Workload generation: closed-loop client populations and open-loop traffic."""
 
 from repro.workload.clients import ClosedLoopDriver, OperationMix, drive_clients
+from repro.workload.traffic import ZipfianKeys, flash_crowd, open_loop_plan
 
-__all__ = ["ClosedLoopDriver", "OperationMix", "drive_clients"]
+__all__ = [
+    "ClosedLoopDriver",
+    "OperationMix",
+    "ZipfianKeys",
+    "drive_clients",
+    "flash_crowd",
+    "open_loop_plan",
+]

@@ -1,0 +1,98 @@
+"""Open-loop traffic shapes: Zipfian key popularity and flash crowds.
+
+The closed-loop drivers in :mod:`repro.workload.clients` model the
+paper's evaluation (each client waits for its reply).  Overload studies
+need the opposite: *open-loop* arrivals that keep coming whether or not
+the system keeps up — that is what makes an unprotected backlog grow
+without bound and what admission control is for.  This module provides
+the deterministic ingredients:
+
+* :class:`ZipfianKeys` — a power-law key sampler (a few hot keys absorb
+  most of the traffic, the classic cache-friendly skew);
+* :func:`flash_crowd` — a step rate profile: baseline, a burst window at
+  a multiple of saturation, then baseline again;
+* :func:`open_loop_plan` — a precomputed Poisson arrival schedule.  The
+  plan is generated once from a seeded RNG and can be replayed against
+  *different* deployments (e.g. with and without middleware), so an A/B
+  comparison sees byte-identical offered load.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Callable, List, Tuple
+
+__all__ = ["ZipfianKeys", "flash_crowd", "open_loop_plan"]
+
+
+class ZipfianKeys:
+    """Sample keys with Zipf(``skew``) popularity over a fixed keyspace.
+
+    Key ``i`` (0-based rank) is drawn with weight ``1 / (i + 1)**skew``;
+    ``skew=0.99`` is the YCSB default where the hottest ~10% of keys draw
+    the large majority of accesses.  Sampling is a binary search over the
+    precomputed cumulative weights — O(log n) per draw, deterministic
+    given the caller's RNG.
+    """
+
+    def __init__(self, n_keys: int, skew: float = 0.99, prefix: str = "key"):
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        self.keys = [f"{prefix}-{index}" for index in range(n_keys)]
+        self.skew = skew
+        self._cumulative: List[float] = []
+        total = 0.0
+        for index in range(n_keys):
+            total += 1.0 / (index + 1) ** skew
+            self._cumulative.append(total)
+
+    def sample(self, rng: random.Random) -> str:
+        pick = rng.random() * self._cumulative[-1]
+        return self.keys[bisect.bisect_left(self._cumulative, pick)]
+
+
+def flash_crowd(
+    base_rate: float, peak_rate: float, peak_start_ms: float, peak_end_ms: float
+) -> Callable[[float], float]:
+    """A step rate profile in ops/s: ``base`` → ``peak`` → ``base``.
+
+    Model the canonical overload story: steady traffic, then a burst
+    window (a news event, a sale) offering a multiple of the system's
+    saturation throughput, then calm again.  Returns a ``rate(now_ms)``
+    callable for :func:`open_loop_plan`.
+    """
+
+    def rate_of(now_ms: float) -> float:
+        if peak_start_ms <= now_ms < peak_end_ms:
+            return peak_rate
+        return base_rate
+
+    return rate_of
+
+
+def open_loop_plan(
+    rng: random.Random,
+    duration_ms: float,
+    rate_of: Callable[[float], float],
+    describe: Callable[[random.Random], Any],
+) -> List[Tuple[float, Any]]:
+    """Precompute Poisson arrivals ``[(arrival_ms, descriptor), ...]``.
+
+    Inter-arrival gaps are exponential at the *current* ``rate_of``
+    value (a step profile is exact except for the one gap straddling
+    each step).  ``describe(rng)`` draws the per-arrival payload — key,
+    operation kind, session index — from the same RNG stream, so the
+    whole offered load is one deterministic artifact that can be
+    replayed against multiple deployments for exact A/B comparisons.
+    """
+    plan: List[Tuple[float, Any]] = []
+    now = 0.0
+    while True:
+        rate = rate_of(now)
+        if rate <= 0.0:
+            raise ValueError(f"rate profile returned {rate!r} at {now}ms")
+        now += rng.expovariate(rate / 1000.0)
+        if now >= duration_ms:
+            return plan
+        plan.append((now, describe(rng)))

@@ -13,7 +13,7 @@ these tests cannot be green by vacuity.
 import pytest
 
 from repro.core import SpiderConfig
-from repro.deploy import ClusterSpec, build
+from repro.deploy import CLOSED, ClusterSpec, Rejected, build
 from repro.irmc.base import ReceiverEndpointBase, SenderEndpointBase
 from repro.net import Network, Topology
 from repro.sim import Simulator
@@ -204,15 +204,22 @@ class TestChurningClients:
         sizes = request_channel_book_sizes(shard)
         assert sizes == {key: 0 for key in sizes}, sizes
 
-    def test_session_close_defers_until_queue_drains(self):
-        """close() with ordered ops still queued retires only after the
-        last one completes — and the final write still succeeds."""
+    def test_session_close_sheds_queued_ops_and_finishes_inflight(self):
+        """close() with ordered ops still queued: the in-flight op
+        completes, the queued ones resolve with ``Rejected(CLOSED)``
+        immediately (never hang their futures), and retirement follows
+        the in-flight completion."""
         sim, cluster = build_cluster()
         session = cluster.session("u0", "virginia")
         futures = [session.write(f"k{j}", j) for j in range(3)]
-        session.close()  # ops still pending: retirement must wait
+        session.close()  # first op in flight, the rest still queued
+        # The queued ops are shed synchronously at close time.
+        for future in futures[1:]:
+            assert future.done
+            assert isinstance(future.value, Rejected)
+            assert future.value.reason == CLOSED
         sim.run(until=30_000.0)
-        assert all(f.value == ("ok", 1) for f in futures)
+        assert futures[0].value == ("ok", 1)
         sizes = request_channel_book_sizes(cluster.system)
         assert sizes["rx_known"] == 0
         assert sizes["client_loops"] == 0
@@ -240,6 +247,44 @@ class TestCrashWindowHealing:
         # The client's retry_ms defaults to 4000: run past the remaining
         # announcements; the recovered replica retires on the next one.
         sim.run(until=30_000.0)
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+    def test_replica_down_past_all_announcements_retires_via_echoes(self):
+        """Regression: an execution replica down across the client's
+        *entire* CloseSession announcement window (all 3 transmissions,
+        ``retry_ms`` apart) used to keep the dead subchannel's sender
+        books forever and re-announce its window Move from every
+        heartbeat — receivers that had retired just dropped the stale
+        Move on the floor.  Now they answer it with a RetireEcho; at
+        ``f_r + 1`` echoes the straggler retires its own books with no
+        help from the long-gone client."""
+        sim, cluster = build_cluster(seed=21)
+        shard = cluster.system
+        session = cluster.session("u0", "virginia")
+        futures = [session.write(f"k{j}", j) for j in range(2)]
+        sim.run(until=10_000.0)
+        assert all(f.done for f in futures)
+
+        victim = shard.groups["virginia"].replicas[1]
+        victim.crash()
+        session.close()
+        # retry_ms defaults to 4000 and CLOSE_ANNOUNCEMENTS to 3: by 30s
+        # every announcement has long fired, all while the victim is down.
+        sim.run(until=30_000.0)
+        client_name = "u0@s0"
+        assert client_name in victim.request_tx.window_start  # missed all
+        assert client_name in victim.t  # forwarded-counter book leaked too
+        healthy = shard.groups["virginia"].replicas[0]
+        assert client_name not in healthy.request_tx.window_start
+
+        victim.recover()
+        # The recovered replica's Move heartbeat (500ms cadence) offers
+        # the dead subchannel to the agreement receivers; their echoes
+        # retire it.  No CloseSession is in flight anymore.
+        sim.run(until=40_000.0)
+        assert victim.request_tx.is_retired(client_name)
+        assert client_name not in victim.t
         sizes = request_channel_book_sizes(shard)
         assert sizes == {key: 0 for key in sizes}, sizes
 
@@ -327,8 +372,10 @@ class TestRetirementProtocol:
 
     def test_straggler_duplicate_cannot_reopen_retired_subchannel(self):
         """A delayed duplicate of the client's last request arriving after
-        retirement must not recreate the request-channel books (the
-        closed-clients tombstone at the execution replica)."""
+        retirement must not recreate the request-channel books or re-seed
+        the per-client counters everyone else already released (the
+        channel layer's bounded retirement tombstone is what blocks it —
+        the old unbounded closed-clients set is gone)."""
         from repro.core.messages import ClientRequest, RequestBody
         from repro.crypto.primitives import make_mac_vector, sign
 
@@ -344,8 +391,13 @@ class TestRetirementProtocol:
         assert request_channel_book_sizes(shard) == {
             key: 0 for key in request_channel_book_sizes(shard)
         }
-        # Replay the (validly signed) final request straight at a replica.
+        # The agreed RetireClient released the execution replicas' reply
+        # caches and forwarded-counter books too — not just the channel.
         replica = shard.groups["virginia"].replicas[0]
+        assert client.name not in replica.t
+        assert client.name not in replica.u
+        assert replica.request_tx.is_retired(client.name)
+        # Replay the (validly signed) final request straight at a replica.
         body = RequestBody(operation=("put", "k", "v"), client=client.name, counter=1)
         replay = ClientRequest(
             body=body,
@@ -355,9 +407,81 @@ class TestRetirementProtocol:
         )
         replica.network.send(client, replica, replay)
         sim.run(until=50_000.0)
-        assert client.name in replica.closed_clients
+        # The tombstone shrugged the replay off before any book grew.
+        assert client.name not in replica.t
+        assert client.name not in replica.u
         sizes = request_channel_book_sizes(shard)
         assert sizes == {key: 0 for key in sizes}, sizes
+
+    def test_straggling_sender_retires_via_receiver_echoes(self, cluster):
+        """Channel-level echo path in isolation: a sender endpoint that
+        never learned of the retirement (its node slept through every
+        CloseSession) keeps heartbeating the dead subchannel's Move;
+        tombstoned receivers answer with RetireEchoes and the straggler
+        retires at ``f_r + 1`` of them."""
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4, move_heartbeat_ms=500.0)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for endpoint in tx.values():
+            endpoint.send("alice", 1, ("m", 1))
+            endpoint.move_window("alice", 2)
+        cluster.run(until=2_000.0)
+        # Two senders retire (fs + 1 = 2): every receiver retires and
+        # tombstones.  s2 is never told — the straggler.
+        straggler = tx["s2"]
+        assert "alice" in straggler._own_moves  # heartbeating the Move
+        tx["s0"].retire_subchannel("alice")
+        tx["s1"].retire_subchannel("alice")
+        # Heartbeats re-announce the Move; echoes retire the straggler.
+        cluster.run(until=6_000.0)
+        for endpoint in rx.values():
+            assert endpoint.is_retired("alice")
+        assert straggler.is_retired("alice")
+        assert "alice" not in straggler._own_moves
+        assert "alice" not in straggler.window_start
+        assert "alice" not in straggler._buffer
+        assert "alice" not in straggler._retire_echoes
+
+    def test_echoes_below_quorum_do_not_retire_a_live_subchannel(self, cluster):
+        """A lone (possibly Byzantine) receiver's echo must not kill a
+        live subchannel: the sender needs ``f_r + 1`` distinct echoes,
+        the same quorum its window trusts for receiver Moves."""
+        from repro.irmc import IrmcConfig, make_channel
+        from repro.irmc.messages import RetireEcho
+        from repro.crypto.primitives import attach_auth, make_mac_vector
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        tx["s0"].send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        target = tx["s0"]
+        rogue = rx["r0"]
+        body = RetireEcho(tag="ch", subchannel="alice", sender="r0")
+        echo = attach_auth(
+            body, auth=make_mac_vector("r0", ["s0", "s1", "s2"], body)
+        )
+        rogue.node.send(target.node, echo)
+        cluster.run(until=3_000.0)
+        assert not target.is_retired("alice")
+        assert "alice" in target._buffer  # books intact
+        # Echoes for subchannels we hold no state for are not even
+        # tracked (a fabricated-echo flood must not grow the book).
+        for index in range(20):
+            ghost = RetireEcho(tag="ch", subchannel=f"ghost-{index}", sender="r0")
+            rogue.node.send(
+                target.node,
+                attach_auth(
+                    ghost, auth=make_mac_vector("r0", ["s0", "s1", "s2"], ghost)
+                ),
+            )
+        cluster.run(until=4_000.0)
+        assert len(target._retire_echoes.get("alice", ())) == 1
+        assert sum(1 for sub in target._retire_echoes if str(sub).startswith("ghost")) == 0
 
     def test_retired_callback_fires_and_callback_order(self, cluster):
         """on_subchannel_retired fires before the waiter futures resolve,
