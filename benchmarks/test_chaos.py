@@ -1,11 +1,15 @@
 """Chaos campaign sweep: seeded fault schedules against every stack.
 
 Acceptance sweep for the chaos subsystem: >= 50 seeds spread across the
-eight stack configurations (full Spider, PBFT-only, Raft-only, IRMC-RC,
-IRMC-SC, the targeted recovery stacks ``pbft-vc-crash`` and
-``spider-cp-crash``, plus the two-shard isolation stack
-``spider-shard``), every safety and liveness invariant green —
-crash/recovered replicas owe completion-after-heal too — plus the
+thirteen stack configurations (full Spider, PBFT-only, Raft-only,
+IRMC-RC, IRMC-SC, the targeted recovery stacks ``pbft-vc-crash`` and
+``spider-cp-crash``, the two-shard isolation stack ``spider-shard``,
+and the adversary-and-environment palette stacks ``pbft-wipe``,
+``raft-skew``, ``spider-disk``, ``irmc-equivocate`` and
+``irmc-sc-wipe`` — durable-state loss, checkpoint corruption, clock
+skew and authenticated equivocation), every safety and liveness
+invariant green — crash/recovered replicas owe completion-after-heal
+and wiped replicas owe the exact recovered frontier — plus the
 byte-parity guarantee that a no-fault campaign run is indistinguishable
 from the same workload without the chaos layer loaded.
 
@@ -39,7 +43,7 @@ def _fresh_failure_artifact():
         FAILURES_PATH.unlink()
     yield
 
-#: seeds per configuration; 8 configs x 12 = 96 cases >= the 50 floor.
+#: seeds per configuration; 13 configs x 12 = 156 cases >= the 50 floor.
 SEEDS_PER_CONFIG = 12
 SEED_BASE = 1
 

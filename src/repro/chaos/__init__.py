@@ -47,6 +47,7 @@ from repro.chaos.invariants import (
     check_completion,
     check_exactly_once,
     check_journal_agreement,
+    check_recovered_frontier,
     check_sequence_agreement,
 )
 from repro.chaos.schedule import ChaosProfile, format_schedule, generate_schedule
@@ -70,4 +71,5 @@ __all__ = [
     "check_journal_agreement",
     "check_client_fifo",
     "check_completion",
+    "check_recovered_frontier",
 ]

@@ -24,17 +24,30 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.checkpoints.component import CheckpointComponent
 from repro.faults.behaviours import (
     DelayBehaviour,
     DropBehaviour,
     DuplicateBehaviour,
+    EquivocateBehaviour,
     SilenceBehaviour,
 )
 
 __all__ = ["FaultAction", "ChaosEngine", "NODE_KINDS", "NET_KINDS"]
 
 #: Kinds that target a single node (FaultAction.target is a node name).
-NODE_KINDS = ("crash", "silence", "delay", "drop", "duplicate", "mute_half")
+NODE_KINDS = (
+    "crash",
+    "silence",
+    "delay",
+    "drop",
+    "duplicate",
+    "mute_half",
+    "wipe",
+    "skew",
+    "corrupt_cp",
+    "equivocate",
+)
 #: Kinds that target the network (target is a region or "src->dst" link).
 NET_KINDS = ("partition", "block_link", "link_delay", "link_flaky")
 
@@ -44,8 +57,9 @@ class FaultAction:
     """One fault window.
 
     ``param`` is kind-specific: delay in ms for ``delay``/``link_delay``,
-    a probability for ``drop``/``duplicate``/``link_flaky``, unused
-    otherwise.
+    a probability for ``drop``/``duplicate``/``link_flaky``, a clock rate
+    for ``skew`` (1.0 = healthy), an equivocation probability for
+    ``equivocate``, unused otherwise.
     """
 
     kind: str
@@ -57,6 +71,23 @@ class FaultAction:
     @property
     def end_ms(self) -> float:
         return self.start_ms + self.duration_ms
+
+
+def _noop_undo() -> None:
+    """Undo for instantaneous-damage kinds (the window has no end effect)."""
+
+
+def _rot_state(state: Any, rng: random.Random) -> Any:
+    """One rotten copy of a stored snapshot: truncation or bit-rot.
+
+    Either damage changes the snapshot's structural digest, which is what
+    load-time verification compares against the digest recorded at write
+    time.  Truncation drops the tail of a sequence snapshot; bit-rot wraps
+    the value (a changed byte anywhere has the same detection signature).
+    """
+    if isinstance(state, tuple) and state and rng.random() < 0.5:
+        return state[:-1]
+    return ("__bitrot__", state)
 
 
 class ChaosEngine:
@@ -120,6 +151,35 @@ class ChaosEngine:
             node = self._node(action.target)
             node.crash()
             undo = node.recover
+        elif kind == "wipe":
+            # Durable-state loss: the crash also destroys the disk.  The
+            # recovery at window end runs the node's wipe hooks first, so
+            # the replica reboots empty and must rebuild through the
+            # protocol (full checkpoint install + log-suffix replay).
+            node = self._node(action.target)
+            node.crash(wipe=True)
+            undo = node.recover
+        elif kind == "skew":
+            node = self._node(action.target)
+            previous = node.clock_rate
+            node.clock_rate = action.param if action.param > 0.0 else 1.0
+
+            def undo(node=node, previous=previous) -> None:
+                node.clock_rate = previous
+
+        elif kind == "corrupt_cp":
+            # Storage fault: stored snapshots rot in place (truncation or
+            # bit-rot), while the digest metadata recorded at write time
+            # stays intact — exactly what load-time verification catches.
+            # The damage is instantaneous and permanent; undo is a no-op.
+            self._corrupt_checkpoints(self._node(action.target), self._rng(action))
+            undo = _noop_undo
+        elif kind == "equivocate":
+            handle = EquivocateBehaviour(
+                fraction=action.param if action.param > 0.0 else 1.0,
+                rng=self._rng(action),
+            ).install(self._node(action.target))
+            undo = handle.uninstall
         elif kind == "silence":
             handle = SilenceBehaviour().install(self._node(action.target))
             undo = handle.uninstall
@@ -172,6 +232,26 @@ class ChaosEngine:
             raise ValueError(f"unknown fault kind {kind!r}")
         self._undo_by_id[index] = undo
         self.applied.append(action)
+
+    def _corrupt_checkpoints(self, node, rng: random.Random) -> None:
+        """Rot every stored snapshot on ``node``'s checkpoint components.
+
+        Only the snapshot *bytes* are damaged; the digests recorded when
+        they were written (vote metadata, stability certificates) stay
+        intact — so the corruption is invisible until digest verification
+        at load/serve time catches the mismatch and falls back to a peer
+        fetch.  Nodes without checkpoint components are untouched.
+        """
+        for handler in list(getattr(node, "_routes", {}).values()):
+            component = getattr(handler, "__self__", None)
+            if not isinstance(component, CheckpointComponent):
+                continue
+            for seq in list(component._local):
+                state, stored_digest = component._local[seq]
+                component._local[seq] = (_rot_state(state, rng), stored_digest)
+            if component.latest_stable is not None:
+                seq, state, certificate = component.latest_stable
+                component.latest_stable = (seq, _rot_state(state, rng), certificate)
 
     def _link_mod_undo(self, src, dst, mod) -> Callable[[], None]:
         """Clear a link mod only if it is still the one this window set.

@@ -27,6 +27,24 @@ throughout (shard isolation), with completion-after-heal asserted per
 shard.  The Spider stacks build from declarative specs via
 :func:`repro.deploy.build`.
 
+The adversary-and-environment palette adds five more configurations:
+
+* ``pbft-wipe``      — durable-state loss and authenticated equivocation
+  against PBFT (palette draw of ``wipe``/``equivocate``);
+* ``raft-skew``      — durable-state loss and clock skew against Raft;
+* ``spider-disk``    — targeted: wipe an execution replica while a peer's
+  stored checkpoints rot (``corrupt_cp``), then wipe an agreement replica;
+* ``irmc-equivocate`` — targeted: one sender equivocates behind the
+  crypto boundary while a receiver loses its disk;
+* ``irmc-sc-wipe``   — targeted: a receiver and then a sender of an
+  IRMC-SC reboot empty (collector failover must route around the
+  sender's lost bundles).
+
+Replicas that rebooted empty owe the strongest recovery claim: the
+:func:`check_recovered_frontier` invariant requires every ever-crashed
+(and therefore every ever-wiped) replica to stand at the group's exact
+delivery frontier once faults healed.
+
 Design notes on fault budgets: node-targeted faults only ever hit the
 victims chosen per run (at most the stack's ``f``).  Crash/recovered
 replicas owe **full liveness**: PBFT state transfer, Raft timer re-arm
@@ -57,6 +75,7 @@ from repro.chaos.invariants import (
     check_exactly_once,
     check_journal_agreement,
     check_journal_subsequence,
+    check_recovered_frontier,
     check_sequence_agreement,
     check_state_completion,
 )
@@ -216,6 +235,12 @@ class PbftHarness(StackHarness):
             node.add_recovery_hook(
                 lambda node=node, replica=replica: restart_drain(node, replica)
             )
+            # The delivery journal models the replica's on-disk applied
+            # log: a wipe destroys it, and the rebooted replica must
+            # re-earn every entry through checkpoint install + replay
+            # (exactly-once still holds because the pre-wipe journal is
+            # gone with the disk it lived on).
+            node.add_wipe_hook(lambda name=node.name: delivered[name].clear())
 
         expected = [("op", index) for index in range(self.ops)]
         for index, payload in enumerate(expected):
@@ -263,6 +288,14 @@ class PbftHarness(StackHarness):
         # replay + log-suffix evidence), so *everyone* owes the complete
         # history once faults healed — no exemption.
         violations += check_completion(expected + probes, flat)
+        # Ever-crashed (including ever-wiped) replicas must additionally
+        # stand at the group's exact delivery frontier: checkpoint-free
+        # PBFT recovery is only done when the whole suffix replayed.
+        violations += check_recovered_frontier(
+            {r.node.name: r.delivered_seq for r in replicas},
+            obligated=crashed_ever,
+            where="pbft replica",
+        )
         stats = {
             "delivered": {name: delivered[name] for name in names},
             "view": max(r.view for r in replicas),
@@ -311,6 +344,36 @@ class PbftViewChangeCrashHarness(PbftHarness):
                 start_ms=crash_at, duration_ms=crash_dur,
             ),
         ]
+
+
+class PbftWipeHarness(PbftHarness):
+    """Durable-state loss and authenticated equivocation against PBFT.
+
+    The palette draws ``wipe`` (the crash also destroys the disk: log,
+    view, votes — everything) and ``equivocate`` (the victim misuses its
+    *own* keys to send payload variants behind valid per-receiver MAC
+    vector entries) against one seeded victim — the ``f = 1`` budget,
+    exercised with the two adversary families the benign palette cannot
+    reach.  A wiped replica reboots at view 0 / seq 0 and must rebuild
+    the complete history through digest-first state transfer plus
+    payload-on-miss fetches; an equivocating leader splits the honest
+    prepare votes so no forged payload can reach a commit quorum without
+    2f+1 backing, and the view change re-orders the starved payloads.
+    Completion still covers *everything* and ever-crashed replicas owe
+    the exact frontier.
+    """
+
+    name = "pbft-wipe"
+    settle_ms = 25_000.0  # full-history state transfer adds round trips
+
+    def profile(self, seed: int) -> ChaosProfile:
+        victims = _victims(self.name, seed, self._names(), 1)  # f = 1
+        return ChaosProfile(
+            node_kinds=("wipe", "equivocate"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+        )
 
 
 # ======================================================================
@@ -385,6 +448,10 @@ class RaftHarness(StackHarness):
             node.add_recovery_hook(
                 lambda node=node, replica=replica: restart_drain(node, replica)
             )
+            # Same durable-state model as the PBFT harness: the journal is
+            # the replica's disk, so a wipe destroys it and the replica
+            # must re-earn every entry through log replication.
+            node.add_wipe_hook(lambda name=node.name: delivered[name].clear())
 
         expected = [("op", index) for index in range(self.ops)]
         for index, payload in enumerate(expected):
@@ -430,6 +497,14 @@ class RaftHarness(StackHarness):
         # AppendEntries (probe traffic guarantees post-heal replication),
         # so everyone owes the full history — no exemption.
         violations += check_completion(expected + probes, flat)
+        # Ever-crashed/wiped replicas must have caught up to the exact
+        # delivery frontier (AppendEntries walks next_index back to 1 for
+        # a wiped follower, then replays the full suffix).
+        violations += check_recovered_frontier(
+            {r.node.name: r.delivered_index for r in replicas},
+            obligated=crashed_ever,
+            where="raft replica",
+        )
         stats = {
             "delivered": {name: delivered[name] for name in names},
             "terms": max(r.term for r in replicas),
@@ -437,6 +512,34 @@ class RaftHarness(StackHarness):
             "events": sim.events_processed,
         }
         return CampaignResult(self.name, seed, actions, violations, stats)
+
+
+class RaftSkewHarness(RaftHarness):
+    """Durable-state loss and clock skew against Raft.
+
+    The palette draws ``wipe`` and ``skew`` against one seeded victim.  A
+    wiped replica forgets its vote and its log; the post-wipe quarantine
+    must keep it from voting (it may already have voted in the term it
+    forgot) or standing for election until a live leader adopts it, after
+    which AppendEntries walks ``next_index`` back to 1 and replays the
+    whole suffix.  Skew multiplies the victim's local timer rate by up to
+    2x in either direction: a fast clock turns the victim into a serial
+    election agitator (term inflation the leader must absorb), a slow one
+    makes it the last to notice a dead leader.  Either way, safety and
+    the exact recovered frontier are owed once the window heals.
+    """
+
+    name = "raft-skew"
+    settle_ms = 30_000.0  # skew-driven elections burn extra rounds
+
+    def profile(self, seed: int) -> ChaosProfile:
+        victims = _victims(self.name, seed, self._names(), 1)  # minority
+        return ChaosProfile(
+            node_kinds=("wipe", "skew"),
+            victims=victims,
+            min_start_ms=self.min_start_ms,
+            horizon_ms=self.horizon_ms,
+        )
 
 
 # ======================================================================
@@ -680,6 +783,81 @@ class IrmcScHarness(IrmcHarness):
     name = "irmc-sc"
 
 
+class IrmcEquivocateHarness(IrmcHarness):
+    """Authenticated equivocation by a sender, plus a wiped receiver.
+
+    A targeted two-window schedule.  One seeded sender turns Byzantine
+    and equivocates: each ``SendMsg`` carries a per-receiver payload
+    variant behind a *valid* signature, so authentication alone cannot
+    unmask it — and because a receiver counts only the first copy per
+    sender, the forged votes are permanent.  That consumes the full
+    ``f_s = 1`` budget: the ``f_s + 1 = 2`` matching copies the two
+    correct senders supply are exactly enough to deliver the true
+    payload at every receiver.  Overlapping it, one seeded receiver is
+    wiped — vote books, delivery cursors and retirement tombstones all
+    gone — and must rebuild from live retransmissions without ever
+    delivering a forged variant or a duplicate.
+    """
+
+    name = "irmc-equivocate"
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        liar = self._sender_names()[rng.randrange(3)]
+        victim = self._receiver_names()[rng.randrange(4)]
+        lie_at = round(self.min_start_ms + rng.random() * 1_000.0, 3)
+        lie_dur = round(2_000.0 + rng.random() * 2_500.0, 3)
+        wipe_at = round(lie_at + 400.0 + rng.random() * 1_200.0, 3)
+        wipe_dur = round(1_200.0 + rng.random() * 1_800.0, 3)
+        fraction = round(0.6 + rng.random() * 0.4, 4)
+        return [
+            FaultAction(
+                kind="equivocate", target=liar,
+                start_ms=lie_at, duration_ms=lie_dur, param=fraction,
+            ),
+            FaultAction(
+                kind="wipe", target=victim,
+                start_ms=wipe_at, duration_ms=wipe_dur,
+            ),
+        ]
+
+
+class IrmcScWipeHarness(IrmcScHarness):
+    """Durable-state loss on both sides of an IRMC-SC channel.
+
+    Sequential targeted wipes: first a receiver (its share buffers,
+    collector-progress gossip and delivery cursors vanish; it rebuilds
+    from peer Progress exchange and sender retransmission), then — after
+    the first window healed — a sender (its signature-share bundles and
+    collector state vanish; it cannot re-assemble old bundles because
+    correct peers only share shares once, so receiver-side collector
+    failover must route around the hole while the other ``f_s + 1``
+    senders keep the stream complete).  The windows are disjoint in
+    time, so each stays within the ``f_s = f_r = 1`` budget.
+    """
+
+    name = "irmc-sc-wipe"
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        rx_victim = self._receiver_names()[rng.randrange(4)]
+        tx_victim = self._sender_names()[rng.randrange(3)]
+        rx_at = round(self.min_start_ms + rng.random() * 1_000.0, 3)
+        rx_dur = round(1_200.0 + rng.random() * 1_500.0, 3)
+        tx_at = round(rx_at + rx_dur + 300.0 + rng.random() * 700.0, 3)
+        tx_dur = round(1_200.0 + rng.random() * 1_500.0, 3)
+        return [
+            FaultAction(
+                kind="wipe", target=rx_victim,
+                start_ms=rx_at, duration_ms=rx_dur,
+            ),
+            FaultAction(
+                kind="wipe", target=tx_victim,
+                start_ms=tx_at, duration_ms=tx_dur,
+            ),
+        ]
+
+
 # ======================================================================
 # Full Spider
 # ======================================================================
@@ -736,16 +914,29 @@ def _check_spider_group_invariants(
 def _check_agreement_frontier(agreement_replicas, label: str = "") -> List[str]:
     """After heal + settle every agreement replica of one shard must sit
     at the same consensus frontier (state transfer + gap fetch + cp-ag
-    adoption close any hole a crash or partition opened)."""
-    delivered_seqs = {
-        replica.name: replica.ag.delivered_seq for replica in agreement_replicas
-    }
-    if len(set(delivered_seqs.values())) > 1:
-        return [
-            f"liveness/agreement-catchup{label}: delivered_seq diverged "
-            f"after heal: {delivered_seqs}"
-        ]
-    return []
+    adoption close any hole a crash, wipe or partition opened).  The
+    Spider form of the general frontier invariant, with *every* replica
+    obligated — "all equal" and "all at the max" coincide."""
+    return check_recovered_frontier(
+        {replica.name: replica.ag.delivered_seq for replica in agreement_replicas},
+        where=f"agreement replica{label}",
+    )
+
+
+def _register_spider_wipe_journals(groups) -> None:
+    """Model the execution journals as on-disk state for wipe windows.
+
+    The journal is observer evidence collected *on* the replica: a disk
+    wipe destroys it with everything else, and the rebooted replica only
+    re-earns entries it actually re-applies (checkpoint-skipped
+    operations legitimately never reappear — the subsequence/state
+    obligations cover them).  Registered after the replica's own wipe
+    hook, so the pristine-app restore runs first and the journal clear
+    wins.
+    """
+    for group in groups:
+        for replica in group.replicas:
+            replica.add_wipe_hook(lambda app=replica.app: app.journal.clear())
 
 
 class SpiderHarness(StackHarness):
@@ -795,6 +986,7 @@ class SpiderHarness(StackHarness):
         sim = Simulator(seed=seed)
         network = Network(sim, Topology(), jitter=0.0)
         system = build(sim, self.make_spec(), network=network).system
+        _register_spider_wipe_journals(system.groups.values())
         homes = ["g0", "g0", "g1"]
         regions = {"g0": "virginia", "g1": "tokyo"}
         clients = [
@@ -904,6 +1096,57 @@ class SpiderCheckpointCrashHarness(SpiderHarness):
         ]
 
 
+class SpiderDiskHarness(SpiderHarness):
+    """Storage catastrophe inside one Spider group: wipe plus bit rot.
+
+    Targeted schedule against the tightened-checkpoint configuration
+    (``ke = 4``, commit window 4).  One execution replica of ``g0`` is
+    *wiped* — it reboots with a genesis application and must install the
+    latest group checkpoint before it can touch the commit stream.
+    While it is down, a *different* ``g0`` execution replica has its
+    checkpoint store corrupted (seeded bit rot / truncation), so the
+    rejoiner's fetch may well land on a peer holding damaged state: the
+    digest check at serve/load time must detect the rot, discard it and
+    fall back to a clean peer rather than install garbage.  A later
+    window wipes one agreement replica, which must rebuild ordering
+    state from the agreement checkpoint protocol.  All invariants of the
+    base harness apply, including the agreement-frontier equality.
+    """
+
+    name = "spider-disk"
+
+    def make_config(self) -> SpiderConfig:
+        return SpiderConfig(ka=8, ke=4, commit_capacity=4)
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        exec_victim = f"g0-e{rng.randrange(3)}"
+        others = [f"g0-e{i}" for i in range(3) if f"g0-e{i}" != exec_victim]
+        rotten = others[rng.randrange(2)]
+        ag_victim = f"ag{rng.randrange(4)}"
+        wipe_at = round(self.min_start_ms + rng.random() * 2_000.0, 3)
+        wipe_dur = round(2_500.0 + rng.random() * 2_500.0, 3)
+        # Rot the peer mid-wipe so the rejoiner's checkpoint fetch races
+        # the damage; the corruption itself is instantaneous (undo no-op).
+        rot_at = round(wipe_at + wipe_dur * 0.5, 3)
+        ag_at = round(wipe_at + wipe_dur + 500.0 + rng.random() * 1_000.0, 3)
+        ag_dur = round(2_000.0 + rng.random() * 2_000.0, 3)
+        return [
+            FaultAction(
+                kind="wipe", target=exec_victim,
+                start_ms=wipe_at, duration_ms=wipe_dur,
+            ),
+            FaultAction(
+                kind="corrupt_cp", target=rotten,
+                start_ms=rot_at, duration_ms=100.0,
+            ),
+            FaultAction(
+                kind="wipe", target=ag_victim,
+                start_ms=ag_at, duration_ms=ag_dur,
+            ),
+        ]
+
+
 class SpiderShardHarness(StackHarness):
     """Two shards, faults confined to one: the other must not stall.
 
@@ -969,6 +1212,8 @@ class SpiderShardHarness(StackHarness):
         sim = Simulator(seed=seed)
         network = Network(sim, Topology(), jitter=0.0)
         cluster = build(sim, self.make_spec(), network=network)
+        for shard_id in self.shard_ids:
+            _register_spider_wipe_journals(cluster.shard(shard_id).groups.values())
 
         sessions = []
         session_shard: Dict[str, str] = {}
@@ -1080,12 +1325,17 @@ HARNESSES: Dict[str, StackHarness] = {
     for harness in (
         SpiderHarness(),
         SpiderCheckpointCrashHarness(),
+        SpiderDiskHarness(),
         SpiderShardHarness(),
         PbftHarness(),
         PbftViewChangeCrashHarness(),
+        PbftWipeHarness(),
         RaftHarness(),
+        RaftSkewHarness(),
         IrmcHarness(),
         IrmcScHarness(),
+        IrmcEquivocateHarness(),
+        IrmcScWipeHarness(),
     )
 }
 

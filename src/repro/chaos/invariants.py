@@ -36,11 +36,15 @@ it.  The pair below expresses the symmetric crash/recovery contract:
 * :func:`check_state_completion` — the recovered replica's final
   application state must reflect every expected write (liveness: the
   adopted checkpoint carries the effects of everything it skipped).
+* :func:`check_recovered_frontier` — once faults healed, every replica
+  the fault budget obliges to recover must stand at the group's delivery
+  frontier (the strongest recovery claim: full checkpoint install plus
+  suffix replay actually *finished*, not merely resumed).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "check_sequence_agreement",
@@ -50,6 +54,7 @@ __all__ = [
     "check_client_fifo",
     "check_completion",
     "check_state_completion",
+    "check_recovered_frontier",
 ]
 
 
@@ -199,6 +204,42 @@ def check_completion(
             violations.append(
                 f"liveness/completion: {where} {name} still missing "
                 f"{len(missing)} item(s) after heal: {shown}{more}"
+            )
+    return violations
+
+
+def check_recovered_frontier(
+    frontiers: Dict[str, int],
+    obligated: Optional[Iterable[str]] = None,
+    where: str = "replica",
+) -> List[str]:
+    """Obligated replicas must stand at the group's delivery frontier.
+
+    ``frontiers`` maps replica name -> last delivered sequence number at
+    the end of the run; the frontier is the maximum over *all* replicas.
+    ``obligated`` names the replicas the fault budget requires to have
+    fully recovered by then (default: everyone) — typically the replicas
+    that crashed, were wiped, or rejoined during the campaign, called
+    after every fault window healed plus a settle allowance.  Trailing
+    the frontier means recovery stalled mid-way: a checkpoint was
+    installed but the suffix replay never finished, or the replica wedged
+    waiting for state a peer stopped offering.
+    """
+    violations: List[str] = []
+    if not frontiers:
+        return violations
+    frontier = max(frontiers.values())
+    names = sorted(frontiers) if obligated is None else sorted(obligated)
+    for name in names:
+        reached = frontiers.get(name)
+        if reached is None:
+            violations.append(
+                f"liveness/frontier: {where} {name} reported no frontier"
+            )
+        elif reached != frontier:
+            violations.append(
+                f"liveness/frontier: {where} {name} stopped at {reached}, "
+                f"group frontier is {frontier}"
             )
     return violations
 

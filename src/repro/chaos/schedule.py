@@ -55,6 +55,10 @@ _DEFAULT_PARAMS: Dict[str, Tuple[float, float]] = {
     "duplicate": (0.1, 0.5),
     "link_delay": (20.0, 400.0),
     "link_flaky": (0.05, 0.3),
+    # Clock rate: 0.5 (slow, timers fire late) to 2.0 (fast, fire early).
+    "skew": (0.5, 2.0),
+    # Probability that any one proposal is equivocated on.
+    "equivocate": (0.5, 1.0),
 }
 
 
@@ -87,8 +91,15 @@ def generate_schedule(name: str, seed: int, profile: ChaosProfile) -> List[Fault
         # another crash window still runs).  Link-level kinds share one
         # slot per link — the network holds a single mod/block per link,
         # so a second overlapping window would clobber the first and its
-        # undo would cut the survivor short.
-        slot_kind = "link" if kind in ("block_link", "link_delay", "link_flaky") else kind
+        # undo would cut the survivor short.  ``wipe`` shares the crash
+        # slot (both fail-stop the node and undo via recover()), and
+        # ``skew`` has its own slot (a node has one clock).
+        if kind in ("block_link", "link_delay", "link_flaky"):
+            slot_kind = "link"
+        elif kind == "wipe":
+            slot_kind = "crash"
+        else:
+            slot_kind = kind
         slots = occupied.setdefault((slot_kind, target), [])
         if any(not (end <= s or start >= e) for s, e in slots):
             continue

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checkpoints.messages import CheckpointMsg, CpState, FetchCp
-from repro.crypto.primitives import attach_auth, digest, sign, verify
+from repro.crypto.primitives import attach_auth, digest, sign, structural_digest, verify
 from repro.sim.routing import Component, RoutedNode
 
 
@@ -65,6 +65,28 @@ class CheckpointComponent(Component):
         self.latest_stable: Optional[Tuple[int, Any, Tuple[CheckpointMsg, ...]]] = None
         self.delivered_seq = -1
         self.stable_count = 0
+        #: stored snapshots found rotten at load/serve time (storage-fault
+        #: detection: the on-disk bytes no longer hash to the digest
+        #: recorded when they were written).
+        self.corruption_detected = 0
+        node.add_wipe_hook(self.wipe)
+
+    def wipe(self) -> None:
+        """Durable-state loss: forget every stored snapshot and certificate.
+
+        After a disk-wiping crash the component reboots empty — the next
+        :meth:`fetch_latest` then pulls the group's newest stable
+        checkpoint from scratch (``delivered_seq`` resets so *any* stable
+        checkpoint qualifies), which is exactly the full-install path.
+        """
+        self._votes.clear()
+        self._local.clear()
+        self.latest_stable = None
+        self.delivered_seq = -1
+
+    def close(self) -> None:
+        self.node.remove_wipe_hook(self.wipe)
+        super().close()
 
     # ------------------------------------------------------------------
     # Public API (paper Fig. 13)
@@ -140,8 +162,15 @@ class CheckpointComponent(Component):
     ) -> None:
         local = self._local.get(seq)
         if local is not None and local[1] == state_digest:
-            self._deliver(seq, local[0], certificate)
-            return
+            # Storage-fault check: re-hash the *stored* bytes before
+            # restoring them.  A snapshot that rotted on disk since
+            # ``gen_cp`` recorded its digest must not be delivered — drop
+            # it and fall through to the peer fetch below.
+            if structural_digest(local[0]) == state_digest:
+                self._deliver(seq, local[0], certificate)
+                return
+            self.corruption_detected += 1
+            del self._local[seq]
         # We have proof that a correct replica holds this checkpoint but no
         # matching snapshot of our own: pull the full state from a signer
         # (CP-Liveness, Definition A.12).
@@ -156,6 +185,15 @@ class CheckpointComponent(Component):
             return
         seq, state, certificate = self.latest_stable
         if seq < message.min_seq:
+            return
+        # Never serve poison: the stored snapshot must still hash to the
+        # digest its certificate vouches for.  On a mismatch the local copy
+        # is rotten — discard it and re-fetch a clean one from the peers
+        # (the requester will be answered by an uncorrupted provider).
+        if certificate and structural_digest(state) != certificate[0].state_digest:
+            self.corruption_detected += 1
+            self.latest_stable = None
+            self.fetch_cp(seq)
             return
         self.send(
             src,

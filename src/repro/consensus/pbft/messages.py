@@ -165,10 +165,14 @@ class StateTransfer(Message, Digestible):
 
     ``view`` and ``low_water`` describe the requester's state: peers
     answer with their stored (signed, hence transferable) ``NewView`` when
-    the requester's view is stale, plus per-slot evidence — the original
-    leader's ``PrePrepare`` and the peer's own ``Prepare``/``Commit`` —
-    for every live instance at or above ``low_water``.  All replies are
-    ordinary protocol messages verified through the normal handlers, so a
+    the requester's view is stale, plus **digest-first** per-slot evidence
+    — the peer's own ``Prepare``/``Commit``, which carry only payload
+    digests — for every live instance at or above ``low_water``.  Full
+    payloads are *not* retransmitted by every peer: once the requester
+    holds a quorum of matching commit digests for a slot it is missing the
+    payload of, it pulls the original ``PrePrepare`` from a single peer
+    via :class:`FetchPayload` (payload-on-miss).  All replies are ordinary
+    protocol messages verified through the normal handlers, so a
     Byzantine responder can at worst withhold information (the requester
     asks every peer and retries until it stops making progress).
     """
@@ -180,3 +184,23 @@ class StateTransfer(Message, Digestible):
 
     def payload_size(self) -> int:
         return 24
+
+
+@dataclass(frozen=True)
+class FetchPayload(Message, Digestible):
+    """Pull the full payloads of digest-vouched slots from one peer.
+
+    The payload-on-miss half of digest-first state transfer: ``seqs``
+    names the instances for which the requester holds digest evidence
+    (f+1 matching commit votes) but no stored ``PrePrepare``.  The
+    responder answers with its stored ``PrePrepare`` per seq — the only
+    payload-bearing retransmission in the transfer, requested from a
+    single rotating peer instead of arriving n-fold.
+    """
+
+    tag: str
+    seqs: Tuple[int, ...]
+    sender: str
+
+    def payload_size(self) -> int:
+        return 16 + 4 * len(self.seqs)

@@ -11,11 +11,21 @@ A replica whose node crash/recovered missed arbitrary protocol history —
 possibly including view changes.  On recovery (a node recovery hook) it
 resets its timer chains, then broadcasts a ``StateTransfer`` request;
 peers answer with their stored signed ``NewView`` (moving the rejoiner
-into the current view) and per-slot evidence (the original PrePrepare
-plus their own Prepare/Commit), all of which the rejoiner verifies
-through the ordinary handlers — no trusted-summary shortcut exists, so a
-Byzantine responder can only withhold, never mislead.  The request is
-retried until a whole retry period brings no progress.
+into the current view) and **digest-first** per-slot evidence — their own
+Prepare/Commit votes, which carry only payload digests.  Once the
+rejoiner holds f+1 matching commit digests for a slot it has no payload
+for, it pulls the original PrePrepare from a *single* rotating peer via
+``FetchPayload`` (payload-on-miss), so full payloads cross the network
+once instead of once per peer; ``transfer_summary_bytes`` /
+``transfer_payload_bytes`` account for the split.  Everything is
+verified through the ordinary handlers — no trusted-summary shortcut
+exists, so a Byzantine responder can only withhold, never mislead.  The
+request is retried until a whole retry period brings no progress.
+
+A ``crash(wipe=True)`` additionally destroys the durable log: the wipe
+hook reboots the replica protocol-empty (view 0, empty log) and the same
+state-transfer machinery then rebuilds it from scratch — checkpointing
+stacks cover the garbage-collected prefix via checkpoint install first.
 
 Fidelity notes
 --------------
@@ -44,6 +54,7 @@ from repro.consensus.pbft.log import PbftLog, Slot
 from repro.consensus.pbft.messages import (
     NOOP,
     Commit,
+    FetchPayload,
     FetchSlot,
     Forward,
     NewView,
@@ -56,6 +67,7 @@ from repro.consensus.pbft.messages import (
 from repro.crypto.primitives import (
     attach_auth,
     cached_repr,
+    cached_size_bytes,
     digest,
     make_mac_vector,
     sign,
@@ -139,7 +151,16 @@ class PbftReplica(Component, Agreement):
         self._recovery_epoch = 0
         self._recovery_progress: Optional[tuple] = None
         self.state_transfers_requested = 0
+        #: digest-first transfer accounting: bytes of digest-only slot
+        #: evidence served vs bytes of full payloads served on miss, plus
+        #: the request counters on both sides.
+        self.transfer_summary_bytes = 0
+        self.transfer_payload_bytes = 0
+        self.payloads_served = 0
+        self.payload_fetches_sent = 0
+        self._payload_fetch_round = 0
         node.add_recovery_hook(self._on_node_recover)
+        node.add_wipe_hook(self._on_node_wipe)
 
         #: leader-side batch under construction (batch_size > 1 only);
         #: _batch_keys mirrors the accumulator buffer for O(1) dedup and
@@ -303,6 +324,8 @@ class PbftReplica(Component, Agreement):
             self._on_new_view(message)
         elif isinstance(message, FetchSlot):
             self._on_fetch(src, message)
+        elif isinstance(message, FetchPayload):
+            self._on_fetch_payload(src, message)
         elif isinstance(message, StateTransfer):
             self._on_state_transfer(src, message)
 
@@ -445,6 +468,13 @@ class PbftReplica(Component, Agreement):
         slot = self.log.slot(message.seq)
         slot.add_commit(message.sender, message.payload_digest)
         self._check_committed(slot)
+        if slot.pre_prepare is None:
+            # Digest-first state transfer: commit evidence can accumulate
+            # for a slot whose payload we never stored (e.g. after a wiped
+            # restart).  Such a slot can never commit locally, so delivery
+            # never re-arms the gap fetch for it — do it here, where the
+            # payload gap becomes observable.
+            self._maybe_schedule_fetch()
 
     def _check_committed(self, slot: Slot) -> None:
         """Commit on quorum commit weight.
@@ -492,15 +522,44 @@ class PbftReplica(Component, Agreement):
     # Gap retransmission
     # ------------------------------------------------------------------
     def _maybe_schedule_fetch(self) -> None:
+        if self._fetch_timer is not None:
+            return
+        frontier = self.delivered_seq
         gap_exists = any(
-            slot.committed and slot.seq > self.delivered_seq + 1
+            (slot.committed and slot.seq > frontier + 1)
+            or (
+                slot.pre_prepare is None
+                and slot.seq > frontier
+                and self._has_commit_support(slot)
+            )
             for slot in self.log.slots.values()
         )
-        if gap_exists and self._fetch_timer is None:
+        if gap_exists:
             self._fetch_epoch += 1
             self._fetch_timer = self.node.set_timeout(
                 self.config.fetch_delay_ms, self._fetch_missing, self._fetch_epoch
             )
+
+    def _has_commit_support(self, slot: Slot) -> bool:
+        """f+1 matching commit votes: at least one honest replica committed
+        this payload, so honest replicas hold it — safe to fetch."""
+        counts: Dict[int, int] = {}
+        for voted in slot.commit_votes.values():
+            count = counts.get(voted, 0) + 1
+            if count >= self.f + 1:
+                return True
+            counts[voted] = count
+        return False
+
+    def _payload_gap_seqs(self) -> List[int]:
+        """Undelivered slots with digest evidence but no stored payload."""
+        return sorted(
+            seq
+            for seq, slot in self.log.slots.items()
+            if seq > self.delivered_seq
+            and slot.pre_prepare is None
+            and self._has_commit_support(slot)
+        )
 
     def _cancel_fetch_timer(self) -> None:
         if self._fetch_timer is not None:
@@ -512,18 +571,50 @@ class PbftReplica(Component, Agreement):
         if epoch != self._fetch_epoch:
             return  # superseded while queued on this node's CPU
         self._fetch_timer = None
+        gaps = self._payload_gap_seqs()
+        if gaps:
+            self._request_payloads(gaps)
         missing = self.delivered_seq + 1
         slot = self.log.get(missing)
         if slot is not None and slot.committed:
+            if gaps:
+                self._maybe_schedule_fetch()  # keep pulling withheld payloads
             return
         higher_committed = [s for s in self.log.slots.values() if s.committed and s.seq > missing]
         if not higher_committed:
+            if gaps:
+                self._maybe_schedule_fetch()
             return
         request = FetchSlot(tag=self.tag, seq=missing, sender=self.name)
         for peer in self.peers:
             if peer is not self.node:
                 self.send(peer, request)
         self._maybe_schedule_fetch()
+
+    def _request_payloads(self, seqs: Sequence[int]) -> None:
+        """Payload-on-miss: pull full PrePrepares from a single peer.
+
+        The peer rotates per request, so a crashed or withholding
+        responder only costs one fetch period — and the payload travels
+        the network once instead of once per group member.
+        """
+        others = [peer for peer in self.peers if peer is not self.node]
+        if not others:
+            return
+        peer = others[self._payload_fetch_round % len(others)]
+        self._payload_fetch_round += 1
+        self.payload_fetches_sent += 1
+        self.send(peer, FetchPayload(tag=self.tag, seqs=tuple(seqs), sender=self.name))
+
+    def _on_fetch_payload(self, src, message: FetchPayload) -> None:
+        if message.sender not in self.peer_names or src is self.node:
+            return
+        for seq in message.seqs:
+            slot = self.log.get(seq)
+            if slot is not None and slot.pre_prepare is not None:
+                self.payloads_served += 1
+                self.transfer_payload_bytes += cached_size_bytes(slot.pre_prepare)
+                self.send(src, slot.pre_prepare)
 
     def _on_fetch(self, src, message: FetchSlot) -> None:
         slot = self.log.get(message.seq)
@@ -572,6 +663,34 @@ class PbftReplica(Component, Agreement):
     # ------------------------------------------------------------------
     # Crash recovery: state transfer
     # ------------------------------------------------------------------
+    def _on_node_wipe(self) -> None:
+        """Durable-state loss: the crash also destroyed the log on disk.
+
+        Reboot protocol-empty — view 0, empty log, nothing delivered.  The
+        ordinary recovery hook then runs against this blank state: its
+        ``StateTransfer`` asks from ``low_water = 1``, peers replay the
+        stored NewView (moving us back into the current view) plus
+        digest-first evidence for the whole retained log suffix, and the
+        payload fetch fills the slots in.  Stacks that checkpoint (Spider's
+        cp-ag) cover the garbage-collected prefix via checkpoint install,
+        which advances ``low_water`` past it through :meth:`gc`.
+        """
+        self.view = 0
+        self.low_water = 1
+        self.next_propose_seq = 1
+        self.delivered_seq = 0
+        self.log = PbftLog()
+        self.queue = DeliveryQueue()
+        self.backlog.clear()
+        self._backlog_keys = set()
+        self.pending = {}
+        self.live_keys = set()
+        self.in_view_change = False
+        self.vc_store = {}
+        self.last_new_view = None
+        self._timeout_factor = 1.0
+        self._batch_keys = set()
+
     def _on_node_recover(self) -> None:
         """Re-enter the protocol after the hosting node recovered.
 
@@ -646,7 +765,45 @@ class PbftReplica(Component, Agreement):
             self.send(src, self.last_new_view)
         for seq in sorted(self.log.slots):
             if seq >= message.low_water:
-                self._send_slot_evidence(src, self.log.slots[seq])
+                self._send_slot_summary(src, self.log.slots[seq])
+
+    def _send_slot_summary(self, src, slot: Slot) -> None:
+        """Digest-first transfer evidence: own votes, no payload.
+
+        Prepare/Commit carry only the payload digest, so a whole-log
+        transfer answered by every peer stays cheap; the requester pulls
+        the payloads it actually misses from a *single* peer afterwards
+        (:class:`FetchPayload`).  A slot this replica committed via a
+        commit certificate without ever voting is vouched for with a
+        fresh Commit — safe, because the stored 2f+1 certificate rules
+        out any conflicting payload by quorum intersection.
+        """
+        if slot.payload_digest is None:
+            return
+        if slot.sent_prepare:
+            message = self._mac_attach(
+                Prepare(
+                    tag=self.tag,
+                    view=slot.view,
+                    seq=slot.seq,
+                    payload_digest=slot.payload_digest,
+                    sender=self.name,
+                )
+            )
+            self.transfer_summary_bytes += cached_size_bytes(message)
+            self.send(src, message)
+        if slot.sent_commit or slot.committed:
+            message = self._mac_attach(
+                Commit(
+                    tag=self.tag,
+                    view=slot.view,
+                    seq=slot.seq,
+                    payload_digest=slot.payload_digest,
+                    sender=self.name,
+                )
+            )
+            self.transfer_summary_bytes += cached_size_bytes(message)
+            self.send(src, message)
 
     # ------------------------------------------------------------------
     # View changes

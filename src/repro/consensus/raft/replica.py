@@ -106,8 +106,16 @@ class RaftReplica(Component, Agreement):
         self._election_timer = None
         self._heartbeat_timer = None
         self.elections_won = 0
+        #: True between a durable-state wipe and the first valid
+        #: AppendEntries adoption: the replica must neither vote nor stand
+        #: for election until it has relearned a term from a live leader,
+        #: or its forgotten ``voted_for`` could grant a second vote in a
+        #: term it already voted in (two leaders, safety violation).
+        self._wiped_rejoin = False
+        self.wipes = 0
         self._reset_election_timer()
         node.add_recovery_hook(self._on_node_recover)
+        node.add_wipe_hook(self._on_node_wipe)
 
     # ------------------------------------------------------------------
     # Log helpers
@@ -228,6 +236,36 @@ class RaftReplica(Component, Agreement):
         else:
             self._reset_election_timer()
 
+    def _on_node_wipe(self) -> None:
+        """Reboot with an empty disk: log, term and vote are gone.
+
+        Runs synchronously inside ``node.recover()`` before the recovery
+        hooks.  Everything durable resets to boot values; the replica then
+        rejoins as a non-voting follower (``_wiped_rejoin``) until a valid
+        leader adopts it, after which ordinary AppendEntries replication
+        re-installs the compacted prefix boundary and replays the suffix.
+        """
+        self.wipes += 1
+        self.role = FOLLOWER
+        self.term = 0
+        self.voted_for = None
+        self.leader = None
+        self.log = []
+        self.offset = 0
+        self.commit_index = 0
+        self.delivered_index = 0
+        self.low_water = 1
+        self.queue = DeliveryQueue()
+        self.next_index = {}
+        self.match_index = {}
+        self._votes = set()
+        self._pending = []
+        self._seen = set()
+        self.pending = {}
+        self._log_key_counts = {}
+        self._accumulator.flush()  # buffered payloads died with the disk
+        self._wiped_rejoin = True
+
     def gc(self, before_seq: int) -> None:
         if before_seq <= self.low_water:
             return
@@ -263,6 +301,12 @@ class RaftReplica(Component, Agreement):
     def _on_election_timeout(self) -> None:
         if self.role == LEADER:
             return
+        if self._wiped_rejoin:
+            # A wiped replica cannot stand: its empty log would lose the
+            # up-to-date check anyway, and bumping ``term`` from 0 could
+            # disrupt a healthy leader.  Keep waiting for AppendEntries.
+            self._reset_election_timer()
+            return
         self.role = CANDIDATE
         self.term += 1
         self.voted_for = self.node.name
@@ -296,6 +340,9 @@ class RaftReplica(Component, Agreement):
             message.term == self.term
             and self.voted_for in (None, message.candidate)
             and up_to_date
+            # A wiped replica forgot whom it voted for; granting now could
+            # be its *second* vote in this term.  Abstain until rejoined.
+            and not self._wiped_rejoin
         )
         if granted:
             self.voted_for = message.candidate
@@ -415,6 +462,10 @@ class RaftReplica(Component, Agreement):
         self.term = message.term
         leader_changed = self.leader != message.leader
         self.leader = message.leader
+        # Adopting a live leader ends the post-wipe quarantine: from here
+        # the replica only ever votes in terms above the adopted one,
+        # which supersedes anything it may have voted in before the wipe.
+        self._wiped_rejoin = False
         self._reset_election_timer()
         # Flush buffered client payloads to the (now known) leader.
         if self._pending:

@@ -142,6 +142,28 @@ class AgreementReplica(RoutedNode):
             self.sim, self._delivery_loop(), node=self, name=f"{self.name}.deliver"
         )
         self.add_recovery_hook(self._boot_after_recovery)
+        self.add_wipe_hook(self._on_node_wipe)
+
+    def _on_node_wipe(self) -> None:
+        """Durable-state loss: every replicated book reboots empty.
+
+        Runs synchronously inside ``node.recover()`` before the recovery
+        hooks.  The co-hosted components (consensus black-box, checkpoint
+        store, IRMC endpoints) wipe themselves through their own hooks;
+        this one resets the agreement bookkeeping.  The recovery boot then
+        fetches the group's newest stable checkpoint — ``_on_stable_checkpoint``
+        sees ``seq > sn == 0`` and performs a *full* install (books, hist,
+        commit-channel replay), after which the black-box's state transfer
+        replays the post-checkpoint suffix.
+        """
+        self.sn = 0
+        self.win_upper = self.config.ag_window
+        self.t = {}
+        self.t_plus = {}
+        self.hist = deque(maxlen=self.config.commit_channel_capacity)
+        self.u = {}
+        # The old future's waiters died with the crashed delivery loop.
+        self._win_future = SimFuture(name=f"{self.name}.win")
 
     def _boot_after_recovery(self) -> None:
         """Respawn the driver processes after a crash/recover of this node.

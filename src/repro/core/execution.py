@@ -115,6 +115,26 @@ class ExecutionReplica(RoutedNode):
         )
         self._main = Process(self.sim, self._main_loop(), node=self, name=f"{self.name}.main")
         self.add_recovery_hook(self._boot_after_recovery)
+        #: the application's genesis state, for rebooting after disk loss
+        self._pristine_app = self.app.snapshot()
+        self.add_wipe_hook(self._on_node_wipe)
+
+    def _on_node_wipe(self) -> None:
+        """Durable-state loss: reboot with genesis application state.
+
+        Runs synchronously inside ``node.recover()`` before the recovery
+        hooks.  The checkpoint store and IRMC endpoints wipe themselves;
+        this hook resets the execution bookkeeping and rolls the
+        application back to its pristine snapshot.  The recovery boot's
+        ``fetch_latest`` then performs a full checkpoint install
+        (``seq >= sn == 0``) and the main loop replays the remaining
+        commit-channel suffix on top.
+        """
+        self.sn = 0
+        self.t = {}
+        self.u = {}
+        self._ops_since_cp = 0
+        self.app.restore(self._pristine_app)
 
     def _boot_after_recovery(self) -> None:
         """Respawn the driver process and catch up from a stable checkpoint.

@@ -216,6 +216,19 @@ def _digest_of(obj: Any) -> int:
     return digest(obj)
 
 
+def structural_digest(obj: Any) -> int:
+    """The exact value :func:`digest` computes, with **no CPU charge**.
+
+    Local integrity checks on *stored* state (does this snapshot still
+    hash to the digest recorded when it was written?) model a disk-level
+    checksum, not a network-facing crypto operation.  Charging them would
+    perturb simulated CPU interleavings on paths that predate the storage
+    fault model — this helper keeps such checks byte-invisible.  Never use
+    it for anything a remote party must not be able to forge.
+    """
+    return _crc64(repr(obj).encode("utf-8", errors="replace"))
+
+
 def attach_auth(body: Any, **auth: Any) -> Any:
     """``dataclasses.replace(body, **auth)`` that keeps the digest cache warm.
 
@@ -385,6 +398,30 @@ def make_mac_vector(sender: str, receivers: Iterable[str], obj: Any) -> MacVecto
     obj_digest = _digest_of(obj)
     return MacVector(
         sender=sender, macs=tuple([(receiver, obj_digest) for receiver in receivers])
+    )
+
+
+def make_equivocating_mac_vector(
+    sender: str, variants: Dict[str, Any]
+) -> MacVector:
+    """A MAC vector whose entries authenticate *different* objects.
+
+    This is the authenticated-equivocation primitive: a Byzantine sender
+    holds its own MAC keys, so nothing stops it from putting the digest of
+    a different payload variant in each receiver's entry — every receiver
+    then validates "its" variant as genuinely coming from ``sender``, yet
+    no two receivers saw the same bytes.  (What the sender *cannot* do is
+    forge entries for other principals' keys; this helper only models
+    misuse of the sender's own.)  ``variants`` maps receiver name to the
+    object that receiver's entry should authenticate.  Costs charge like
+    an honest :func:`make_mac_vector` over the same group.
+    """
+    charge(_costs._ACTIVE.hmac * max(1, len(variants)))
+    return MacVector(
+        sender=sender,
+        macs=tuple(
+            (receiver, _digest_of(obj)) for receiver, obj in variants.items()
+        ),
     )
 
 

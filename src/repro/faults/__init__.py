@@ -47,12 +47,14 @@ from repro.faults.behaviours import (
     DelayBehaviour,
     DropBehaviour,
     DuplicateBehaviour,
+    EquivocateBehaviour,
     FaultInjector,
     SilenceBehaviour,
     make_delayer,
     make_dropper,
     make_duplicator,
     make_equivocating_kvstore,
+    make_equivocator,
     make_silent,
 )
 
@@ -62,6 +64,7 @@ __all__ = [
     "DelayBehaviour",
     "DropBehaviour",
     "DuplicateBehaviour",
+    "EquivocateBehaviour",
     "CorruptAppBehaviour",
     "FaultInjector",
     "make_silent",
@@ -69,4 +72,5 @@ __all__ = [
     "make_dropper",
     "make_duplicator",
     "make_equivocating_kvstore",
+    "make_equivocator",
 ]

@@ -21,9 +21,12 @@ the honest part of a run stays bit-identical with the fault on or off.
 from __future__ import annotations
 
 import random
+import zlib
+from dataclasses import replace as dataclass_replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.app.statemachine import Operation, StateMachine
+from repro.crypto.primitives import attach_auth, make_equivocating_mac_vector, sign
 from repro.sim.node import Node
 
 
@@ -224,6 +227,104 @@ class DuplicateBehaviour(Behaviour):
             self._original_send(dst, message)
 
 
+class EquivocateBehaviour(Behaviour):
+    """Authenticated equivocation on the node's *own* proposals.
+
+    The node sends a different payload variant to half its receivers,
+    each variant carrying a **valid** authenticator for its receiver —
+    a MAC-vector entry computed with the sender's own keys (PBFT
+    ``PrePrepare``) or a fresh signature over the forged body (IRMC
+    ``SendMsg``).  Every receiver's crypto check passes, yet no two
+    halves of the group saw the same bytes; only the quorum logic
+    (PBFT's 2f+1 matching prepares / commit-certificate intersection,
+    IRMC's fs+1 matching first-copies) can catch the lie.
+
+    The key-isolation rule still holds: messages whose ``sender`` is not
+    this node (relayed evidence, forwarded requests) pass through
+    untouched — the node holds no keys to re-authenticate them.
+
+    Each proposal (identified by its protocol coordinates, not object
+    identity, so retransmissions equivocate consistently) is chosen for
+    equivocation once with probability ``fraction`` from the private RNG;
+    the lied-to half of the group is the deterministic CRC-odd half of
+    the receiver names.
+    """
+
+    kind = "equivocate"
+
+    #: bound on the per-proposal decision memo (FIFO eviction)
+    _DECISION_LIMIT = 4096
+
+    def __init__(self, fraction: float = 1.0, rng: Optional[random.Random] = None):
+        super().__init__()
+        self.fraction = fraction
+        self.rng = rng
+        self.equivocated = 0
+        self._decisions: Dict[Any, bool] = {}
+        self._pre_prepare_cls: Optional[type] = None
+        self._send_msg_cls: Optional[type] = None
+
+    def _on_install(self) -> None:
+        if self.rng is None:
+            self.rng = _fault_rng(self.node)
+        # Lazy protocol imports keep this low-level module free of
+        # load-time dependencies on the consensus/channel layers.
+        from repro.consensus.pbft.messages import PrePrepare
+        from repro.irmc.messages import SendMsg
+
+        self._pre_prepare_cls = PrePrepare
+        self._send_msg_cls = SendMsg
+
+    def _decide(self, key: Any) -> bool:
+        decision = self._decisions.get(key)
+        if decision is None:
+            decision = self.rng.random() < self.fraction
+            self._decisions[key] = decision
+            if len(self._decisions) > self._DECISION_LIMIT:
+                self._decisions.pop(next(iter(self._decisions)))
+        return decision
+
+    @staticmethod
+    def _lied_to(dst) -> bool:
+        return zlib.crc32(dst.name.encode("utf-8")) & 1 == 1
+
+    def _apply(self, dst, message) -> None:
+        variant = self._variant_for(dst, message)
+        if variant is None:
+            self._original_send(dst, message)
+        else:
+            self.equivocated += 1
+            self._original_send(dst, variant)
+
+    def _variant_for(self, dst, message) -> Optional[Any]:
+        node = self.node
+        if getattr(message, "sender", None) != node.name:
+            return None
+        if isinstance(message, self._pre_prepare_cls):
+            key = ("pp", message.tag, message.view, message.seq)
+            if not self._decide(key) or not self._lied_to(dst):
+                return None
+            forged = ("__equivocation__", node.name, message.seq)
+            body = dataclass_replace(message, payload=forged, auth=None)
+            return attach_auth(
+                body, auth=make_equivocating_mac_vector(node.name, {dst.name: body})
+            )
+        if isinstance(message, self._send_msg_cls):
+            key = ("send", message.tag, message.subchannel, message.position)
+            if not self._decide(key) or not self._lied_to(dst):
+                return None
+            forged = ("__equivocation__", node.name, message.position)
+            body = dataclass_replace(message, payload=forged, signature=None)
+            return attach_auth(body, signature=sign(node.name, body))
+        return None
+
+
+def make_equivocator(
+    node: Node, fraction: float = 1.0, rng: Optional[random.Random] = None
+) -> EquivocateBehaviour:
+    return EquivocateBehaviour(fraction=fraction, rng=rng).install(node)  # type: ignore[return-value]
+
+
 # ----------------------------------------------------------------------
 # Legacy helpers (return the behaviour handle for reversibility)
 # ----------------------------------------------------------------------
@@ -361,6 +462,11 @@ class FaultInjector:
     def duplicate(self, node: Node, fraction: float) -> DuplicateBehaviour:
         handle = make_duplicator(node, fraction)
         self._record("duplicate", node, handle)
+        return handle
+
+    def equivocate(self, node: Node, fraction: float = 1.0) -> EquivocateBehaviour:
+        handle = make_equivocator(node, fraction=fraction)
+        self._record("equivocate", node, handle)
         return handle
 
     def corrupt_application(

@@ -139,6 +139,7 @@ class IrmcEndpoint(Component):
         #: bounded FIFO of retired subchannels (insertion-ordered dict)
         self._retired: Dict[Any, None] = {}
         node.add_recovery_hook(self._on_node_recover)
+        node.add_wipe_hook(self._on_node_wipe)
 
     # ------------------------------------------------------------------
     # Retirement tombstones
@@ -158,6 +159,20 @@ class IrmcEndpoint(Component):
         heartbeat/timeout chains permanently; subclasses override this to
         restart theirs.  Base endpoints own no timers.
         """
+
+    def _on_node_wipe(self) -> None:
+        """Durable-state loss: every channel book reboots empty.
+
+        Runs synchronously inside ``node.recover()`` before the recovery
+        hooks, so the re-armed timer chains already see empty books.  The
+        retirement tombstones go too — a freshly imaged machine has never
+        heard of any client — which is exactly what the RetireEcho /
+        re-vouch healing paths exist to repair: correct peers still hold
+        their tombstones and refuse to feed the retired subchannel, so
+        the wiped endpoint's books for it stay empty.
+        """
+        self.window_start.clear()
+        self._retired.clear()
 
     # ------------------------------------------------------------------
     # Window helpers
@@ -204,6 +219,7 @@ class IrmcEndpoint(Component):
     def close(self) -> None:
         self.closed = True
         self.node.remove_recovery_hook(self._on_node_recover)
+        self.node.remove_wipe_hook(self._on_node_wipe)
         super().close()
 
 
@@ -286,6 +302,17 @@ class SenderEndpointBase(IrmcEndpoint):
             if self._heartbeat_timer is not None:
                 self._heartbeat_timer.cancel()
             self._schedule_heartbeat()
+
+    def _on_node_wipe(self) -> None:
+        super()._on_node_wipe()
+        self._receiver_moves._requests.clear()
+        self._own_moves.clear()
+        # Parked futures' waiters died with the crashed driver processes.
+        self._parked.clear()
+        self._buffer.clear()
+        self._retire_echoes.clear()
+        self._activity = False
+        self._idle_rounds = 0
 
     # -- public API (paper Fig. 14) -----------------------------------
     def send(self, subchannel: Any, position: int, payload: Any) -> SimFuture:
@@ -470,6 +497,15 @@ class ReceiverEndpointBase(IrmcEndpoint):
         #: distinct senders vouching for a subchannel's retirement
         self._retire_votes: Dict[Any, set] = {}
 
+    def _on_node_wipe(self) -> None:
+        super()._on_node_wipe()
+        self._sender_moves._requests.clear()
+        self._delivered.clear()
+        # Waiter futures belonged to driver loops that died with the crash.
+        self._waiters.clear()
+        self._known_subchannels.clear()
+        self._retire_votes.clear()
+
     def _note_subchannel(self, subchannel: Any) -> None:
         """Fire ``on_new_subchannel`` exactly once per subchannel.
 
@@ -578,12 +614,23 @@ class ReceiverEndpointBase(IrmcEndpoint):
             # Already retired here; nothing to vote on, and no book may
             # regrow.  (The vouching sender got our echo if it asked.)
             return
+        # A sender's signed retirement vouch supersedes its own recorded
+        # window Moves: prune its contribution so a subchannel whose only
+        # trace is Moves from senders that have since vouched retirement
+        # does not hold the Move book open forever (the straggler-Move
+        # leak a wiped-then-healed restart would otherwise exhibit).
+        per_channel = self._sender_moves._requests.get(subchannel)
+        if per_channel is not None:
+            per_channel.pop(message.sender, None)
+            if not per_channel:
+                self._sender_moves.forget(subchannel)
         if (
             subchannel not in self._known_subchannels
             and subchannel not in self.window_start
             and subchannel not in self._sender_moves
             and not self._has_retire_state(subchannel)
         ):
+            self._retire_votes.pop(subchannel, None)
             return
         votes = self._retire_votes.setdefault(subchannel, set())
         votes.add(message.sender)

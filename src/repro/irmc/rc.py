@@ -50,6 +50,11 @@ class RcReceiverEndpoint(ReceiverEndpointBase):
         #: first full payload seen per digest, for delivery
         self._payloads: Dict[Any, Dict[int, Dict[int, Any]]] = {}
 
+    def _on_node_wipe(self) -> None:
+        super()._on_node_wipe()
+        self._votes.clear()
+        self._payloads.clear()
+
     def handle(self, src, message: Any) -> None:
         if self.closed:
             return

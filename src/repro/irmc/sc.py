@@ -233,6 +233,14 @@ class ScSenderEndpoint(SenderEndpointBase):
             self._progress_timer.cancel()
         self._schedule_progress()
 
+    def _on_node_wipe(self) -> None:
+        super()._on_node_wipe()
+        self._pending.clear()
+        self._shares.clear()
+        self._bundles.clear()
+        self._collector.clear()
+        self._last_progress = ()
+
 
 class ScReceiverEndpoint(ReceiverEndpointBase):
     """Receiver endpoint of an IRMC-SC."""
@@ -366,6 +374,15 @@ class ScReceiverEndpoint(ReceiverEndpointBase):
             timer.cancel()
         self._timers.clear()
         super().close()
+
+    def _on_node_wipe(self) -> None:
+        super()._on_node_wipe()
+        self._peer_progress.clear()
+        self._merged_progress.clear()
+        self._collector_index.clear()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
 
     def _on_node_recover(self) -> None:
         """Rebuild the collector-watchdog timers lost with the crash.

@@ -86,6 +86,22 @@ class Node:
         #: hosting timer chains or driver processes register here so a
         #: crash/recover cycle restores their liveness obligations.
         self._recovery_hooks: List[Callable[[], None]] = []
+        #: callbacks run synchronously at the *start* of a recovery that
+        #: follows ``crash(wipe=True)``: the durable/volatile split.  A wipe
+        #: hook clears the component state that lived on the lost disk, so
+        #: the node boots empty and the ordinary recovery hooks then rebuild
+        #: it through the protocol (checkpoint install + log-suffix replay).
+        self._wipe_hooks: List[Callable[[], None]] = []
+        #: whether the last crash destroyed durable state too.
+        self.wiped = False
+        #: number of wiped restarts this node went through.
+        self.wipe_count = 0
+        #: local clock model: a skewed node's timers fire at ``delay /
+        #: clock_rate`` real (simulated) milliseconds — a fast clock
+        #: (rate > 1) fires timeouts early, a slow one late.  Exactly 1.0
+        #: (the default) takes an arithmetic-free fast path so healthy runs
+        #: stay bit-identical to a build without the clock model.
+        self.clock_rate: float = 1.0
 
     # ------------------------------------------------------------------
     # CPU scheduling
@@ -201,16 +217,36 @@ class Node:
     # Timers
     # ------------------------------------------------------------------
     def set_timeout(self, delay: float, fn: Callable[..., Any], *args: Any):
-        """Run ``fn(*args)`` on this CPU after ``delay`` ms; returns a handle."""
+        """Run ``fn(*args)`` on this CPU after ``delay`` ms; returns a handle.
+
+        The delay is measured on the node's *local* clock: under clock skew
+        (``clock_rate != 1.0``) a requested ``delay`` elapses in ``delay /
+        clock_rate`` simulated milliseconds, so a fast clock misfires
+        timeouts early and a slow one late.  Skew applies at arm time only —
+        already-scheduled timers keep their original deadline, as a real
+        drifting clock would for an absolute hardware timer.
+        """
+        rate = self.clock_rate
+        if rate != 1.0 and rate > 0.0:
+            delay = delay / rate
         return self.sim.schedule(delay, self.run_task, fn, *args)
 
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
-    def crash(self) -> None:
-        """Fail-stop the node: pending work and future messages are dropped."""
+    def crash(self, wipe: bool = False) -> None:
+        """Fail-stop the node: pending work and future messages are dropped.
+
+        ``wipe=True`` additionally marks the crash as a *disk loss*: on the
+        next :meth:`recover` the registered wipe hooks run first, clearing
+        every component's durable state, so the node reboots empty and must
+        rebuild through the protocol (full checkpoint install plus
+        log-suffix replay) rather than resuming from preserved state.
+        """
         self.crashed = True
         self.crash_count += 1
+        if wipe:
+            self.wiped = True
         self._tasks.clear()
         self._outbox.clear()
 
@@ -224,10 +260,20 @@ class Node:
         driver processes, restart timer chains, request state transfer);
         they run as ordinary CPU tasks in registration order.  Idempotent:
         recovering a node that is not crashed does nothing.
+
+        After a ``crash(wipe=True)`` the wipe hooks run *synchronously
+        first* — the process boots with an empty disk before any recovery
+        task gets CPU time — so recovery hooks always observe the
+        post-wipe state.
         """
         if not self.crashed:
             return
         self.crashed = False
+        if self.wiped:
+            self.wiped = False
+            self.wipe_count += 1
+            for hook in list(self._wipe_hooks):
+                hook()
         for hook in list(self._recovery_hooks):
             self.run_task(hook)
 
@@ -239,6 +285,16 @@ class Node:
         """Deregister a recovery hook (e.g. when a component closes)."""
         if hook in self._recovery_hooks:
             self._recovery_hooks.remove(hook)
+
+    def add_wipe_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to clear a component's durable state on a
+        wiped restart (runs synchronously, before the recovery hooks)."""
+        self._wipe_hooks.append(hook)
+
+    def remove_wipe_hook(self, hook: Callable[[], None]) -> None:
+        """Deregister a wipe hook (e.g. when a component closes)."""
+        if hook in self._wipe_hooks:
+            self._wipe_hooks.remove(hook)
 
     def nic_delay(self, size_bytes: int) -> float:
         """Queueing + serialization delay of sending ``size_bytes`` now.

@@ -439,6 +439,80 @@ class TestPbftEquivocationPoisonedSlot:
         assert r3.log.get(1).payload_digest == digest(("X",))
 
 
+class TestRaftWipedRejoinQuarantine:
+    """A wiped Raft replica may already have voted in the term it no
+    longer remembers: granting a vote (or standing for election) before a
+    live leader adopts it could elect two leaders in one term.  The
+    post-wipe quarantine refuses both until a valid AppendEntries lands;
+    the leader then walks ``next_index`` back to 1 and replays the full
+    suffix.  Found while bringing up the ``raft-skew`` chaos config."""
+
+    def test_quarantined_replica_neither_campaigns_nor_votes(self):
+        from tests.test_raft import RaftHarness
+
+        cluster = Cluster()
+        harness = RaftHarness(cluster)
+        cluster.run(until=3000.0)
+        leader = harness.leader()
+        victim = next(r for r in harness.replicas if r is not leader)
+        # Gag the leader so no AppendEntries can lift the quarantine (and
+        # no candidate can collect the leader's vote either).
+        for node in harness.nodes:
+            if node is not leader.node:
+                cluster.network.block_link(leader.node, node)
+        victim.node.crash(wipe=True)
+        victim.node.recover()
+        assert victim._wiped_rejoin and victim.wipes == 1
+        # Election timers fire over and over; the quarantined replica must
+        # neither campaign nor grant anyone a vote — without the guard it
+        # could re-vote a term its lost disk already voted in.
+        cluster.run(until=cluster.sim.now + 5_000.0)
+        assert victim.role == "follower"
+        assert victim.voted_for is None
+        assert victim.elections_won == 0
+        for node in harness.nodes:
+            if node is not leader.node:
+                cluster.network.unblock_link(leader.node, node)
+        # A live leader re-emerges, adopts the wiped replica and replays
+        # the entire log suffix from index 1.
+        cluster.run(until=cluster.sim.now + 20_000.0)
+        assert not victim._wiped_rejoin
+        assert victim.delivered_index == max(
+            r.delivered_index for r in harness.replicas
+        )
+
+
+class TestIrmcRetireSupersedesStragglerMoves:
+    """Hand-distilled from the ``irmc-sc-wipe`` bring-up: a receiver whose
+    only trace of a subchannel is window Moves from senders that later
+    vouched its retirement used to hold the Move book — and a sub-quorum
+    retire-vote entry — open forever: the client is long gone, so no
+    further voucher could ever complete the quorum.  A sender's signed
+    RetireMsg now supersedes that sender's own recorded Moves, and a book
+    emptied this way is forgotten outright."""
+
+    def test_retire_vouch_prunes_own_move_trace(self, cluster):
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        # Only s0's Move for "alice" ever reaches r0 (the other senders
+        # never heard of the subchannel — say they were wiped and healed
+        # across the client's close).
+        target = rx["r0"]
+        target._on_sender_move(tx["s0"]._make_move("alice", 2))
+        assert "alice" in target._sender_moves
+        # s0 vouches retirement: its own Move trace is superseded; with
+        # the book empty the subchannel is forgotten and no retire-vote
+        # entry lingers waiting for a quorum that can never complete.
+        tx["s0"].retire_subchannel("alice")
+        cluster.run(until=2_000.0)
+        assert "alice" not in target._sender_moves
+        assert "alice" not in target._retire_votes
+
+
 class TestOverlappingLinkWindows:
     """Hand-written (or shrunk) schedules may overlap link windows on one
     link; the earlier window's undo must not cut the later one short."""

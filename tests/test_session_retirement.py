@@ -505,3 +505,132 @@ class TestRetirementProtocol:
         cluster.run(until=4_000.0)
         assert events[0] == ("retired", "alice")
         assert events[1][0] == "waiter"  # resolved (TooOld), after the callback
+
+
+class TestWipedRestartRetirement:
+    """Durable-state loss interacts with retirement: a wiped endpoint loses
+    its bounded tombstone ring along with everything else, so healing must
+    come from its *peers'* tombstones (the RetireEcho path).  A wiped
+    replica must never resurrect a retired per-client book — and must
+    re-learn the tombstone instead of heartbeating the dead subchannel
+    forever."""
+
+    def test_wiped_sender_relearns_tombstone_via_echoes(self, cluster):
+        from repro.irmc import IrmcConfig, make_channel
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4, move_heartbeat_ms=500.0)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for endpoint in tx.values():
+            endpoint.send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        for name in ("s0", "s1", "s2"):
+            tx[name].retire_subchannel("alice")
+        cluster.run(until=4_000.0)
+        for endpoint in list(tx.values()) + list(rx.values()):
+            assert endpoint.is_retired("alice")
+
+        # s2's disk dies: the tombstone ring goes with everything else.
+        victim = tx["s2"]
+        victim.node.crash(wipe=True)
+        victim.node.recover()
+        assert not victim.is_retired("alice")
+
+        # A stale duplicate fed to the amnesiac sender re-opens its books
+        # and its Move heartbeat for the dead subchannel...
+        victim.send("alice", 1, ("m", 1))
+        victim.move_window("alice", 2)
+        assert "alice" in victim._buffer or "alice" in victim._own_moves
+        # ... but the receivers' tombstones bounce every copy, answer the
+        # re-announced Move with RetireEchoes, and at ``f_r + 1`` of them
+        # the wiped sender re-tombstones without any client help.
+        cluster.run(until=10_000.0)
+        assert victim.is_retired("alice")
+        assert "alice" not in victim._buffer
+        assert "alice" not in victim._own_moves
+        assert "alice" not in victim.window_start
+        for endpoint in rx.values():
+            assert endpoint.is_retired("alice")
+            assert "alice" not in endpoint._known_subchannels
+            assert "alice" not in getattr(endpoint, "_votes", {})
+
+    def test_wiped_receiver_does_not_resurrect_retired_subchannel(self, cluster):
+        """A wiped receiver forgot both the tombstone *and* the delivery
+        books; a lone stale copy replayed at it must stay below the
+        ``f_s + 1`` quorum — no delivery, no reaction, no unbounded
+        regrowth — because correct senders dropped their books at close
+        and will never co-vouch the dead subchannel again."""
+        from repro.crypto.primitives import attach_auth, sign
+        from repro.irmc import IrmcConfig, make_channel
+        from repro.irmc.messages import SendMsg
+
+        senders = cluster.add_group("s", 3)
+        receivers = cluster.add_group("r", 4, region="oregon")
+        config = IrmcConfig(fs=1, fr=1, capacity=4)
+        tx, rx = make_channel("rc", "ch", senders, receivers, config)
+        for endpoint in tx.values():
+            endpoint.send("alice", 1, ("m", 1))
+        cluster.run(until=2_000.0)
+        for name in ("s0", "s1"):
+            tx[name].retire_subchannel("alice")
+        cluster.run(until=4_000.0)
+
+        victim = rx["r0"]
+        assert victim.is_retired("alice")
+        victim.node.crash(wipe=True)
+        victim.node.recover()
+        assert not victim.is_retired("alice")
+        spawned = []
+        victim.on_new_subchannel = spawned.append
+        delivered_before = victim.delivered_count  # pre-wipe deliveries
+        body = SendMsg(
+            tag="ch", subchannel="alice", position=1, payload=("m", 1), sender="s2"
+        )
+        victim._on_send(attach_auth(body, signature=sign("s2", body)))
+        cluster.run(until=8_000.0)
+        assert spawned == []
+        assert "alice" not in victim._known_subchannels
+        assert victim.delivered_count == delivered_before
+        # The lone unvouched copy is the only trace, and it is bounded.
+        assert len(victim._votes.get("alice", ())) <= 1
+
+    def test_wiped_replica_does_not_resurrect_retired_client(self):
+        """Spider end-to-end: an execution replica wiped *after* a client
+        retired everywhere reboots with no tombstone ring — and still must
+        not regrow any per-client book, while fresh sessions keep
+        working."""
+        sim, cluster = build_cluster(seed=5)
+        shard = cluster.system
+        session = cluster.session("u0", "virginia")
+        futures = [session.write(f"k{j}", j) for j in range(2)]
+        sim.run(until=10_000.0)
+        assert all(f.done for f in futures)
+        session.close()
+        sim.run(until=40_000.0)
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+
+        victim = shard.groups["virginia"].replicas[1]
+        victim.crash(wipe=True)
+        sim.run(until=42_000.0)
+        victim.recover()
+        # The wipe took the tombstone ring with everything else...
+        assert not victim.request_tx.is_retired("u0@s0")
+        sim.run(until=70_000.0)
+        # ... yet nothing resurrects the retired client: the rebooted
+        # replica rebuilds from the group checkpoint, which simply has no
+        # per-client state left for it.
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
+        assert "u0@s0" not in victim.t
+        assert "u0@s0" not in victim.u
+        # A fresh session on the healed group still completes and retires.
+        session2 = cluster.session("u1", "virginia")
+        f2 = session2.write("k-new", 1)
+        sim.run(until=90_000.0)
+        assert f2.done
+        session2.close()
+        sim.run(until=120_000.0)
+        sizes = request_channel_book_sizes(shard)
+        assert sizes == {key: 0 for key in sizes}, sizes
