@@ -26,6 +26,8 @@ or via pytest (the ``bench`` marker keeps it out of tier-1)::
     PYTHONPATH=src python -m pytest -q benchmarks/test_perf_wallclock.py
 """
 
+# lint: allow-file[D102] -- this harness *measures* wall-clock time;
+# simulated results are pinned separately by sim_fingerprint
 from __future__ import annotations
 
 import json

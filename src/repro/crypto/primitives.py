@@ -378,7 +378,7 @@ class MacVector:
     """
 
     sender: str
-    macs: tuple  # tuple of (receiver, object_digest) pairs
+    macs: Tuple[Tuple[str, int], ...]  # (receiver, object_digest) pairs
 
     def size_bytes(self) -> int:
         return MAC_BYTES * max(1, len(self.macs))

@@ -37,6 +37,8 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         module = importlib.import_module(EXPERIMENTS[name])
+        # lint: allow[D102] -- reports real elapsed wall time of the
+        # experiment CLI; nothing simulated depends on it
         started = time.time()
         kwargs = dict(quick=args.quick, seed=args.seed)
         if args.configs is not None:
@@ -44,6 +46,7 @@ def main(argv=None) -> int:
                 parser.error("--configs only applies to the chaos experiment")
             kwargs["configs"] = [c for c in args.configs.split(",") if c]
         result = module.run(**kwargs)
+        # lint: allow[D102] -- same wall-time progress report as above
         elapsed = time.time() - started
         print(result.format())
         print(f"({name} finished in {elapsed:.1f} s wall time)")

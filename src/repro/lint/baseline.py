@@ -1,0 +1,86 @@
+"""Committed-baseline bookkeeping.
+
+The baseline file (``lint-baseline.json`` at the repo root) pins any
+findings that predate the linter and are accepted as-is; everything else
+must be fixed or carry a pragma.  Matching is by ``(rule, path, stripped
+source line)`` — not line number — so unrelated edits above a baselined
+finding don't invalidate it, while editing the flagged line itself does.
+
+``--strict`` fails on *drift*: a baseline entry whose finding no longer
+exists is stale and must be removed (``--update-baseline`` rewrites the
+file from the current tree).  The goal state, and the committed state of
+this repository, is an **empty** baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineResult:
+    """Findings split by baseline membership, plus stale entries."""
+
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: List[Dict[str, str]]
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    return list(data.get("findings", []))
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    entries = [
+        {"rule": f.rule, "path": f.path, "code": f.code}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    path.write_text(
+        json.dumps({"version": BASELINE_VERSION, "findings": entries}, indent=2)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict[str, str]]
+) -> BaselineResult:
+    """Split unsuppressed ``findings`` into new vs baselined, detect drift.
+
+    Entries are consumed one-to-one: two identical findings need two
+    identical baseline entries.
+    """
+    budget: Counter = Counter(
+        (entry["rule"], entry["path"], entry["code"]) for entry in entries
+    )
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        {"rule": rule, "path": path, "code": code}
+        for (rule, path, code), count in sorted(budget.items())
+        for _ in range(count)
+        if count > 0
+    ]
+    return BaselineResult(new=new, baselined=baselined, stale=stale)

@@ -8,10 +8,19 @@ region are short-distance (~1 ms RTT), region-to-region links are wide-area
 
 from repro.net.latency import EC2_REGION_RTT_MS, REGIONS, region_rtt_ms
 from repro.net.message import Message, Payload
-from repro.net.network import LinkMod, LinkStats, Network, TransferSnapshot
+from repro.net.network import (
+    LinkMod,
+    LinkStats,
+    Network,
+    TransferSnapshot,
+    send_sanitizer_enabled,
+    set_send_sanitizer,
+)
 from repro.net.topology import Site, Topology
 
 __all__ = [
+    "send_sanitizer_enabled",
+    "set_send_sanitizer",
     "EC2_REGION_RTT_MS",
     "REGIONS",
     "region_rtt_ms",

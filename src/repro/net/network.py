@@ -2,16 +2,59 @@
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from heapq import heappush
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.crypto.primitives import Digestible, cached_size_bytes
+from repro.crypto.primitives import Digestible, cached_size_bytes, structural_digest
 from repro.errors import SimulationError
 from repro.net.topology import LinkProfile, Topology
 from repro.sim.core import Simulator
 from repro.sim.node import Node
+
+#: Mutation-after-send sanitizer (debug mode).  When armed, every message
+#: is digested structurally at :meth:`Network.send` and re-verified when
+#: the delivery event fires: a sender that keeps a reference to a sent
+#: message and mutates it in flight — the aliasing bug class the static
+#: pass (``repro.lint`` P202) cannot prove absent — raises immediately,
+#: naming the offending message.  The check uses
+#: :func:`repro.crypto.primitives.structural_digest`, which charges no
+#: simulated CPU, and the wrapped delivery keeps the same ``(time, seq)``
+#: heap key, so simulated results are byte-identical with the sanitizer
+#: on or off — only wall-clock time changes.
+_send_sanitizer = bool(os.environ.get("REPRO_SEND_SANITIZER"))
+
+
+def set_send_sanitizer(enabled: bool) -> bool:
+    """Arm/disarm the mutation-after-send sanitizer; returns previous state.
+
+    Also armed at import time by the ``REPRO_SEND_SANITIZER`` environment
+    variable, which is how CI runs a full sanitized tier-1 pass.
+    """
+    global _send_sanitizer
+    previous = _send_sanitizer
+    _send_sanitizer = bool(enabled)
+    return previous
+
+
+def send_sanitizer_enabled() -> bool:
+    return _send_sanitizer
+
+
+def _deliver_checked(dst: Node, src: Node, message: Any, expected: int) -> None:
+    """Delivery wrapper used while the sanitizer is armed."""
+    actual = structural_digest(message)
+    if actual != expected:
+        raise SimulationError(
+            f"message mutated after send: {message!r} "
+            f"(from {src.name} to {dst.name}; structural digest was "
+            f"{expected} at send time, is {actual} at delivery) — senders "
+            "must not mutate a message object they already handed to "
+            "Network.send; build a fresh copy instead"
+        )
+    dst.deliver(src, message)
 
 
 @dataclass
@@ -215,6 +258,13 @@ class Network:
                 raise SimulationError(
                     f"cannot schedule into the past (delay={nic + link})"
                 )
+        if _send_sanitizer:
+            snapshot = structural_digest(message)
+            deliver: Callable[..., Any] = _deliver_checked
+            deliver_args: tuple = (dst, src, message, snapshot)
+        else:
+            deliver = dst.deliver
+            deliver_args = (src, message)
         if mod is not None:
             link += mod.delay_ms
             if mod.dup_rate and mod.rng.random() < mod.dup_rate:
@@ -222,14 +272,14 @@ class Network:
                 sim._seq += 1
                 heappush(
                     sim._queue,
-                    (now + (nic + link), sim._seq, dst.deliver, (src, message)),
+                    (now + (nic + link), sim._seq, deliver, deliver_args),
                 )
         # Inlined ``sim.post``: one delivery per send makes the call overhead
         # measurable, and the delay is non-negative by construction.  The
         # delay is summed as ``nic + link`` *before* adding ``now`` — the
         # same association order as ``post(nic + link, ...)``.
         sim._seq += 1
-        heappush(sim._queue, (now + (nic + link), sim._seq, dst.deliver, (src, message)))
+        heappush(sim._queue, (now + (nic + link), sim._seq, deliver, deliver_args))
 
     def _is_blocked(self, src: Node, dst: Node, message: Any) -> bool:
         fault = self.fault

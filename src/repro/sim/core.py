@@ -56,6 +56,8 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.seed = seed
+        # lint: allow[D103] -- the Simulator owns the root RNG; ``seed`` is
+        # the namespace root every tagged f"tag:{seed}:..." stream derives from
         self.rng = random.Random(seed)
         self._queue: List[Tuple] = []
         self._seq = 0

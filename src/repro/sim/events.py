@@ -11,7 +11,10 @@ dominate it.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.core import Simulator
 
 
 class EventHandle:
@@ -19,7 +22,14 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "sim")
 
-    def __init__(self, sim, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        sim: "Simulator",
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ):
         self.sim = sim
         self.time = time
         self.seq = seq

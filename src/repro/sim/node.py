@@ -17,9 +17,15 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappush
-from typing import Any, Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # runtime import would be circular: net imports sim
+    from repro.net.network import Network
+    from repro.net.topology import Site
+    from repro.sim.core import Simulator
+    from repro.sim.events import EventHandle
 
 _current: Optional["Node"] = None
 
@@ -59,11 +65,11 @@ class Node:
         zone; ``None`` is allowed for substrate-level unit tests.
     """
 
-    def __init__(self, sim, name: str, site=None):
+    def __init__(self, sim: "Simulator", name: str, site: Optional["Site"] = None):
         self.sim = sim
         self.name = name
         self.site = site
-        self.network = None  # assigned by Network.register
+        self.network: Optional["Network"] = None  # assigned by Network.register
         self.crashed = False
         #: number of times :meth:`crash` was called; lets observers (e.g.
         #: fault behaviours holding delayed messages) detect that a crash
@@ -179,27 +185,29 @@ class Node:
         else:
             self.network.send(self, dst, message)
 
-    def send_all(self, destinations, message: Any) -> None:
+    def send_all(self, destinations: Iterable["Node"], message: Any) -> None:
         """Send one copy of ``message`` to each node in ``destinations``."""
         for dst in destinations:
             if dst is not self:
                 self.send(dst, message)
 
     def _flush_outbox(self, at_time: float) -> None:
-        if not self._outbox:
+        network = self.network
+        if not self._outbox or network is None:
             return
         pending, self._outbox = self._outbox, []
         if at_time <= self.sim.now:
             for dst, message in pending:
-                self.network.send(self, dst, message)
+                network.send(self, dst, message)
         else:
             self.sim.post_at(at_time, self._transmit_batch, pending)
 
-    def _transmit_batch(self, pending) -> None:
-        if self.crashed:
+    def _transmit_batch(self, pending: List[Tuple["Node", Any]]) -> None:
+        network = self.network
+        if self.crashed or network is None:
             return
         for dst, message in pending:
-            self.network.send(self, dst, message)
+            network.send(self, dst, message)
 
     def deliver(self, src: "Node", message: Any) -> None:
         """Entry point used by the network; dispatches to ``on_message``."""
@@ -216,7 +224,9 @@ class Node:
     # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
-    def set_timeout(self, delay: float, fn: Callable[..., Any], *args: Any):
+    def set_timeout(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> "EventHandle":
         """Run ``fn(*args)`` on this CPU after ``delay`` ms; returns a handle.
 
         The delay is measured on the node's *local* clock: under clock skew

@@ -22,10 +22,14 @@ exactly like a busy replica thread would.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import SimulationError
 from repro.sim.futures import SimFuture
+
+if TYPE_CHECKING:
+    from repro.sim.core import Simulator
+    from repro.sim.node import Node
 
 
 class Sleep:
@@ -58,7 +62,13 @@ class Process:
         Debugging label.
     """
 
-    def __init__(self, sim, generator: Generator, node=None, name: str = ""):
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        node: Optional["Node"] = None,
+        name: str = "",
+    ):
         self.sim = sim
         self.node = node
         self.name = name or getattr(generator, "__name__", "process")
@@ -115,6 +125,11 @@ class Process:
         return f"<Process {self.name!r} {state}>"
 
 
-def spawn(sim, generator: Generator, node: Optional[Any] = None, name: str = "") -> Process:
+def spawn(
+    sim: "Simulator",
+    generator: Generator,
+    node: Optional["Node"] = None,
+    name: str = "",
+) -> Process:
     """Convenience wrapper mirroring ``Process(...)`` with keyword ergonomics."""
     return Process(sim, generator, node=node, name=name)

@@ -10,9 +10,13 @@ incoming messages to the component registered for the tag.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.sim.node import Node
+
+if TYPE_CHECKING:
+    from repro.net.topology import Site
+    from repro.sim.core import Simulator
 
 Handler = Callable[[Node, Any], None]
 
@@ -20,7 +24,7 @@ Handler = Callable[[Node, Any], None]
 class RoutedNode(Node):
     """A node that dispatches messages to registered component handlers."""
 
-    def __init__(self, sim, name: str, site=None):
+    def __init__(self, sim: "Simulator", name: str, site: Optional["Site"] = None):
         super().__init__(sim, name, site)
         self._routes: Dict[str, Handler] = {}
         self._default_handler: Optional[Handler] = None
@@ -62,7 +66,7 @@ class Component:
         node.register_route(tag, self.handle)
 
     @property
-    def sim(self):
+    def sim(self) -> "Simulator":
         return self.node.sim
 
     def handle(self, src: Node, message: Any) -> None:

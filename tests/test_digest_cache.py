@@ -5,6 +5,8 @@ the protocol: identical digest values, identical simulated CPU charges, and
 no way for a Byzantine mutation to slip a stale digest past ``verify``.
 """
 
+# lint: allow-file[P202] -- these tests tamper with frozen messages on
+# purpose to prove the snapshot guard catches exactly that
 from __future__ import annotations
 
 import pytest
