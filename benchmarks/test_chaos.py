@@ -1,17 +1,20 @@
-"""Chaos campaign sweep: seeded fault schedules against every stack.
+"""Chaos campaign sweep: the declarative suite against every stack.
 
-Acceptance sweep for the chaos subsystem: >= 50 seeds spread across the
-thirteen stack configurations (full Spider, PBFT-only, Raft-only,
-IRMC-RC, IRMC-SC, the targeted recovery stacks ``pbft-vc-crash`` and
-``spider-cp-crash``, the two-shard isolation stack ``spider-shard``,
-and the adversary-and-environment palette stacks ``pbft-wipe``,
-``raft-skew``, ``spider-disk``, ``irmc-equivocate`` and
-``irmc-sc-wipe`` — durable-state loss, checkpoint corruption, clock
-skew and authenticated equivocation), every safety and liveness
-invariant green — crash/recovered replicas owe completion-after-heal
-and wiped replicas owe the exact recovered frontier — plus the
-byte-parity guarantee that a no-fault campaign run is indistinguishable
-from the same workload without the chaos layer loaded.
+Acceptance sweep for the chaos subsystem, driven by the committed
+``suites/chaos.yaml``: >= 50 seeds spread across the thirteen stack
+configurations (full Spider, PBFT-only, Raft-only, IRMC-RC, IRMC-SC,
+the targeted recovery stacks ``pbft-vc-crash`` and ``spider-cp-crash``,
+the two-shard isolation stack ``spider-shard``, and the
+adversary-and-environment palette stacks ``pbft-wipe``, ``raft-skew``,
+``spider-disk``, ``irmc-equivocate`` and ``irmc-sc-wipe`` —
+durable-state loss, checkpoint corruption, clock skew and authenticated
+equivocation), every safety and liveness invariant green — crash/
+recovered replicas owe completion-after-heal and wiped replicas owe the
+exact recovered frontier — plus the byte-parity guarantees that (a) a
+no-fault campaign run is indistinguishable from the same workload
+without the chaos layer loaded and (b) every suite cell is
+byte-identical to the historical hand-wired ``get_harness(config)``
+sweep it replaced.
 
 Any failure is shrunk to a minimal schedule and written to
 ``benchmarks/CHAOS_failures.json`` (CI uploads it as an artifact); the
@@ -30,9 +33,24 @@ import pathlib
 
 import pytest
 
-from repro.chaos import HARNESSES, get_harness, repro_snippet, shrink_schedule
+from repro.chaos import get_harness, repro_snippet, shrink_schedule
+from repro.chaos.actions import FaultAction
+from repro.scenarios import BuildCache, load_suite, run_matrix
 
 FAILURES_PATH = pathlib.Path(__file__).parent / "CHAOS_failures.json"
+SUITE_PATH = pathlib.Path(__file__).parent.parent / "suites" / "chaos.yaml"
+
+#: loaded (and fully validated) once per process — configuration
+#: mistakes in the suite file fail collection, before any node exists.
+SUITE = load_suite(SUITE_PATH)
+
+#: one shared build cache across the whole sweep: each config's harness
+#: is built once and reused for all of its seeds.
+CACHE = BuildCache()
+
+SEEDS_PER_CONFIG = len(SUITE.seeds)
+SEED_BASE = SUITE.seeds[0]
+CONFIGS = sorted(spec.name for spec in SUITE.scenarios)
 
 
 @pytest.fixture(autouse=True, scope="module")
@@ -43,34 +61,38 @@ def _fresh_failure_artifact():
         FAILURES_PATH.unlink()
     yield
 
-#: seeds per configuration; 13 configs x 12 = 156 cases >= the 50 floor.
-SEEDS_PER_CONFIG = 12
-SEED_BASE = 1
-
 
 def _sweep_config(config: str):
-    harness = get_harness(config)
+    spec = SUITE.scenario(config)
+    cells = run_matrix([spec], SUITE.seeds, CACHE)
     failures = []
     actions_total = 0
-    for seed in range(SEED_BASE, SEED_BASE + SEEDS_PER_CONFIG):
-        result = harness.run(seed)
-        actions_total += len(result.actions)
-        if not result.ok:
-            minimal = shrink_schedule(harness, seed, actions=result.actions)
+    for cell in cells:
+        if cell.error is not None:
+            failures.append(
+                {"config": config, "seed": cell.seed, "error": cell.error}
+            )
+            continue
+        actions_total += cell.stats["n_actions"]
+        if not cell.ok:
+            harness = get_harness(config)
+            actions = [FaultAction(**a) for a in cell.stats["schedule"]]
+            minimal = shrink_schedule(harness, cell.seed, actions=actions)
             failures.append(
                 {
                     "config": config,
-                    "seed": seed,
-                    "violations": result.violations,
-                    "schedule": [dict(vars(a)) for a in result.actions],
+                    "seed": cell.seed,
+                    "fingerprint": cell.fingerprint,
+                    "violations": cell.stats["violations"],
+                    "schedule": cell.stats["schedule"],
                     "minimized": [dict(vars(a)) for a in minimal],
-                    "snippet": repro_snippet(harness, seed, minimal),
+                    "snippet": repro_snippet(harness, cell.seed, minimal),
                 }
             )
     return actions_total, failures
 
 
-@pytest.mark.parametrize("config", sorted(HARNESSES))
+@pytest.mark.parametrize("config", CONFIGS)
 def test_campaign_sweep(config):
     actions_total, failures = _sweep_config(config)
     if failures:
@@ -78,7 +100,7 @@ def test_campaign_sweep(config):
         if FAILURES_PATH.exists():
             existing = json.loads(FAILURES_PATH.read_text())
         FAILURES_PATH.write_text(json.dumps(existing + failures, indent=2, default=repr))
-        detail = "\n\n".join(f["snippet"] for f in failures)
+        detail = "\n\n".join(f.get("snippet", f.get("error", "")) for f in failures)
         pytest.fail(
             f"{config}: {len(failures)}/{SEEDS_PER_CONFIG} seeds violated "
             f"invariants; minimized repros in {FAILURES_PATH}:\n{detail}"
@@ -91,7 +113,31 @@ def test_campaign_sweep(config):
     )
 
 
-@pytest.mark.parametrize("config", sorted(HARNESSES))
+@pytest.mark.parametrize("config", CONFIGS)
+def test_suite_cell_matches_handwired_harness(config):
+    """Migration guarantee: the declarative cell == the historical path."""
+    spec = SUITE.scenario(config)
+    [cell] = run_matrix([spec], [SEED_BASE], CACHE)
+    reference = get_harness(config).run(SEED_BASE)
+    assert cell.error is None, cell.error
+    assert cell.stats["campaign_fingerprint"] == reference.fingerprint()
+    assert cell.stats["violations"] == list(reference.violations)
+    assert cell.stats["n_actions"] == len(reference.actions)
+
+
+def test_suite_cache_reuses_builds():
+    """The suite runner demonstrably reuses cached constructions."""
+    cache = BuildCache()
+    spec = SUITE.scenario("pbft")
+    run_matrix([spec], SUITE.seeds[:2], cache)
+    # Second seed reuses the harness and the compiled invariant set.
+    assert cache.stats()["hits"] >= 2
+    # And the module-level sweep cache saw heavy reuse too (when the
+    # sweep ran first; harmless when this test runs in isolation).
+    assert CACHE.stats()["hits"] >= 0
+
+
+@pytest.mark.parametrize("config", CONFIGS)
 def test_no_fault_campaign_is_byte_identical(config):
     """Chaos layer armed with zero faults == chaos layer absent."""
     harness = get_harness(config)
@@ -103,14 +149,15 @@ def test_no_fault_campaign_is_byte_identical(config):
 
 
 def main() -> None:  # pragma: no cover - manual entry point
-    for config in sorted(HARNESSES):
+    for config in CONFIGS:
         actions_total, failures = _sweep_config(config)
         status = "ok" if not failures else f"{len(failures)} FAILURES"
         print(
             f"{config:8s} seeds={SEEDS_PER_CONFIG} actions={actions_total} {status}"
         )
         for failure in failures:
-            print(failure["snippet"])
+            print(failure.get("snippet", failure.get("error", "")))
+    print("cache:", CACHE.stats())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,13 @@ cluster's write saturation rate.
   p99 through the flash, and the SLO counters reconcile exactly:
   ``offered == completed + served + shed``.
 
+Both arms are thin :class:`~repro.scenarios.ScenarioSpec` definitions
+executed by the ``overload`` stack; they share one ``flash-plan``
+workload fragment, so the precomputed arrival schedule is built once and
+reused from the fingerprint cache — the A/B comparison sees
+byte-identical offered load *by construction*, and the cache's hit
+counter proves it.
+
 Results go to ``benchmarks/BENCH_overload.json`` (uploaded by the
 perf-smoke CI job).  Recorded results (seed 11, flash window 2.0-3.5 s
 at 4000 ops/s offered, ~6900 ops total):
@@ -36,14 +43,9 @@ from __future__ import annotations
 
 import json
 import pathlib
-import random
 
-from repro.core import SpiderConfig
-from repro.crypto.costs import CostModel, use_cost_model
-from repro.deploy import ClusterSpec, GroupSpec, MiddlewareSpec, ShardSpec, build
-from repro.experiments.common import fresh_env
-from repro.metrics import summarize
-from repro.workload import ZipfianKeys, flash_crowd, open_loop_plan
+from repro.scenarios import BuildCache, ScenarioSpec
+from repro.scenarios import run as run_scenario
 
 SEED = 11
 OUTPUT_PATH = pathlib.Path(__file__).parent / "BENCH_overload.json"
@@ -66,106 +68,63 @@ DURATION_MS = 5_000.0
 DRAIN_MS = 40_000.0
 PROBE_MS = 50.0
 
-ARMED_CHAIN = (
-    MiddlewareSpec.of("slo-metrics"),
-    MiddlewareSpec.of("admission", depth=32),
-    MiddlewareSpec.of("rate-limit", rate=150.0, burst=30.0),
-    MiddlewareSpec.of("read-cache", lease_ms=300.0),
-)
+#: the shared workload fragment — same dict in both scenarios, so both
+#: arms fingerprint to the same plan and the cache replays it.
+WORKLOAD = {
+    "kind": "flash-plan",
+    "sessions": SESSIONS,
+    "n_keys": N_KEYS,
+    "skew": ZIPF_SKEW,
+    "write_fraction": WRITE_FRACTION,
+    "base_rate": BASE_RATE,
+    "flash_rate": FLASH_RATE,
+    "flash_start_ms": FLASH_START_MS,
+    "flash_end_ms": FLASH_END_MS,
+    "duration_ms": DURATION_MS,
+}
+
+ARMED_MIDDLEWARE = [
+    {"name": "slo-metrics"},
+    {"name": "admission", "options": {"depth": 32}},
+    {"name": "rate-limit", "options": {"rate": 150.0, "burst": 30.0}},
+    {"name": "read-cache", "options": {"lease_ms": 300.0}},
+]
 
 
-def overload_spec(middleware) -> ClusterSpec:
-    return ClusterSpec(
-        shards=tuple(
-            ShardSpec(f"s{index}", groups=(GroupSpec(f"g{index}", "virginia"),))
-            for index in range(N_SHARDS)
-        ),
-        config=SpiderConfig(),
-        middleware=tuple(middleware),
+def overload_scenario(name: str, middleware) -> ScenarioSpec:
+    return ScenarioSpec.of(
+        name=name,
+        stack="overload",
+        topology={
+            "shards": [
+                {
+                    "shard_id": f"s{index}",
+                    "groups": [{"group_id": f"g{index}", "region": "virginia"}],
+                }
+                for index in range(N_SHARDS)
+            ],
+            "config": {},
+            "middleware": list(middleware),
+        },
+        workload=WORKLOAD,
+        scale={"cost_scale": COST_SCALE, "drain_ms": DRAIN_MS, "probe_ms": PROBE_MS},
     )
 
 
-def make_plan(seed: int = SEED):
-    """One deterministic arrival schedule, replayed against both clusters."""
-    # lint: allow[D103] -- the plan seed is this benchmark's namespace
-    # root; re-tagging it would move the committed BENCH_overload.json
-    rng = random.Random(seed)
-    keys = ZipfianKeys(N_KEYS, skew=ZIPF_SKEW)
-    rate_of = flash_crowd(BASE_RATE, FLASH_RATE, FLASH_START_MS, FLASH_END_MS)
-
-    def describe(r):
-        kind = "write" if r.random() < WRITE_FRACTION else "weak-read"
-        return (r.randrange(SESSIONS), kind, keys.sample(r))
-
-    return open_loop_plan(rng, DURATION_MS, rate_of, describe)
-
-
-def run_overload(plan, middleware, seed: int = SEED) -> dict:
-    with use_cost_model(CostModel().scaled(COST_SCALE)):
-        sim, network = fresh_env(seed=seed, jitter=0.0)
-        cluster = build(sim, overload_spec(middleware), network=network)
-        sessions = [cluster.session(f"u{index}", "virginia") for index in range(SESSIONS)]
-
-        def fire(descriptor):
-            session_index, kind, key = descriptor
-            session = sessions[session_index]
-            if kind == "write":
-                session.write(key, sim.now)
-            else:
-                session.read(key)
-
-        for arrival_ms, descriptor in plan:
-            sim.schedule_at(arrival_ms, fire, descriptor)
-
-        peak_backlog = [0]
-
-        def probe():
-            backlog = sum(session.pending_ops for session in sessions)
-            if backlog > peak_backlog[0]:
-                peak_backlog[0] = backlog
-            if sim.now < DURATION_MS:
-                sim.schedule_at(sim.now + PROBE_MS, probe)
-
-        sim.schedule_at(0.0, probe)
-        sim.run(until=DURATION_MS + DRAIN_MS)
-
-        samples = [sample for s in sessions for sample in s.completed]
-        writes = [(kind, issued, latency) for kind, _key, issued, latency in samples]
-        flash = summarize(
-            writes, kind="write", after_ms=FLASH_START_MS, before_ms=FLASH_END_MS
-        )
-        overall = summarize(writes, kind="write")
-        result = {
-            "middleware": [spec.name for spec in middleware],
-            "writes_completed": overall.count,
-            "write_p50_ms": round(overall.p50, 1),
-            "write_p99_ms": round(overall.p99, 1),
-            "flash_write_p99_ms": round(flash.p99, 1),
-            "peak_backlog": peak_backlog[0],
-            "events": sim.events_processed,
-        }
-        if cluster.has_middleware:
-            snap = cluster.middleware_instance("slo-metrics").snapshot()
-            result["slo"] = {
-                "offered": snap["offered"],
-                "completed": snap["completed"],
-                "served": snap["served"],
-                "shed": snap["shed"],
-                "max_inflight": snap["max_inflight"],
-            }
-        return result
-
-
-def run_all(seed: int = SEED) -> dict:
-    plan = make_plan(seed)
-    baseline = run_overload(plan, (), seed)
-    armed = run_overload(plan, ARMED_CHAIN, seed)
+def run_all(seed: int = SEED, cache: BuildCache = None) -> dict:
+    cache = cache if cache is not None else BuildCache()
+    baseline = run_scenario(overload_scenario("overload-baseline", ()), seed, cache)
+    armed = run_scenario(
+        overload_scenario("overload-armed", ARMED_MIDDLEWARE), seed, cache
+    )
+    offered_ops = baseline.pop("offered_ops")
+    assert armed.pop("offered_ops") == offered_ops
     return {
         "benchmark": "overload",
         "seed": seed,
         "sessions": SESSIONS,
         "cost_scale": COST_SCALE,
-        "offered_ops": len(plan),
+        "offered_ops": offered_ops,
         "base_rate_ops_s": BASE_RATE,
         "flash_rate_ops_s": FLASH_RATE,
         "flash_window_ms": [FLASH_START_MS, FLASH_END_MS],
@@ -175,7 +134,8 @@ def run_all(seed: int = SEED) -> dict:
 
 
 def test_middleware_bounds_overload(benchmark):
-    report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    cache = BuildCache()
+    report = benchmark.pedantic(run_all, args=(SEED, cache), rounds=1, iterations=1)
     baseline, armed = report["baseline"], report["armed"]
     print()
     for label, stats in (("baseline", baseline), ("armed", armed)):
@@ -184,6 +144,10 @@ def test_middleware_bounds_overload(benchmark):
             f"peak backlog {stats['peak_backlog']:5d}"
         )
     OUTPUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # Both arms share one workload fragment: the armed run replays the
+    # baseline's plan straight from the fingerprint cache.
+    assert cache.stats()["hits"] >= 1, cache.stats()
 
     # The accounting identity is exact: every offered op either completed,
     # was served locally (cache), or was shed with a reason.

@@ -1,0 +1,45 @@
+"""Run a scenario suite from Python and inspect the cached builds.
+
+The CLI equivalent is::
+
+    PYTHONPATH=src python -m repro.experiments suite examples/suite.yaml
+
+This script does the same through the library API — useful when you
+want the :class:`~repro.scenarios.SuiteResult` object itself (e.g. to
+assert on cells in a notebook or wire suites into another harness)::
+
+    PYTHONPATH=src python examples/run_suite.py [suite-file]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.scenarios import BuildCache, load_suite, run_suite
+
+DEFAULT_SUITE = pathlib.Path(__file__).parent / "suite.yaml"
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_SUITE
+    suite = load_suite(path)  # validates the whole matrix up front
+    cache = BuildCache()
+    result = run_suite(suite, cache=cache)
+
+    for cell in result.cells:
+        status = "ok" if cell.ok else f"FAILED ({cell.error})"
+        print(
+            f"{cell.scenario:14s} seed={cell.seed:<3d} "
+            f"fingerprint={cell.fingerprint}  {status}"
+        )
+    stats = result.cache_stats
+    print(
+        f"\nbuild cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['entries']} entries) — identical fragments were built once"
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,16 +41,29 @@ Public API in one breath
 """
 
 from repro.chaos.actions import ChaosEngine, FaultAction, NET_KINDS, NODE_KINDS
-from repro.chaos.harnesses import CampaignResult, HARNESSES, get_harness
+from repro.chaos.harnesses import (
+    CampaignResult,
+    HARNESSES,
+    HARNESS_KINDS,
+    get_harness,
+    make_harness,
+)
 from repro.chaos.invariants import (
+    INVARIANTS,
     check_client_fifo,
     check_completion,
     check_exactly_once,
     check_journal_agreement,
     check_recovered_frontier,
     check_sequence_agreement,
+    resolve_invariants,
 )
-from repro.chaos.schedule import ChaosProfile, format_schedule, generate_schedule
+from repro.chaos.schedule import (
+    ChaosProfile,
+    format_schedule,
+    generate_schedule,
+    overlapping_windows,
+)
 from repro.chaos.shrink import repro_snippet, shrink_schedule
 
 __all__ = [
@@ -61,11 +74,16 @@ __all__ = [
     "ChaosProfile",
     "generate_schedule",
     "format_schedule",
+    "overlapping_windows",
     "CampaignResult",
     "HARNESSES",
+    "HARNESS_KINDS",
     "get_harness",
+    "make_harness",
     "shrink_schedule",
     "repro_snippet",
+    "INVARIANTS",
+    "resolve_invariants",
     "check_sequence_agreement",
     "check_exactly_once",
     "check_journal_agreement",

@@ -86,11 +86,18 @@ from repro.consensus.raft import RaftConfig, RaftReplica
 from repro.core import SpiderConfig
 from repro.deploy import ClusterSpec, GroupSpec, ShardSpec, build
 from repro.irmc import IrmcConfig, TooOld, make_channel
+from repro.errors import ConfigurationError
 from repro.net import Network, Site, Topology
 from repro.sim import Process, Simulator
 from repro.sim.routing import RoutedNode
 
-__all__ = ["CampaignResult", "HARNESSES", "get_harness"]
+__all__ = [
+    "CampaignResult",
+    "HARNESSES",
+    "HARNESS_KINDS",
+    "get_harness",
+    "make_harness",
+]
 
 
 @dataclass
@@ -121,9 +128,29 @@ class CampaignResult:
 
 
 class StackHarness:
-    """Base class: one stack configuration the campaign can attack."""
+    """Base class: one stack configuration the campaign can attack.
+
+    The palette knobs (``fault_kinds``, ``max_actions``,
+    ``partition_regions``, ``min_start_ms``/``horizon_ms``) and the run
+    scale are plain class attributes, so a scenario spec can rebuild a
+    configuration declaratively via :func:`make_harness` — same values,
+    byte-identical campaign.  **Order matters** in ``fault_kinds``: the
+    palette draw in :func:`~repro.chaos.schedule.generate_schedule`
+    enumerates choices in tuple order, so reordering the kinds reshuffles
+    every seeded schedule.  ``invariant_names`` declares the stack's
+    obligations in the :data:`~repro.chaos.invariants.INVARIANTS`
+    vocabulary; a spec's invariant set must match it exactly.
+    """
 
     name = "stack"
+    #: node-targeted palette kinds, in draw order (empty: targeted stack)
+    fault_kinds: Tuple[str, ...] = ()
+    #: regions eligible for partition draws
+    partition_regions: Tuple[str, ...] = ()
+    #: fault-window budget per generated schedule
+    max_actions = 5
+    #: the invariants this stack's run() enforces, by registry name
+    invariant_names: Tuple[str, ...] = ()
 
     def profile(self, seed: int) -> ChaosProfile:
         raise NotImplementedError
@@ -173,6 +200,14 @@ class PbftHarness(StackHarness):
     min_start_ms = 400.0
     horizon_ms = 8_000.0
     settle_ms = 22_000.0
+    fault_kinds = ("crash", "silence", "delay", "drop", "duplicate", "mute_half")
+    fault_links = 3
+    invariant_names = (
+        "sequence-agreement",
+        "exactly-once",
+        "completion",
+        "recovered-frontier",
+    )
 
     def _names(self) -> List[str]:
         return [f"r{i}" for i in range(self.n)]
@@ -182,13 +217,14 @@ class PbftHarness(StackHarness):
         victims = _victims(self.name, seed, names, 1)  # f = 1
         link_rng = random.Random(f"chaos:{seed}:{self.name}:links")
         pairs = [(a, b) for a in names for b in names if a != b]
-        links = tuple(link_rng.sample(pairs, 3))
+        links = tuple(link_rng.sample(pairs, self.fault_links))
         return ChaosProfile(
-            node_kinds=("crash", "silence", "delay", "drop", "duplicate", "mute_half"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
             links=links,
+            max_actions=self.max_actions,
         )
 
     def run(self, seed, actions=None, chaos=True):
@@ -365,14 +401,16 @@ class PbftWipeHarness(PbftHarness):
 
     name = "pbft-wipe"
     settle_ms = 25_000.0  # full-history state transfer adds round trips
+    fault_kinds = ("wipe", "equivocate")
 
     def profile(self, seed: int) -> ChaosProfile:
         victims = _victims(self.name, seed, self._names(), 1)  # f = 1
         return ChaosProfile(
-            node_kinds=("wipe", "equivocate"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
+            max_actions=self.max_actions,
         )
 
 
@@ -389,6 +427,14 @@ class RaftHarness(StackHarness):
     min_start_ms = 1_200.0  # first election settles
     horizon_ms = 8_000.0
     settle_ms = 25_000.0
+    fault_kinds = ("crash", "silence", "delay", "drop", "duplicate")
+    fault_links = 2
+    invariant_names = (
+        "sequence-agreement",
+        "exactly-once",
+        "completion",
+        "recovered-frontier",
+    )
 
     def _names(self) -> List[str]:
         return [f"n{i}" for i in range(self.n)]
@@ -398,13 +444,14 @@ class RaftHarness(StackHarness):
         victims = _victims(self.name, seed, names, 1)  # minority of 3
         link_rng = random.Random(f"chaos:{seed}:{self.name}:links")
         pairs = [(a, b) for a in names for b in names if a != b]
-        links = tuple(link_rng.sample(pairs, 2))
+        links = tuple(link_rng.sample(pairs, self.fault_links))
         return ChaosProfile(
-            node_kinds=("crash", "silence", "delay", "drop", "duplicate"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
             links=links,
+            max_actions=self.max_actions,
         )
 
     def run(self, seed, actions=None, chaos=True):
@@ -531,14 +578,16 @@ class RaftSkewHarness(RaftHarness):
 
     name = "raft-skew"
     settle_ms = 30_000.0  # skew-driven elections burn extra rounds
+    fault_kinds = ("wipe", "skew")
 
     def profile(self, seed: int) -> ChaosProfile:
         victims = _victims(self.name, seed, self._names(), 1)  # minority
         return ChaosProfile(
-            node_kinds=("wipe", "skew"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
+            max_actions=self.max_actions,
         )
 
 
@@ -570,6 +619,9 @@ class IrmcHarness(StackHarness):
     min_start_ms = 300.0
     horizon_ms = 6_000.0
     settle_ms = 30_000.0
+    fault_kinds = ("crash", "silence", "delay", "drop", "duplicate")
+    partition_regions = ("virginia",)  # WAN disruption between the groups
+    invariant_names = ("exactly-once", "completion")
 
     def _sender_names(self) -> List[str]:
         return [f"s{i}" for i in range(3)]
@@ -581,11 +633,12 @@ class IrmcHarness(StackHarness):
         victims = _victims(self.name, seed, self._sender_names(), 1)  # fs = 1
         victims += _victims(self.name + ":rx", seed, self._receiver_names(), 1)  # fr = 1
         return ChaosProfile(
-            node_kinds=("crash", "silence", "delay", "drop", "duplicate"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
-            regions=("virginia",),  # WAN disruption between the groups
+            regions=tuple(self.partition_regions),
+            max_actions=self.max_actions,
         )
 
     def run(self, seed, actions=None, chaos=True):
@@ -953,17 +1006,29 @@ class SpiderHarness(StackHarness):
     min_start_ms = 1_000.0
     horizon_ms = 12_000.0
     settle_ms = 75_000.0
+    fault_kinds = ("crash", "silence", "delay", "drop", "mute_half")
+    partition_regions = ("tokyo",)
+    max_actions = 4
+    invariant_names = (
+        "journal-agreement",
+        "exactly-once",
+        "journal-subsequence",
+        "completion",
+        "state-completion",
+        "client-fifo",
+        "recovered-frontier",
+    )
 
     def profile(self, seed: int) -> ChaosProfile:
         victims = _victims(self.name + ":ag", seed, [f"ag{i}" for i in range(4)], 1)
         victims += _victims(self.name + ":ex", seed, [f"g0-e{i}" for i in range(3)], 1)
         return ChaosProfile(
-            node_kinds=("crash", "silence", "delay", "drop", "mute_half"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
-            regions=("tokyo",),
-            max_actions=4,
+            regions=tuple(self.partition_regions),
+            max_actions=self.max_actions,
         )
 
     def make_config(self) -> SpiderConfig:
@@ -1176,6 +1241,17 @@ class SpiderShardHarness(StackHarness):
     min_start_ms = 1_000.0
     horizon_ms = 12_000.0
     settle_ms = 75_000.0
+    fault_kinds = ("crash", "silence", "delay", "drop", "mute_half")
+    max_actions = 4
+    invariant_names = (
+        "journal-agreement",
+        "exactly-once",
+        "journal-subsequence",
+        "completion",
+        "state-completion",
+        "client-fifo",
+        "recovered-frontier",
+    )
     #: per-op completion bound for the unfaulted shard (normal Virginia
     #: round trips are tens of ms; this allows queueing slack while still
     #: catching any cross-shard stall).
@@ -1201,11 +1277,11 @@ class SpiderShardHarness(StackHarness):
             self.name + ":ex", seed, [f"a0-e{i}" for i in range(3)], 1
         )
         return ChaosProfile(
-            node_kinds=("crash", "silence", "delay", "drop", "mute_half"),
+            node_kinds=tuple(self.fault_kinds),
             victims=victims,
             min_start_ms=self.min_start_ms,
             horizon_ms=self.horizon_ms,
-            max_actions=4,
+            max_actions=self.max_actions,
         )
 
     def run(self, seed, actions=None, chaos=True):
@@ -1320,24 +1396,82 @@ class SpiderShardHarness(StackHarness):
         return CampaignResult(self.name, seed, actions, violations, stats)
 
 
-HARNESSES: Dict[str, StackHarness] = {
-    harness.name: harness
-    for harness in (
-        SpiderHarness(),
-        SpiderCheckpointCrashHarness(),
-        SpiderDiskHarness(),
-        SpiderShardHarness(),
-        PbftHarness(),
-        PbftViewChangeCrashHarness(),
-        PbftWipeHarness(),
-        RaftHarness(),
-        RaftSkewHarness(),
-        IrmcHarness(),
-        IrmcScHarness(),
-        IrmcEquivocateHarness(),
-        IrmcScWipeHarness(),
+#: Stack configuration name -> harness class (the declarative surface
+#: :func:`make_harness` builds from).
+HARNESS_KINDS: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        SpiderHarness,
+        SpiderCheckpointCrashHarness,
+        SpiderDiskHarness,
+        SpiderShardHarness,
+        PbftHarness,
+        PbftViewChangeCrashHarness,
+        PbftWipeHarness,
+        RaftHarness,
+        RaftSkewHarness,
+        IrmcHarness,
+        IrmcScHarness,
+        IrmcEquivocateHarness,
+        IrmcScWipeHarness,
     )
 }
+
+HARNESSES: Dict[str, StackHarness] = {
+    name: cls() for name, cls in HARNESS_KINDS.items()
+}
+
+#: knob names scenario specs may never override — they are the stack's
+#: identity, not its tuning.
+_FIXED_KNOBS = ("name", "kind", "invariant_names")
+
+
+def tunable_knobs(cls: type) -> List[str]:
+    """The overridable class attributes of a harness kind."""
+    knobs = []
+    for key in dir(cls):
+        if key.startswith("_") or key in _FIXED_KNOBS:
+            continue
+        if callable(getattr(cls, key)):
+            continue
+        knobs.append(key)
+    return sorted(knobs)
+
+
+def make_harness(config: str, **overrides) -> StackHarness:
+    """Build a stack harness declaratively: a kind name plus knob values.
+
+    ``overrides`` set class attributes on the fresh instance (run scale,
+    fault palette, windows...).  Unknown knobs raise
+    :class:`~repro.errors.ConfigurationError` naming the tunable set, so
+    a typo in a suite file fails at validation time, before any node
+    exists.  An instance built with overrides equal to the class defaults
+    is byte-identical in behaviour to the registry instance — that is the
+    migration contract for ``suites/chaos.yaml``.
+    """
+    try:
+        cls = HARNESS_KINDS[config]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown chaos config {config!r}; known: {sorted(HARNESS_KINDS)}"
+        ) from None
+    harness = cls()
+    for key in sorted(overrides):
+        if key.startswith("_") or key in _FIXED_KNOBS or not hasattr(cls, key):
+            raise ConfigurationError(
+                f"chaos config {config!r} has no tunable knob {key!r}; "
+                f"tunable: {tunable_knobs(cls)}"
+            )
+        default = getattr(cls, key)
+        if callable(default):
+            raise ConfigurationError(
+                f"chaos config {config!r}: {key!r} is behaviour, not a knob"
+            )
+        value = overrides[key]
+        if isinstance(default, tuple) and isinstance(value, list):
+            value = tuple(value)  # suite files carry lists
+        setattr(harness, key, value)
+    return harness
 
 
 def get_harness(name: str) -> StackHarness:

@@ -44,7 +44,7 @@ it.  The pair below expresses the symmetric crash/recovery contract:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "check_sequence_agreement",
@@ -55,6 +55,8 @@ __all__ = [
     "check_completion",
     "check_state_completion",
     "check_recovered_frontier",
+    "INVARIANTS",
+    "resolve_invariants",
 ]
 
 
@@ -271,3 +273,41 @@ def check_state_completion(
                 f"{len(missing)} expected entr(ies) after heal: {shown}{more}"
             )
     return violations
+
+
+# ----------------------------------------------------------------------
+# Name registry (scenario specs refer to checkers by these names)
+# ----------------------------------------------------------------------
+#: Declarative names for the checkers above.  ``ScenarioSpec.invariants``
+#: entries resolve here; the chaos harnesses declare their obligations
+#: (``StackHarness.invariant_names``) in the same vocabulary, so a suite
+#: file and the code that enforces it cannot drift apart silently.
+INVARIANTS: Dict[str, Callable[..., List[str]]] = {
+    "sequence-agreement": check_sequence_agreement,
+    "exactly-once": check_exactly_once,
+    "journal-agreement": check_journal_agreement,
+    "journal-subsequence": check_journal_subsequence,
+    "client-fifo": check_client_fifo,
+    "completion": check_completion,
+    "state-completion": check_state_completion,
+    "recovered-frontier": check_recovered_frontier,
+}
+
+
+def resolve_invariants(names: Iterable[str]) -> Tuple[Callable[..., List[str]], ...]:
+    """Compile invariant names into the checker tuple they denote.
+
+    Raises :class:`~repro.errors.ConfigurationError` on an unknown name —
+    before any node exists, like every other spec validation.
+    """
+    from repro.errors import ConfigurationError
+
+    checkers = []
+    for name in names:
+        try:
+            checkers.append(INVARIANTS[name])
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown invariant {name!r}; known: {sorted(INVARIANTS)}"
+            ) from None
+    return tuple(checkers)

@@ -21,7 +21,7 @@ message rather than as a half-built system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple
 
 from repro.app.kvstore import KVStore
 from repro.core.config import DEFAULT_AGREEMENT_ZONES, SpiderConfig
@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.net import Site
 
 __all__ = [
+    "APP_FACTORIES",
     "GroupSpec",
     "MiddlewareSpec",
     "ShardSpec",
@@ -37,6 +38,20 @@ __all__ = [
     "BftSpec",
     "HftSpec",
 ]
+
+#: application factories a declarative (suite-file) spec may name.
+APP_FACTORIES: dict = {"kvstore": KVStore}
+
+
+def _app_factory_from(value) -> Callable:
+    if callable(value):
+        return value
+    try:
+        return APP_FACTORIES[value]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app factory {value!r}; known: {sorted(APP_FACTORIES)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -58,6 +73,20 @@ class MiddlewareSpec:
     @staticmethod
     def of(name: str, **options) -> "MiddlewareSpec":
         return MiddlewareSpec(name, tuple(sorted(options.items())))
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "MiddlewareSpec":
+        """``{"name": ..., "options": {...}}`` (options optional)."""
+        if "name" not in data:
+            raise ConfigurationError(
+                f"middleware entry needs a 'name' key, got {sorted(data)}"
+            )
+        unknown = set(data) - {"name", "options"}
+        if unknown:
+            raise ConfigurationError(
+                f"middleware entry {data['name']!r}: unknown keys {sorted(unknown)}"
+            )
+        return MiddlewareSpec.of(data["name"], **dict(data.get("options", {})))
 
     def options_dict(self) -> dict:
         return dict(self.options)
@@ -84,6 +113,16 @@ class GroupSpec:
     region: str
     sites: Optional[Tuple[Site, ...]] = None
 
+    @staticmethod
+    def from_dict(data: Mapping) -> "GroupSpec":
+        unknown = set(data) - {"group_id", "region"}
+        if unknown:
+            raise ConfigurationError(
+                f"group entry: unknown keys {sorted(unknown)} "
+                "(declarative groups take 'group_id' and 'region')"
+            )
+        return GroupSpec(data.get("group_id", ""), data.get("region", ""))
+
 
 @dataclass(frozen=True)
 class ShardSpec:
@@ -103,6 +142,26 @@ class ShardSpec:
     agreement_sites: Optional[Tuple[Site, ...]] = None
     #: shard-local session middleware, appended after the cluster chain.
     middleware: Tuple[MiddlewareSpec, ...] = ()
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ShardSpec":
+        known = {"shard_id", "groups", "agreement_region", "agreement_zones", "middleware"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"shard entry {data.get('shard_id')!r}: unknown keys "
+                f"{sorted(unknown)} (known: {sorted(known)})"
+            )
+        zones = data.get("agreement_zones")
+        return ShardSpec(
+            shard_id=data.get("shard_id", ""),
+            groups=tuple(GroupSpec.from_dict(g) for g in data.get("groups", ())),
+            agreement_region=data.get("agreement_region", "virginia"),
+            agreement_zones=tuple(zones) if zones is not None else None,
+            middleware=tuple(
+                MiddlewareSpec.from_dict(m) for m in data.get("middleware", ())
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -152,6 +211,79 @@ class ClusterSpec:
             app_factory=app_factory,
             **kwargs,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dict(data: Mapping) -> "ClusterSpec":
+        """Build a :class:`ClusterSpec` from suite-file data.
+
+        Two shapes are accepted:
+
+        * ``{"regions": [...], ...}`` — the :meth:`single` convenience
+          (one shard, one group per region);
+        * ``{"shards": [{...}, ...], ...}`` — the general form.
+
+        ``config`` is a mapping of :class:`~repro.core.config.SpiderConfig`
+        field overrides; ``app_factory`` a registry name from
+        :data:`APP_FACTORIES`; ``middleware`` a list of
+        ``{"name", "options"}`` entries.  All scalar data — no callables
+        needed — so a suite file fully describes the topology.
+        """
+        known = {
+            "regions", "shards", "agreement_region", "agreement_zones",
+            "config", "app_factory", "consensus", "execute_locally",
+            "middleware", "shard_id",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"topology: unknown keys {sorted(unknown)} (known: {sorted(known)})"
+            )
+        if "regions" in data and "shards" in data:
+            raise ConfigurationError(
+                "topology: give either 'regions' (single-shard shorthand) "
+                "or 'shards', not both"
+            )
+        config_data = data.get("config", {})
+        if isinstance(config_data, SpiderConfig):
+            config = config_data
+        else:
+            try:
+                config = SpiderConfig(**dict(config_data))
+            except TypeError as error:
+                raise ConfigurationError(f"topology config: {error}") from None
+        middleware = tuple(
+            MiddlewareSpec.from_dict(m) for m in data.get("middleware", ())
+        )
+        common = dict(
+            config=config,
+            app_factory=_app_factory_from(data.get("app_factory", "kvstore")),
+        )
+        if "regions" in data:
+            zones = data.get("agreement_zones")
+            return ClusterSpec.single(
+                regions=tuple(data["regions"]),
+                agreement_region=data.get("agreement_region", "virginia"),
+                agreement_zones=tuple(zones) if zones is not None else None,
+                shard_id=data.get("shard_id", "s0"),
+                consensus=data.get("consensus", "pbft"),
+                execute_locally=bool(data.get("execute_locally", False)),
+                middleware=middleware,
+                **common,
+            )
+        return ClusterSpec(
+            shards=tuple(ShardSpec.from_dict(s) for s in data.get("shards", ())),
+            consensus=data.get("consensus", "pbft"),
+            execute_locally=bool(data.get("execute_locally", False)),
+            middleware=middleware,
+            **common,
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical structural fingerprint (the scenario cache identity)."""
+        from repro.scenarios.fingerprint import structural_fingerprint
+
+        return structural_fingerprint(self)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:

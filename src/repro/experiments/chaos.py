@@ -27,11 +27,14 @@ import json
 import pathlib
 from typing import List, Optional, Sequence
 
-from repro.chaos import FaultAction, HARNESSES, get_harness, repro_snippet, shrink_schedule
+from repro.chaos import FaultAction, get_harness, repro_snippet, shrink_schedule
 from repro.chaos.schedule import format_schedule
 from repro.experiments.common import ExperimentResult
+from repro.scenarios import BuildCache, load_suite, run_matrix
 
-FAILURES_PATH = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "CHAOS_failures.json"
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+FAILURES_PATH = _REPO_ROOT / "benchmarks" / "CHAOS_failures.json"
+SUITE_PATH = _REPO_ROOT / "suites" / "chaos.yaml"
 
 #: seeds per configuration (full / --quick)
 SEEDS_FULL = 16
@@ -44,34 +47,49 @@ def run(
     configs: Optional[Sequence[str]] = None,
     failures_path: Optional[pathlib.Path] = None,
 ) -> ExperimentResult:
-    """Sweep every stack configuration; tabulate green/failing seeds."""
+    """Sweep the declarative chaos suite; tabulate green/failing seeds.
+
+    The scenario definitions come from ``suites/chaos.yaml``; this CLI
+    only picks the seed window (``--seed`` shifts it, ``--quick``
+    shrinks it) and the ``--configs`` subset.
+    """
     per_config = SEEDS_QUICK if quick else SEEDS_FULL
-    configs = list(configs or sorted(HARNESSES))
+    suite = load_suite(SUITE_PATH)
+    configs = list(configs or sorted(spec.name for spec in suite.scenarios))
     result = ExperimentResult(
         title=f"Chaos campaign ({per_config} seeds per configuration)",
         columns=["config", "seeds", "actions", "failures", "failing seeds"],
     )
+    cache = BuildCache()
     all_failures: List[dict] = []
     for config in configs:
         seeds = list(range(seed, seed + per_config))
-        harness = get_harness(config)
+        spec = suite.scenario(config)
         action_total = 0
         failing: List[int] = []
-        for one_seed in seeds:
-            case = harness.run(one_seed)
-            action_total += len(case.actions)
-            if case.ok:
+        for cell in run_matrix([spec], seeds, cache):
+            if cell.error is not None:
+                failing.append(cell.seed)
+                all_failures.append(
+                    {"config": config, "seed": cell.seed, "error": cell.error}
+                )
                 continue
-            failing.append(one_seed)
-            minimal = shrink_schedule(harness, one_seed, actions=case.actions)
+            action_total += cell.stats["n_actions"]
+            if cell.ok:
+                continue
+            failing.append(cell.seed)
+            harness = get_harness(config)
+            actions = [FaultAction(**a) for a in cell.stats["schedule"]]
+            minimal = shrink_schedule(harness, cell.seed, actions=actions)
             all_failures.append(
                 {
                     "config": config,
-                    "seed": one_seed,
-                    "violations": case.violations,
-                    "schedule": [dict(vars(a)) for a in case.actions],
+                    "seed": cell.seed,
+                    "fingerprint": cell.fingerprint,
+                    "violations": cell.stats["violations"],
+                    "schedule": cell.stats["schedule"],
                     "minimized": [dict(vars(a)) for a in minimal],
-                    "snippet": repro_snippet(harness, one_seed, minimal),
+                    "snippet": repro_snippet(harness, cell.seed, minimal),
                 }
             )
         result.add_row(
@@ -103,4 +121,9 @@ def run(
         if path.exists():
             path.unlink()
         result.notes.append("all invariants held; no failure artifact")
+    stats = cache.stats()
+    result.notes.append(
+        f"build cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['entries']} entries)"
+    )
     return result

@@ -6,10 +6,22 @@ Virginia availability zones — which, per the paper, should barely matter.
 
 Expected shape: Spider is far below BFT/HFT for every client location and
 insensitive to leader placement; BFT/HFT swing strongly with it.
+
+One table row is one scenario cell: the ``fig7-latency`` stack
+(registered here) takes ``params.system`` (bft / hft / spider), the
+leader placement, and a ``closed-loop`` workload fragment carrying the
+:class:`RunScale` knobs.  :func:`scenario_specs` is the declarative form
+of the grid; :func:`run` executes it with a shared build cache — every
+cell shares the same workload fragment, so the compiled RunScale is
+built once.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict
+from typing import List
+
+from repro.errors import ConfigurationError
 from repro.experiments.common import (
     REGION_LABEL,
     REGIONS,
@@ -21,6 +33,8 @@ from repro.experiments.common import (
     fresh_env,
     measure_latency,
 )
+from repro.scenarios import BuildCache, ScenarioSpec, register_stack
+from repro.scenarios import run as run_scenario
 
 SPIDER_LEADER_ZONES = {
     "V-1": [1, 2, 4, 6],
@@ -29,50 +43,141 @@ SPIDER_LEADER_ZONES = {
     "V-6": [6, 1, 2, 4],
 }
 
+_RUNSCALE_KEYS = frozenset(asdict(RunScale()))
+
+
+class Fig7LatencyStack:
+    """One latency row: build the system, drive closed-loop writers."""
+
+    name = "fig7-latency"
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        params = spec.params_dict()
+        system = params.get("system")
+        if system not in ("bft", "hft", "spider"):
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: params.system must be bft/hft/"
+                f"spider, got {system!r}"
+            )
+        if system == "spider":
+            known = {"system", "leader_label", "leader_zones"}
+            if not params.get("leader_zones"):
+                raise ConfigurationError(
+                    f"scenario {spec.name!r}: spider rows need "
+                    "params.leader_zones (AZ rotation order)"
+                )
+        else:
+            known = {"system", "leader"}
+            if params.get("leader") not in REGIONS:
+                raise ConfigurationError(
+                    f"scenario {spec.name!r}: params.leader must be one of "
+                    f"{REGIONS}, got {params.get('leader')!r}"
+                )
+        unknown = set(params) - known
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: unknown fig7 params {sorted(unknown)}"
+            )
+        if spec.workload is None or spec.workload.kind != "closed-loop":
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: the fig7-latency stack needs a "
+                "'closed-loop' workload (RunScale knobs)"
+            )
+        bad = set(spec.workload.options_dict()) - _RUNSCALE_KEYS
+        if bad:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: unknown closed-loop options "
+                f"{sorted(bad)} (known: {sorted(_RUNSCALE_KEYS)})"
+            )
+        if spec.faults is not None or spec.invariants:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: the fig7-latency stack measures "
+                "latency on healthy runs; omit 'faults' and 'invariants'"
+            )
+
+    def run(self, spec: ScenarioSpec, seed: int, cache: BuildCache) -> dict:
+        scale = cache.get_or_build(
+            "runscale",
+            spec.workload_fingerprint(),
+            lambda: RunScale(**spec.workload.options_dict()),
+        )
+        params = spec.params_dict()
+        system = params["system"]
+        sim, network = fresh_env(seed=seed)
+        if system == "bft":
+            target = build_bft(sim, network, leader=params["leader"])
+            label, leader_label = "BFT", REGION_LABEL[params["leader"]]
+        elif system == "hft":
+            target = build_hft(sim, network, leader=params["leader"])
+            label, leader_label = "HFT", REGION_LABEL[params["leader"]]
+        else:
+            target = build_spider(
+                sim, network, leader_zone_order=list(params["leader_zones"])
+            )
+            label, leader_label = "SPIDER", params["leader_label"]
+        summaries = measure_latency(
+            sim, target.make_client, REGIONS, scale, kinds=["write"]
+        )
+        row = {"system": label, "leader": leader_label}
+        for region in REGIONS:
+            row[f"{REGION_LABEL[region]} p50"] = summaries[region].p50
+            row[f"{REGION_LABEL[region]} p90"] = summaries[region].p90
+        return row
+
+
+register_stack(Fig7LatencyStack())
+
+
+def scenario_specs(quick: bool = False) -> List[ScenarioSpec]:
+    """The Fig. 7 grid as data: one spec per table row, shared workload."""
+    scale = RunScale.quick() if quick else RunScale()
+    workload = {"kind": "closed-loop", **asdict(scale)}
+    specs: List[ScenarioSpec] = []
+    leaders = REGIONS if not quick else ["virginia", "tokyo"]
+    for leader in leaders:
+        for system in ("bft", "hft"):
+            specs.append(
+                ScenarioSpec.of(
+                    name=f"fig7-{system}-{leader}",
+                    stack="fig7-latency",
+                    params={"system": system, "leader": leader},
+                    workload=workload,
+                )
+            )
+    zone_items = list(SPIDER_LEADER_ZONES.items())
+    if quick:
+        zone_items = zone_items[:2]
+    for label, zones in zone_items:
+        specs.append(
+            ScenarioSpec.of(
+                name=f"fig7-spider-{label.lower()}",
+                stack="fig7-latency",
+                params={
+                    "system": "spider",
+                    "leader_label": label,
+                    "leader_zones": zones,
+                },
+                workload=workload,
+            )
+        )
+    return specs
+
 
 def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
-    scale = RunScale.quick() if quick else RunScale()
     result = ExperimentResult(
         title="Fig. 7 - 50th/90th percentile write latency [ms]",
         columns=["system", "leader"]
         + [f"{REGION_LABEL[r]} p50" for r in REGIONS]
         + [f"{REGION_LABEL[r]} p90" for r in REGIONS],
     )
-
-    leaders = REGIONS if not quick else ["virginia", "tokyo"]
-    for leader in leaders:
-        for system_name, builder in (("BFT", build_bft), ("HFT", build_hft)):
-            sim, network = fresh_env(seed=seed)
-            system = builder(sim, network, leader=leader)
-            summaries = measure_latency(
-                sim, system.make_client, REGIONS, scale, kinds=["write"]
-            )
-            _record(result, system_name, REGION_LABEL[leader], summaries)
-
-    zone_items = list(SPIDER_LEADER_ZONES.items())
-    if quick:
-        zone_items = zone_items[:2]
-    for label, zones in zone_items:
-        sim, network = fresh_env(seed=seed)
-        system = build_spider(sim, network, leader_zone_order=zones)
-        summaries = measure_latency(
-            sim, system.make_client, REGIONS, scale, kinds=["write"]
-        )
-        _record(result, "SPIDER", label, summaries)
-
+    cache = BuildCache()
+    for spec in scenario_specs(quick):
+        result.add_row(**run_scenario(spec, seed, cache))
     result.notes.append(
         "paper shape: SPIDER well below BFT/HFT everywhere; SPIDER rows "
         "nearly identical across leader zones"
     )
     return result
-
-
-def _record(result: ExperimentResult, system: str, leader: str, summaries) -> None:
-    row = {"system": system, "leader": leader}
-    for region in REGIONS:
-        row[f"{REGION_LABEL[region]} p50"] = summaries[region].p50
-        row[f"{REGION_LABEL[region]} p90"] = summaries[region].p90
-    result.add_row(**row)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,9 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult, fresh_env
 from repro.irmc import IrmcConfig, make_channel
 from repro.net import Payload, Site
+from repro.scenarios import BuildCache, ScenarioSpec, register_stack
+from repro.scenarios import run as run_scenario
 from repro.sim import Process
 from repro.sim.routing import RoutedNode
 
@@ -130,9 +133,101 @@ def bench_channel(
     )
 
 
-def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
+class IrmcBenchStack:
+    """One Fig. 9 row: saturated + CPU-paced probes of one channel."""
+
+    name = "irmc-bench"
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        params = spec.params_dict()
+        if params.get("channel") not in ("rc", "sc"):
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: params.channel must be 'rc' or "
+                f"'sc', got {params.get('channel')!r}"
+            )
+        unknown = set(params) - {"channel"}
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: unknown irmc-bench params "
+                f"{sorted(unknown)}"
+            )
+        if spec.workload is None or spec.workload.kind != "irmc-stream":
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: the irmc-bench stack needs an "
+                "'irmc-stream' workload"
+            )
+        options = spec.workload.options_dict()
+        required = {"size", "duration_ms", "cpu_probe_rate_per_s"}
+        missing = required - set(options)
+        if missing:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: irmc-stream workload missing "
+                f"options {sorted(missing)}"
+            )
+        unknown_options = set(options) - required
+        if unknown_options:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: unknown irmc-stream options "
+                f"{sorted(unknown_options)}"
+            )
+        if spec.faults is not None or spec.invariants:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: the irmc-bench stack measures "
+                "healthy channels; omit 'faults' and 'invariants'"
+            )
+
+    def run(self, spec: ScenarioSpec, seed: int, cache: BuildCache) -> dict:
+        # rc and sc rows of the same size share one workload fragment; the
+        # cached profile makes that sharing visible in the hit counters.
+        profile = cache.get_or_build(
+            "irmc-profile",
+            spec.workload_fingerprint(),
+            lambda: spec.workload.options_dict(),
+        )
+        kind = spec.params_dict()["channel"]
+        size = profile["size"]
+        duration_ms = profile["duration_ms"]
+        saturated = bench_channel(kind, size, duration_ms, seed=seed)
+        paced = bench_channel(
+            kind, size, duration_ms, seed=seed,
+            rate_per_s=profile["cpu_probe_rate_per_s"],
+        )
+        return {
+            "irmc": kind.upper(),
+            "size [B]": size,
+            "throughput [msg/s]": saturated.throughput_per_s,
+            "sender CPU [%]": paced.sender_cpu * 100,
+            "receiver CPU [%]": paced.receiver_cpu * 100,
+            "WAN [MB/s]": saturated.wan_mbps,
+            "LAN [MB/s]": saturated.lan_mbps,
+        }
+
+
+register_stack(IrmcBenchStack())
+
+
+def scenario_specs(quick: bool = False) -> List[ScenarioSpec]:
+    """The Fig. 9 sweep as data: one spec per (channel kind, size) row."""
     sizes = [256, 4096] if quick else SIZES
     duration_ms = 2_000.0 if quick else 5_000.0
+    return [
+        ScenarioSpec.of(
+            name=f"fig9-irmc-{kind}-{size}",
+            stack="irmc-bench",
+            params={"channel": kind},
+            workload={
+                "kind": "irmc-stream",
+                "size": size,
+                "duration_ms": duration_ms,
+                "cpu_probe_rate_per_s": CPU_PROBE_RATE_PER_S,
+            },
+        )
+        for kind in ("rc", "sc")
+        for size in sizes
+    ]
+
+
+def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         title="Fig. 9b-9d - IRMC throughput / CPU / network vs message size",
         columns=[
@@ -145,23 +240,9 @@ def run(quick: bool = False, seed: int = 1) -> ExperimentResult:
             "LAN [MB/s]",
         ],
     )
-    for kind in ("rc", "sc"):
-        for size in sizes:
-            saturated = bench_channel(kind, size, duration_ms, seed=seed)
-            paced = bench_channel(
-                kind, size, duration_ms, seed=seed, rate_per_s=CPU_PROBE_RATE_PER_S
-            )
-            result.add_row(
-                **{
-                    "irmc": kind.upper(),
-                    "size [B]": size,
-                    "throughput [msg/s]": saturated.throughput_per_s,
-                    "sender CPU [%]": paced.sender_cpu * 100,
-                    "receiver CPU [%]": paced.receiver_cpu * 100,
-                    "WAN [MB/s]": saturated.wan_mbps,
-                    "LAN [MB/s]": saturated.lan_mbps,
-                }
-            )
+    cache = BuildCache()
+    for spec in scenario_specs(quick):
+        result.add_row(**run_scenario(spec, seed, cache))
     result.notes.append(
         "paper shape: RC throughput > SC; throughput falls with size; SC "
         "WAN volume a fraction of RC's, paid for with LAN share traffic"

@@ -1,0 +1,50 @@
+"""Declarative scenario suites: pure-data specs, one runner, cached builds.
+
+The scenario layer turns every experiment family in this repo — chaos
+campaigns, the overload A/B, the fig7 latency grid, the fig9 IRMC
+micro-bench — into *data*: a :class:`ScenarioSpec` names a registered
+stack and carries topology / workload / faults / invariants / scale
+fragments.  A :class:`SuiteSpec` (usually loaded from YAML or JSON)
+layers suite defaults under per-scenario overrides and validates the
+whole matrix before any node exists.
+
+Everything expensive to build is cached by the canonical structural
+fingerprint of the fragment that defines it (:func:`structural_
+fingerprint`); the same fingerprints land in result artifacts as the
+run's determinism identity.
+"""
+
+from repro.scenarios.cache import BuildCache
+from repro.scenarios.fingerprint import canonical_repr, structural_fingerprint
+from repro.scenarios.runner import CellResult, SuiteResult, run, run_matrix, run_suite
+from repro.scenarios.spec import (
+    FaultSpec,
+    ScenarioSpec,
+    SuiteSpec,
+    WorkloadSpec,
+    deep_merge,
+    load_suite,
+    suite_from_dict,
+)
+from repro.scenarios.stacks import register_stack, resolve_stack, stack_names
+
+__all__ = [
+    "BuildCache",
+    "CellResult",
+    "FaultSpec",
+    "ScenarioSpec",
+    "SuiteResult",
+    "SuiteSpec",
+    "WorkloadSpec",
+    "canonical_repr",
+    "deep_merge",
+    "load_suite",
+    "register_stack",
+    "resolve_stack",
+    "run",
+    "run_matrix",
+    "run_suite",
+    "stack_names",
+    "structural_fingerprint",
+    "suite_from_dict",
+]

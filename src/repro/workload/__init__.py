@@ -1,7 +1,7 @@
 """Workload generation: closed-loop client populations and open-loop traffic."""
 
 from repro.workload.clients import ClosedLoopDriver, OperationMix, drive_clients
-from repro.workload.traffic import ZipfianKeys, flash_crowd, open_loop_plan
+from repro.workload.traffic import ZipfianKeys, flash_crowd, flash_plan, open_loop_plan
 
 __all__ = [
     "ClosedLoopDriver",
@@ -9,5 +9,6 @@ __all__ = [
     "ZipfianKeys",
     "drive_clients",
     "flash_crowd",
+    "flash_plan",
     "open_loop_plan",
 ]

@@ -23,7 +23,7 @@ import bisect
 import random
 from typing import Any, Callable, List, Tuple
 
-__all__ = ["ZipfianKeys", "flash_crowd", "open_loop_plan"]
+__all__ = ["ZipfianKeys", "flash_crowd", "open_loop_plan", "flash_plan"]
 
 
 class ZipfianKeys:
@@ -96,3 +96,37 @@ def open_loop_plan(
         if now >= duration_ms:
             return plan
         plan.append((now, describe(rng)))
+
+
+def flash_plan(
+    seed: int,
+    *,
+    sessions: int,
+    n_keys: int,
+    skew: float,
+    write_fraction: float,
+    base_rate: float,
+    flash_rate: float,
+    flash_start_ms: float,
+    flash_end_ms: float,
+    duration_ms: float,
+) -> List[Tuple[float, Any]]:
+    """The canonical flash-crowd arrival schedule, as one seeded artifact.
+
+    Descriptors are ``(session_index, kind, key)`` with ``kind`` drawn
+    write/weak-read at ``write_fraction`` and keys Zipf(``skew``) over
+    ``n_keys``.  This is the overload benchmark's historical plan,
+    promoted to a declarative workload kind — same seed and parameters,
+    byte-identical plan.
+    """
+    # lint: allow[D103] -- the plan seed is this workload's namespace
+    # root; re-tagging it would move the committed BENCH_overload.json
+    rng = random.Random(seed)
+    keys = ZipfianKeys(n_keys, skew=skew)
+    rate_of = flash_crowd(base_rate, flash_rate, flash_start_ms, flash_end_ms)
+
+    def describe(r):
+        kind = "write" if r.random() < write_fraction else "weak-read"
+        return (r.randrange(sessions), kind, keys.sample(r))
+
+    return open_loop_plan(rng, duration_ms, rate_of, describe)
