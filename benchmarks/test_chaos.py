@@ -1,14 +1,17 @@
 """Chaos campaign sweep: the declarative suite against every stack.
 
 Acceptance sweep for the chaos subsystem, driven by the committed
-``suites/chaos.yaml``: >= 50 seeds spread across the thirteen stack
+``suites/chaos.yaml``: >= 50 seeds spread across the fourteen stack
 configurations (full Spider, PBFT-only, Raft-only, IRMC-RC, IRMC-SC,
 the targeted recovery stacks ``pbft-vc-crash`` and ``spider-cp-crash``,
-the two-shard isolation stack ``spider-shard``, and the
-adversary-and-environment palette stacks ``pbft-wipe``, ``raft-skew``,
-``spider-disk``, ``irmc-equivocate`` and ``irmc-sc-wipe`` —
-durable-state loss, checkpoint corruption, clock skew and authenticated
-equivocation), every safety and liveness invariant green — crash/
+the two-shard isolation stack ``spider-shard``, the live-resharding
+stack ``spider-reshard`` (crash/wipe/partition across a range
+handover, audited by the ``reshard-handover`` cross-cut invariant),
+and the adversary-and-environment palette stacks ``pbft-wipe``,
+``raft-skew``, ``spider-disk``, ``irmc-equivocate`` and
+``irmc-sc-wipe`` — durable-state loss, checkpoint corruption, clock
+skew and authenticated equivocation), every safety and liveness
+invariant green — crash/
 recovered replicas owe completion-after-heal and wiped replicas owe the
 exact recovered frontier — plus the byte-parity guarantees that (a) a
 no-fault campaign run is indistinguishable from the same workload

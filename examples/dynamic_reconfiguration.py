@@ -12,7 +12,7 @@ Run with::
     python examples/dynamic_reconfiguration.py
 """
 
-from repro.core import SpiderSystem
+from repro.core import Shard
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -20,7 +20,7 @@ from repro.sim import Simulator
 def main() -> None:
     sim = Simulator(seed=5)
     network = Network(sim, Topology())
-    system = SpiderSystem(sim, network=network, agreement_region="virginia")
+    system = Shard(sim, network=network, agreement_region="virginia")
     system.add_execution_group("us", "virginia")
 
     # Seed some state through a Virginia client.

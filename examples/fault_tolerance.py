@@ -14,7 +14,7 @@ Run with::
     python examples/fault_tolerance.py
 """
 
-from repro.core import SpiderSystem
+from repro.core import Shard
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -27,7 +27,7 @@ def headline(text: str) -> None:
 def main() -> None:
     sim = Simulator(seed=11)
     network = Network(sim, Topology())
-    system = SpiderSystem(sim, network=network, agreement_region="virginia")
+    system = Shard(sim, network=network, agreement_region="virginia")
     system.add_execution_group("us", "virginia")
     system.add_execution_group("jp", "tokyo")
     client = system.make_client("alice", "tokyo", group_id="jp")

@@ -12,7 +12,7 @@ Run with::
 
 from repro.app import KVStore
 from repro.baselines import BftSystem, HftSystem
-from repro.core import SpiderSystem
+from repro.core import Shard
 from repro.metrics import summarize
 from repro.net import Network, Topology
 from repro.sim import Simulator
@@ -24,7 +24,7 @@ DURATION_MS = 10_000.0
 
 def build(name: str, sim: Simulator, network: Network):
     if name == "SPIDER":
-        system = SpiderSystem(sim, network=network, agreement_region="virginia")
+        system = Shard(sim, network=network, agreement_region="virginia")
         for region in REGIONS:
             system.add_execution_group(region, region)
         return system

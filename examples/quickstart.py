@@ -9,7 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.core import SpiderSystem
+from repro.core import Shard
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -17,7 +17,7 @@ from repro.sim import Simulator
 def main() -> None:
     sim = Simulator(seed=42)
     network = Network(sim, Topology())
-    system = SpiderSystem(sim, network=network, agreement_region="virginia")
+    system = Shard(sim, network=network, agreement_region="virginia")
 
     # One execution group per client region (2 fe + 1 = 3 replicas each,
     # spread over availability zones); the agreement group (3 fa + 1 = 4

@@ -12,7 +12,7 @@ Run with::
     python examples/trace_a_request.py
 """
 
-from repro.core import SpiderSystem
+from repro.core import Shard
 from repro.metrics import MessageTrace
 from repro.net import Network, Topology
 from repro.sim import Simulator
@@ -21,7 +21,7 @@ from repro.sim import Simulator
 def main() -> None:
     sim = Simulator(seed=21)
     network = Network(sim, Topology())
-    system = SpiderSystem(sim, network=network, agreement_region="virginia")
+    system = Shard(sim, network=network, agreement_region="virginia")
     system.add_execution_group("us", "virginia")
     system.add_execution_group("jp", "tokyo")
     client = system.make_client("alice", "tokyo", group_id="jp")

@@ -5,11 +5,11 @@ evaluated against, all running on a deterministic discrete-event simulator.
 
 Quick tour
 ----------
->>> from repro import Simulator, SpiderSystem
+>>> from repro import Shard, Simulator
 >>> sim = Simulator(seed=1)
->>> system = SpiderSystem(sim)
->>> _ = system.add_execution_group("us", "virginia")
->>> client = system.make_client("alice", "virginia", group_id="us")
+>>> shard = Shard(sim)
+>>> _ = shard.add_execution_group("us", "virginia")
+>>> client = shard.make_client("alice", "virginia", group_id="us")
 >>> future = client.write(("put", "k", "v"))
 >>> sim.run(until=1_000.0)
 >>> future.value
@@ -33,7 +33,7 @@ Sub-packages
 ``repro.experiments`` one runner per paper figure (``python -m repro.experiments``)
 """
 
-from repro.core import SpiderClient, SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderClient, SpiderConfig
 from repro.deploy import ClusterSpec, Consistency, GroupSpec, Session, ShardSpec, build
 from repro.net import Network, Site, Topology
 from repro.sim import Simulator
@@ -45,7 +45,7 @@ __all__ = [
     "Network",
     "Topology",
     "Site",
-    "SpiderSystem",
+    "Shard",
     "SpiderConfig",
     "SpiderClient",
     "ClusterSpec",

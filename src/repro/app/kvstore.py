@@ -90,5 +90,31 @@ class KVStore(StateMachine):
     def _op_size(self) -> Tuple:
         return ("value", len(self._data))
 
+    # ------------------------------------------------------------------
+    # Range handover hooks (see StateMachine docs): these move state
+    # between shards outside the operation stream, so they write the
+    # backing dicts directly — journalling subclasses intentionally see
+    # no ``apply`` calls for installed or dropped keys.
+    # ------------------------------------------------------------------
+    def owned_keys(self) -> Tuple:
+        return tuple(sorted(self._data))
+
+    def export_keys(self, keys) -> Tuple:
+        return tuple(
+            (key, (self._data[key], self._versions.get(key, 0)))
+            for key in keys
+            if key in self._data
+        )
+
+    def import_keys(self, items) -> None:
+        for key, (value, version) in items:
+            self._data[key] = value
+            self._versions[key] = version
+
+    def drop_keys(self, keys) -> None:
+        for key in keys:
+            self._data.pop(key, None)
+            self._versions.pop(key, None)
+
     def __len__(self) -> int:
         return len(self._data)

@@ -52,3 +52,38 @@ class StateMachine(ABC):
     @abstractmethod
     def state_size_bytes(self) -> int:
         """Approximate serialized state size (for checkpoint transfer cost)."""
+
+    # ------------------------------------------------------------------
+    # Range handover hooks (elastic keyspace)
+    # ------------------------------------------------------------------
+    # Live resharding (``repro.elastic``) moves slices of the keyspace
+    # between shards by exporting state on the source and installing it
+    # on the destination *outside* the ordinary operation stream: these
+    # transfers must not look like client operations (no journal entries,
+    # no results).  Applications that want to live behind an elastic
+    # cluster implement all four; the defaults fail fast so a MoveRange
+    # against a non-elastic application is a loud error, not silent loss.
+
+    def owned_keys(self) -> Tuple:
+        """All keys currently held, sorted (deterministic enumeration)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range handover"
+        )
+
+    def export_keys(self, keys) -> Tuple:
+        """Deep-copied ``(key, state)`` pairs for a range-filtered cut."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range handover"
+        )
+
+    def import_keys(self, items) -> None:
+        """Install exported pairs verbatim (no execute, no journal)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range handover"
+        )
+
+    def drop_keys(self, keys) -> None:
+        """Forget a handed-over range's state on the source shard."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support range handover"
+        )

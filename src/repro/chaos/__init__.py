@@ -55,6 +55,7 @@ from repro.chaos.invariants import (
     check_exactly_once,
     check_journal_agreement,
     check_recovered_frontier,
+    check_reshard_handover,
     check_sequence_agreement,
     resolve_invariants,
 )
@@ -90,4 +91,5 @@ __all__ = [
     "check_client_fifo",
     "check_completion",
     "check_recovered_frontier",
+    "check_reshard_handover",
 ]

@@ -76,6 +76,7 @@ from repro.chaos.invariants import (
     check_journal_agreement,
     check_journal_subsequence,
     check_recovered_frontier,
+    check_reshard_handover,
     check_sequence_agreement,
     check_state_completion,
 )
@@ -85,6 +86,7 @@ from repro.consensus.pbft import PbftConfig, PbftReplica, is_noop
 from repro.consensus.raft import RaftConfig, RaftReplica
 from repro.core import SpiderConfig
 from repro.deploy import ClusterSpec, GroupSpec, ShardSpec, build
+from repro.elastic import validate_moves
 from repro.irmc import IrmcConfig, TooOld, make_channel
 from repro.errors import ConfigurationError
 from repro.net import Network, Site, Topology
@@ -154,6 +156,15 @@ class StackHarness:
 
     def profile(self, seed: int) -> ChaosProfile:
         raise NotImplementedError
+
+    def validate_knobs(self) -> None:
+        """Structural validation of knob *values* after overrides landed.
+
+        :func:`make_harness` rejects unknown knob names; this hook lets a
+        harness kind reject malformed values (e.g. an inconsistent move
+        plan) during ``ScenarioSpec.validate()``, before any node exists.
+        Default: everything goes.
+        """
 
     def derive_schedule(self, seed: int) -> List[FaultAction]:
         """The seeded fault schedule for this ``(config, seed)`` case.
@@ -1396,6 +1407,305 @@ class SpiderShardHarness(StackHarness):
         return CampaignResult(self.name, seed, actions, violations, stats)
 
 
+class SpiderReshardHarness(SpiderShardHarness):
+    """Live range handover under crash, wipe and partition — exactly once.
+
+    Two shards again, but geographically split: ``sa`` (agreement +
+    group ``a0``) lives in Virginia, ``sb`` (agreement + group ``b0``)
+    in Oregon, with every session in Virginia.  Mid-run the cluster
+    executes the ``moves`` plan — ordered ``MoveRange`` handovers
+    pushing a slot range from ``sa`` to ``sb`` — while dedicated mover
+    sessions keep writing keys *inside* the moving range and stationary
+    sessions write keys that never move.  The targeted schedule attacks
+    the handover itself: a crash or disk wipe of one ``a0`` execution
+    replica straddling the transfer window, plus a partition of Oregon
+    opening across the epoch bump (the install phase is intra-Oregon
+    and completes inside the partition; Virginia sessions retry across
+    it).  Obligations: everything the shard harness enforces per shard,
+    plus the cross-cut audit (``reshard-handover``) — each migrated
+    key's write history splits cleanly between the source journal
+    prefix and the destination journal suffix, with the source state
+    dropping the range entirely.  The non-interference latency budget
+    is deliberately *not* enforced: the partition makes cross-region
+    stalls legitimate here.
+    """
+
+    name = "spider-reshard"
+    #: region per shard: the destination lives across a WAN link so the
+    #: partition draw can sever clients from it mid-handover.
+    shard_regions = {"sa": "virginia", "sb": "oregon"}
+    #: the handover plan, in order: (lo, hi, src, dst, epoch) per move.
+    moves = ((2, 3, "sa", "sb", 1),)
+    #: when the first handover is kicked off.
+    move_at_ms = 4_000.0
+    #: sessions pinned to keys inside the moving range.
+    movers = 2
+    fault_kinds = ("crash", "wipe", "partition")
+    partition_regions = ("oregon",)
+    max_actions = 2
+    invariant_names = (
+        "journal-agreement",
+        "exactly-once",
+        "journal-subsequence",
+        "completion",
+        "state-completion",
+        "client-fifo",
+        "recovered-frontier",
+        "reshard-handover",
+    )
+
+    def _moves(self) -> List[Tuple[int, int, str, str, int]]:
+        # Suite files carry the plan as nested lists; make_harness only
+        # tuplifies the top level.
+        return [tuple(entry) for entry in self.moves]
+
+    def validate_knobs(self) -> None:
+        validate_moves(self.shard_ids, self._moves())
+
+    def make_spec(self) -> ClusterSpec:
+        return ClusterSpec(
+            shards=tuple(
+                ShardSpec(
+                    shard_id,
+                    groups=(
+                        GroupSpec(
+                            self.exec_groups[shard_id],
+                            self.shard_regions[shard_id],
+                        ),
+                    ),
+                    agreement_region=self.shard_regions[shard_id],
+                )
+                for shard_id in self.shard_ids
+            ),
+            app_factory=_JournalKVStore,
+        )
+
+    def derive_schedule(self, seed: int) -> List[FaultAction]:
+        rng = random.Random(f"chaos:{seed}:{self.name}:windows")
+        victim = f"a0-e{rng.randrange(3)}"
+        kind = ("crash", "wipe")[rng.randrange(2)]
+        # The node fault straddles the transfer window on the source side.
+        hit_at = round(self.move_at_ms - 600.0 + rng.random() * 1_200.0, 3)
+        hit_dur = round(2_000.0 + rng.random() * 2_000.0, 3)
+        # The partition opens across the epoch bump and severs Virginia
+        # from the destination shard (the handover itself completes in
+        # milliseconds, so the window must open at or just before kickoff
+        # to actually span it).
+        part_at = round(self.move_at_ms - 250.0 + rng.random() * 500.0, 3)
+        part_dur = round(2_500.0 + rng.random() * 2_500.0, 3)
+        return [
+            FaultAction(kind=kind, target=victim, start_ms=hit_at, duration_ms=hit_dur),
+            FaultAction(
+                kind="partition", target="oregon",
+                start_ms=part_at, duration_ms=part_dur,
+            ),
+        ]
+
+    def _keys_in_slots(self, range_map, wanted_slots, count, prefix):
+        """The first ``count`` ``{prefix}{i}`` keys hashing into
+        ``wanted_slots`` — deterministic in the table alone."""
+        keys: List[str] = []
+        index = 0
+        while len(keys) < count:
+            key = f"{prefix}{index}"
+            index += 1
+            if range_map.slot_of(key) in wanted_slots:
+                keys.append(key)
+        return keys
+
+    def run(self, seed, actions=None, chaos=True):
+        sim = Simulator(seed=seed)
+        network = Network(sim, Topology(), jitter=0.0)
+        cluster = build(sim, self.make_spec(), network=network)
+        for shard_id in self.shard_ids:
+            _register_spider_wipe_journals(cluster.shard(shard_id).groups.values())
+
+        moves = self._moves()
+        initial_map = cluster.partitioner.range_map
+        moving_slots = {
+            slot for lo, hi, _src, _dst, _epoch in moves for slot in range(lo, hi)
+        }
+
+        # Stationary sessions write keys that never change owner; movers
+        # hammer one key each *inside* the moving range, so their write
+        # streams cross the ownership cut mid-flight.
+        sessions = []
+        session_shard: Dict[str, str] = {}
+        keys: Dict[str, List[str]] = {}
+        for shard_id in self.shard_ids:
+            stationary = self._keys_in_slots(
+                initial_map,
+                set(initial_map.slots_of(shard_id)) - moving_slots,
+                self.sessions_per_shard * self.requests_per_session,
+                f"{shard_id}:k",
+            )
+            for index in range(self.sessions_per_shard):
+                session = cluster.session(f"u-{shard_id}-{index}", "virginia")
+                sessions.append(session)
+                session_shard[session.name] = shard_id
+                keys[session.name] = stationary[
+                    index * self.requests_per_session:
+                    (index + 1) * self.requests_per_session
+                ]
+        moved_keys = self._keys_in_slots(
+            initial_map, moving_slots, self.movers, "m:"
+        )
+        for index in range(self.movers):
+            session = cluster.session(f"mover-{index}", "virginia")
+            sessions.append(session)
+            session_shard[session.name] = moves[-1][3]  # final owner
+            keys[session.name] = [moved_keys[index]] * self.requests_per_session
+        completions: Dict[str, List[Tuple[int, float, float]]] = {
+            s.name: [] for s in sessions
+        }
+
+        def issue(session, index=0):
+            if index >= self.requests_per_session:
+                return
+            issued_at = sim.now
+            key = keys[session.name][index]
+            future = session.write(key, f"{session.name}:{index}")
+            future.add_callback(
+                lambda result: (
+                    completions[session.name].append((index, issued_at, sim.now)),
+                    sim.schedule(self.think_ms, issue, session, index + 1),
+                )
+            )
+
+        for session in sessions:
+            sim.schedule_at(200.0, issue, session)
+
+        # The handover plan runs sequentially from move_at_ms; the chaos
+        # schedule is aimed at its windows.
+        handover: Dict[str, Any] = {"start": None, "end": None}
+
+        def run_move(index: int) -> None:
+            if handover["start"] is None:
+                handover["start"] = sim.now
+            if index >= len(moves):
+                handover["end"] = sim.now
+                return
+            lo, hi, src, dst, _epoch = moves[index]
+            cluster.move_range(lo, hi, src, dst).add_callback(
+                lambda _map: run_move(index + 1)
+            )
+
+        sim.schedule_at(self.move_at_ms, run_move, 0)
+
+        if actions is None and chaos:
+            actions = self.derive_schedule(seed)
+        actions = list(actions or [])
+        engine = None
+        if chaos:
+            chaos_nodes = {n.name: n for n in cluster.all_nodes}
+            engine = ChaosEngine(
+                sim, network, chaos_nodes, seed_tag=f"chaos:{seed}:{self.name}"
+            )
+            engine.install(actions)
+
+        sim.run(until=self.settle_ms, max_events=12_000_000)
+        if engine is not None:
+            engine.undo_all()
+
+        crashed_ever = {n.name for n in cluster.all_nodes if n.crash_count > 0}
+        violations = []
+        src_shard, dst_shard = moves[0][2], moves[-1][3]
+        mover_names = [f"mover-{index}" for index in range(self.movers)]
+        # Per-shard expectations cover the stationary writes; migrated
+        # keys are audited separately across the cut.  The destination's
+        # final state additionally owes every mover's last write.
+        for shard_id in self.shard_ids:
+            shard = cluster.shard(shard_id)
+            my_sessions = [s for s in sessions if session_shard[s.name] == shard_id]
+            stationary_sessions = [
+                s for s in my_sessions if s.name not in mover_names
+            ]
+            expected_writes = [
+                ("put", keys[s.name][index], f"{s.name}:{index}")
+                for s in stationary_sessions
+                for index in range(self.requests_per_session)
+            ]
+            expected_state = {
+                keys[s.name][index]: f"{s.name}:{index}"
+                for s in stationary_sessions
+                for index in range(self.requests_per_session)
+            }
+            if shard_id == dst_shard:
+                last = self.requests_per_session - 1
+                expected_state.update(
+                    {
+                        keys[name][last]: f"{name}:{last}"
+                        for name in mover_names
+                    }
+                )
+            violations += _check_spider_group_invariants(
+                shard.groups.values(), crashed_ever, expected_writes, expected_state
+            )
+            violations += _check_agreement_frontier(
+                shard.agreement_replicas, label=f"[{shard_id}]"
+            )
+        # The cross-cut audit: per migrated key, source-journal prefix +
+        # destination-journal suffix == the issued sequence, and the
+        # source replicas dropped the range.
+        expected_cut = {
+            keys[name][0]: [
+                f"{name}:{index}" for index in range(self.requests_per_session)
+            ]
+            for name in mover_names
+        }
+
+        def put_journals(shard_id, only_never_crashed):
+            journals = {}
+            for group in cluster.shard(shard_id).groups.values():
+                for replica in group.replicas:
+                    if only_never_crashed and replica.name in crashed_ever:
+                        continue
+                    journals[replica.name] = [
+                        op for op in replica.app.journal if op[0] == "put"
+                    ]
+            return journals
+
+        violations += check_reshard_handover(
+            expected_cut,
+            put_journals(src_shard, only_never_crashed=True),
+            put_journals(dst_shard, only_never_crashed=True),
+            {
+                replica.name: replica.app.snapshot()[0]
+                for group in cluster.shard(src_shard).groups.values()
+                for replica in group.replicas
+            },
+        )
+        if handover["end"] is None:
+            violations.append(
+                "liveness/reshard: the handover plan did not complete "
+                f"(started at {handover['start']})"
+            )
+        final_epoch = cluster.partitioner.epoch
+        if moves and final_epoch != moves[-1][4]:
+            violations.append(
+                f"safety/reshard: routing table sits at epoch {final_epoch}, "
+                f"plan ends at epoch {moves[-1][4]}"
+            )
+        violations += check_client_fifo(
+            {name: [(i, done) for i, _, done in comps] for name, comps in completions.items()}
+        )
+        for session in sessions:
+            done = len(completions[session.name])
+            if done < self.requests_per_session:
+                violations.append(
+                    f"liveness/session: {session.name} completed {done}/"
+                    f"{self.requests_per_session} requests"
+                )
+        stats = {
+            "completions": completions,
+            "crashed_ever": sorted(crashed_ever),
+            "events": sim.events_processed,
+            "handover": dict(handover),
+            "epoch": final_epoch,
+        }
+        return CampaignResult(self.name, seed, actions, violations, stats)
+
+
 #: Stack configuration name -> harness class (the declarative surface
 #: :func:`make_harness` builds from).
 HARNESS_KINDS: Dict[str, type] = {
@@ -1405,6 +1715,7 @@ HARNESS_KINDS: Dict[str, type] = {
         SpiderCheckpointCrashHarness,
         SpiderDiskHarness,
         SpiderShardHarness,
+        SpiderReshardHarness,
         PbftHarness,
         PbftViewChangeCrashHarness,
         PbftWipeHarness,

@@ -55,6 +55,7 @@ __all__ = [
     "check_completion",
     "check_state_completion",
     "check_recovered_frontier",
+    "check_reshard_handover",
     "INVARIANTS",
     "resolve_invariants",
 ]
@@ -275,6 +276,54 @@ def check_state_completion(
     return violations
 
 
+def check_reshard_handover(
+    expected: Dict[Any, Sequence[Any]],
+    src_journals: Dict[str, Sequence[Any]],
+    dst_journals: Dict[str, Sequence[Any]],
+    src_states: Dict[str, Dict[Any, Any]],
+) -> List[str]:
+    """Every migrated key's write history must split cleanly across the cut.
+
+    ``expected`` maps each migrated key to its full value sequence in
+    issue order.  ``src_journals``/``dst_journals`` are the put journals
+    of never-crashed replicas on the source and destination shards; the
+    longest journal on each side is the canonical record of what that
+    side executed.  The obligation: the source-side puts followed by the
+    destination-side puts reproduce the issued sequence **exactly** —
+    nothing lost in transfer, nothing executed twice (once per side),
+    no reordering across the ownership change.  ``src_states`` are the
+    source replicas' final application states, which must have dropped
+    every migrated key — a leftover copy would let a stale read answer
+    from the wrong side of the cut.
+    """
+    violations: List[str] = []
+
+    def puts_of(journals: Dict[str, Sequence[Any]], key: Any) -> List[Any]:
+        if not journals:
+            return []
+        reference = max(journals.values(), key=len)
+        return [op[2] for op in reference if op[0] == "put" and op[1] == key]
+
+    for key in sorted(expected):
+        want = list(expected[key])
+        src_seq = puts_of(src_journals, key)
+        dst_seq = puts_of(dst_journals, key)
+        if src_seq + dst_seq != want:
+            violations.append(
+                "safety/reshard-handover: migrated key "
+                f"{key!r} split src={src_seq} + dst={dst_seq}, "
+                f"expected {want}"
+            )
+    for name in sorted(src_states):
+        leftover = sorted(key for key in expected if key in src_states[name])
+        if leftover:
+            violations.append(
+                f"safety/reshard-handover: source replica {name} still "
+                f"holds migrated key(s) {leftover} after the drop"
+            )
+    return violations
+
+
 # ----------------------------------------------------------------------
 # Name registry (scenario specs refer to checkers by these names)
 # ----------------------------------------------------------------------
@@ -291,6 +340,7 @@ INVARIANTS: Dict[str, Callable[..., List[str]]] = {
     "completion": check_completion,
     "state-completion": check_state_completion,
     "recovered-frontier": check_recovered_frontier,
+    "reshard-handover": check_reshard_handover,
 }
 
 

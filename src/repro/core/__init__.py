@@ -10,7 +10,7 @@ A Spider deployment is a collection of loosely coupled replica groups:
 * accessed by :class:`SpiderClient` instances that submit writes, strongly
   consistent reads and weakly consistent reads.
 
-:class:`SpiderSystem` wires a whole deployment together and supports
+:class:`Shard` wires a whole deployment together and supports
 runtime addition/removal of execution groups (Section 3.6).
 """
 
@@ -28,11 +28,10 @@ from repro.core.messages import (
     RequestWrapper,
     WeakRead,
 )
-from repro.core.system import ExecutionGroup, Shard, SpiderSystem
+from repro.core.system import ExecutionGroup, Shard
 
 __all__ = [
     "Shard",
-    "SpiderSystem",
     "ExecutionGroup",
     "SpiderConfig",
     "SpiderClient",

@@ -51,6 +51,7 @@ from repro.core.messages import (
     RetireClient,
 )
 from repro.crypto.primitives import attach_auth, make_mac, sign, verify, verify_mac_vector
+from repro.elastic.messages import MoveRange
 from repro.irmc import IrmcConfig, TooOld
 from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
 from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
@@ -320,6 +321,17 @@ class AgreementReplica(RoutedNode):
                     )
                     self.hist.append(marker)
                     return {group_id: marker for group_id in self.groups}
+            elif isinstance(payload, MoveRange):
+                if self._accept_move_range(payload):
+                    # A handover phase is deliberately *not* filtered for
+                    # duplicates: a retried command (fresh nonce) must
+                    # reach the execution replicas again so they resend
+                    # the phase ack — re-application there is idempotent
+                    # via the elastic book.  The marker strips the nonce,
+                    # so hist replay reproduces identical bytes.
+                    marker = Execute(seq=seq, request=None, placeholder=payload.marker())
+                    self.hist.append(marker)
+                    return {group_id: marker for group_id in self.groups}
             self.hist.append(noop)
             return {group_id: noop for group_id in self.groups}
         body = payload.body
@@ -379,6 +391,15 @@ class AgreementReplica(RoutedNode):
                         slot = ("retire", item.client)
                     else:
                         slot = ("noop",)
+                    full_items.append(slot)
+                    for items in group_items.values():
+                        items.append(slot)
+                    continue
+                if isinstance(item, MoveRange):
+                    # Also BATCHABLE = False; a faulty leader may batch one
+                    # anyway.  Like RetireClient, the slot stores the plain
+                    # marker tuple — identical in hist and every group.
+                    slot = item.marker() if self._accept_move_range(item) else ("noop",)
                     full_items.append(slot)
                     for items in group_items.values():
                         items.append(slot)
@@ -504,6 +525,22 @@ class AgreementReplica(RoutedNode):
             self.on_client_retired(command.client)
         return True
 
+    def _accept_move_range(self, command: MoveRange) -> bool:
+        """Deterministic validity check for an agreed handover phase.
+
+        Authority is the coordinating admin's signature over the full
+        command, verified identically at every replica when the command
+        classifies (the submission-time check in ``_on_direct_message``
+        is only a cheap pre-filter).  Range arithmetic is *not* checked
+        here — the deploy-layer coordinator derives phases from a
+        validated ``RangeMap.move`` and the execution-side book applies
+        them idempotently, so agreement stays a pure ordering service
+        for these commands, exactly as it is for AddGroup/RetireClient.
+        """
+        return command.admin in self.config.admins and verify(
+            command.signature, command, signer=command.admin
+        )
+
     # ------------------------------------------------------------------
     # Reconfiguration (Section 3.6)
     # ------------------------------------------------------------------
@@ -540,7 +577,7 @@ class AgreementReplica(RoutedNode):
     # Direct messages: admin commands, registry queries, 0E clients
     # ------------------------------------------------------------------
     def _on_direct_message(self, src, message: Any) -> None:
-        if isinstance(message, (AddGroup, RemoveGroup)):
+        if isinstance(message, (AddGroup, RemoveGroup, MoveRange)):
             if message.admin not in self.config.admins or message.admin != src.name:
                 return
             if not verify(message.signature, message, signer=message.admin):

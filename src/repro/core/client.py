@@ -19,6 +19,7 @@ from repro.core.messages import (
     WeakReadReply,
 )
 from repro.crypto.primitives import attach_auth, make_mac_vector, sign, verify_mac
+from repro.elastic.messages import ElasticAck, MoveRange
 from repro.sim.futures import SimFuture
 from repro.sim.node import Node
 
@@ -357,6 +358,9 @@ class AdminClient(Node):
         self.fa = fa
         self.nonce = 0
         self._registry_waiters: Dict[int, dict] = {}
+        #: in-flight MoveRange phases awaiting execution-replica acks,
+        #: keyed by (phase, range_start, range_end, new_epoch).
+        self._elastic_waiters: Dict[Tuple, dict] = {}
 
     def add_group(self, group_id: str, member_names) -> None:
         """Submit ``<AddGroup, e, E>``."""
@@ -377,6 +381,87 @@ class AdminClient(Node):
         message = attach_auth(body, signature=sign(self.name, body))
         self.run_task(self._broadcast, message)
 
+    def move_range(
+        self,
+        *,
+        range_start: int,
+        range_end: int,
+        src_shard: str,
+        dst_shard: str,
+        new_epoch: int,
+        slots: int,
+        phase: str,
+        threshold: int,
+        items: Tuple = (),
+        range_map: Tuple = (),
+        retry_ms: float = 4000.0,
+    ) -> SimFuture:
+        """Submit one ``MoveRange`` phase and await ``threshold`` acks.
+
+        The returned future resolves with the replicated ack payload
+        once ``threshold`` (fe+1) distinct execution replicas reported
+        the same result of applying the phase.  Unlike the fire-and-
+        forget group commands this *retries*: each attempt signs a fresh
+        nonce, so the retry is a new command to the ordering layer
+        (identical bytes would be swallowed by its payload cache) while
+        the execution-side book makes re-application a pure ack resend —
+        that pairing is what rides out crashed replicas and partitions
+        in the middle of a handover.
+        """
+        key = (phase, range_start, range_end, new_epoch)
+        future = SimFuture(name=f"{self.name}.move#{phase}:{range_start}-{range_end}")
+        self._elastic_waiters[key] = {
+            "future": future,
+            "replies": {},
+            "threshold": threshold,
+        }
+
+        def attempt() -> None:
+            if future.done:
+                self._elastic_waiters.pop(key, None)
+                return
+            self.nonce += 1
+            body = MoveRange(
+                range_start=range_start,
+                range_end=range_end,
+                src_shard=src_shard,
+                dst_shard=dst_shard,
+                new_epoch=new_epoch,
+                slots=slots,
+                phase=phase,
+                items=items,
+                range_map=range_map,
+                admin=self.name,
+                nonce=self.nonce,
+            )
+            message = attach_auth(body, signature=sign(self.name, body))
+            self._broadcast(message)
+            self.set_timeout(retry_ms, attempt)
+
+        self.run_task(attempt)
+        return future
+
+    def _on_elastic_ack(self, src: Node, message: ElasticAck) -> None:
+        key = (message.phase, message.range_start, message.range_end, message.new_epoch)
+        state = self._elastic_waiters.get(key)
+        if state is None or state["future"].done:
+            return
+        if message.sender != src.name:
+            return
+        if not verify_mac(message.mac, message, src.name, self.name):
+            return
+        if src.name in state["replies"]:
+            return  # one vote per replica
+        state["replies"][src.name] = repr(message.payload)
+        matching = [
+            1
+            for payload in state["replies"].values()
+            if payload == repr(message.payload)
+        ]
+        if len(matching) >= state["threshold"]:
+            del self._elastic_waiters[key]
+            state["future"].resolve(message.payload)
+
     def query_registry(self) -> SimFuture:
         """Fetch the execution-replica registry (f_a+1 matching answers)."""
         self.nonce += 1
@@ -390,6 +475,9 @@ class AdminClient(Node):
             self.send(node, message)
 
     def on_message(self, src: Node, message: Any) -> None:
+        if isinstance(message, ElasticAck):
+            self._on_elastic_ack(src, message)
+            return
         if not isinstance(message, RegistryInfo):
             return
         state = self._registry_waiters.get(message.nonce)

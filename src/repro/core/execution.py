@@ -32,6 +32,9 @@ from repro.core.messages import (
     WeakReadReply,
 )
 from repro.crypto.primitives import attach_auth, make_mac, verify, verify_mac_vector
+from repro.elastic.book import ElasticBook
+from repro.elastic.messages import ElasticAck
+from repro.elastic.rangemap import slot_of
 from repro.irmc import IrmcConfig, TooOld
 from repro.irmc.rc import RcReceiverEndpoint, RcSenderEndpoint
 from repro.irmc.sc import ScReceiverEndpoint, ScSenderEndpoint
@@ -72,6 +75,10 @@ class ExecutionReplica(RoutedNode):
         #: agreed requests processed since the last own checkpoint; batched
         #: Executes advance this by their batch length (docstring above).
         self._ops_since_cp = 0
+        #: range-handover bookkeeping (sealed/dropped ranges, phase acks);
+        #: allocated lazily by the first MoveRange marker so single-epoch
+        #: deployments keep their historical checkpoint format bit-for-bit.
+        self.elastic: Optional[ElasticBook] = None
 
         self.set_default_handler(self._on_client_message)
 
@@ -134,6 +141,7 @@ class ExecutionReplica(RoutedNode):
         self.t = {}
         self.u = {}
         self._ops_since_cp = 0
+        self.elastic = None
         self.app.restore(self._pristine_app)
 
     def _boot_after_recovery(self) -> None:
@@ -305,6 +313,69 @@ class ExecutionReplica(RoutedNode):
             self.u.pop(client, None)
             self.t.pop(client, None)
             self.request_tx.retire_subchannel(client)
+        elif placeholder and placeholder[0] == "move-range":
+            self._apply_move_range(placeholder)
+
+    def _apply_move_range(self, marker: Tuple) -> None:
+        """Apply one agreed handover phase (elastic keyspace).
+
+        The marker is identical on every replica of every group of the
+        shard (it rides the ordered stream like client retirement), so
+        the book mutations and the ack payload are replicated
+        deterministic state.  Re-application — a retried command ordered
+        a second time, or replay after recovery — hits the ``done`` book
+        and degenerates to an ack resend, which is exactly the liveness
+        a coordinator that missed the first round of acks needs.
+        """
+        (_tag, phase, lo, hi, _src, dst, new_epoch, slots, admin, items, map_wire) = marker
+        if self.elastic is None:
+            self.elastic = ElasticBook(slots)
+        book = self.elastic
+        done_key = (phase, lo, hi, new_epoch)
+        payload = book.done.get(done_key)
+        if payload is None:
+            if phase == "seal":
+                # Freeze the range at this point of the agreed stream:
+                # later ordered writes to it shed ``Migrating`` results,
+                # so the exported cut is the sealed frontier exactly.
+                book.sealed[(lo, hi)] = (new_epoch, dst)
+                payload = ("sealed", self.app.export_keys(self._keys_in_range(lo, hi, slots)))
+            elif phase == "install":
+                self.app.import_keys(items)
+                payload = ("installed", len(items))
+            elif phase == "commit":
+                keys = self._keys_in_range(lo, hi, slots)
+                self.app.drop_keys(keys)
+                book.sealed.pop((lo, hi), None)
+                book.dropped[(lo, hi)] = (new_epoch, map_wire)
+                payload = ("dropped", len(keys))
+            else:
+                payload = ("unknown-phase", phase)
+            book.done[done_key] = payload
+        ack = ElasticAck(
+            phase=phase,
+            range_start=lo,
+            range_end=hi,
+            new_epoch=new_epoch,
+            payload=payload,
+            sender=self.name,
+        )
+        target = self.network.nodes.get(admin) if self.network else None
+        if target is not None:
+            ack = attach_auth(ack, mac=make_mac(self.name, admin, ack))
+            self.send(target, ack)
+
+    def _keys_in_range(self, lo: int, hi: int, slots: int) -> Tuple:
+        """The application keys hashing into slot range ``[lo, hi)``.
+
+        Recomputed from live state at the marker's stream position — no
+        new in-range key can appear between seal and commit because
+        sealed writes shed instead of executing, so this is stable even
+        for a replica that adopted a checkpoint between the two phases.
+        """
+        return tuple(
+            key for key in self.app.owned_keys() if lo <= slot_of(key, slots) < hi
+        )
 
     def _apply_request(self, wrapper: RequestWrapper) -> None:
         body = wrapper.body
@@ -313,8 +384,16 @@ class ExecutionReplica(RoutedNode):
         if cached is not None and cached[0] >= counter:
             result = None if cached[0] > counter else cached[1]
         else:
-            result = self.app.execute(body.operation)
-            self.executed_count += 1
+            # Ordered op against a sealed/dropped range sheds a redirect
+            # result instead of executing — same reply/cache path, so
+            # exactly-once dedup still covers it, but application state
+            # is untouched (the op re-executes at the new owner).
+            shed = self.elastic.shed(body.operation) if self.elastic is not None else None
+            if shed is not None:
+                result = shed
+            else:
+                result = self.app.execute(body.operation)
+                self.executed_count += 1
             self.u[client] = (counter, result)
             self.t[client] = max(self.t.get(client, 0), counter)
         if wrapper.group == self.group_id and result is not None and result is not self.PLACEHOLDER:
@@ -343,6 +422,12 @@ class ExecutionReplica(RoutedNode):
             # the same seq, and always zero at batch_size=1, keeping those
             # snapshots byte-identical to the pre-batching format.
             state = state + (self._ops_since_cp,)
+        if self.elastic is not None:
+            # Same only-when-present rule as above: deployments that never
+            # saw a MoveRange keep the historical snapshot shape.  The
+            # tagged tuple is type-distinguishable from the int extra, so
+            # restore parses extras by shape, not position.
+            state = state + (self.elastic.to_wire(),)
         return state
 
     def _checkpoint_size(self, state) -> int:
@@ -357,4 +442,15 @@ class ExecutionReplica(RoutedNode):
             self.u = dict(reply_cache)
             self.app.restore(app_state)
             self.checkpoints_applied += 1
-            self._ops_since_cp = state[2] if len(state) > 2 else 0
+            # Extras are parsed by shape: the residual-ops counter is an
+            # int, the elastic book a tagged tuple; either may be absent.
+            # Both are *replaced*, not merged — they are checkpointed
+            # state, and a full install must not keep stale local books.
+            self._ops_since_cp = 0
+            elastic = None
+            for extra in state[2:]:
+                if isinstance(extra, int):
+                    self._ops_since_cp = extra
+                elif ElasticBook.is_wire(extra):
+                    elastic = ElasticBook.from_wire(extra)
+            self.elastic = elastic

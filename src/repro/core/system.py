@@ -10,10 +10,9 @@ reconfiguration through the :class:`~repro.core.client.AdminClient`
 Deployments are normally *described* rather than hand-wired: the
 :mod:`repro.deploy` subsystem turns a declarative
 :class:`~repro.deploy.ClusterSpec` into one :class:`Shard` per spec'd
-shard via :func:`repro.deploy.build`.  :class:`SpiderSystem` — the
-historical hand-wiring entry point — remains as a thin deprecated alias
-of :class:`Shard` for one release; see ``docs/architecture.md`` for the
-migration notes.
+shard via :func:`repro.deploy.build`.  (The historical ``SpiderSystem``
+hand-wiring alias served its one-release deprecation grace and is gone;
+``Shard`` is the same class under its real name.)
 """
 
 from __future__ import annotations
@@ -290,23 +289,3 @@ class Shard:
         for group in self.groups.values():
             nodes.extend(group.replicas)
         return nodes
-
-
-class SpiderSystem(Shard):
-    """Deprecated hand-wiring alias of :class:`Shard` (one release grace).
-
-    Historically the only way to build a deployment; superseded by the
-    declarative :class:`~repro.deploy.ClusterSpec` +
-    :func:`repro.deploy.build` pair, which also unlocks multi-shard
-    deployments and the :class:`~repro.deploy.Session` client surface.
-    The constructor signature and every method are unchanged, so existing
-    callers keep working — new code should describe the deployment as a
-    spec instead::
-
-        from repro.deploy import ClusterSpec, GroupSpec, ShardSpec, build
-        spec = ClusterSpec(shards=(
-            ShardSpec("s0", groups=(GroupSpec("va", "virginia"),)),
-        ))
-        cluster = build(sim, spec)
-        client = cluster.make_client("c1", "virginia", group_id="va")
-    """

@@ -6,7 +6,7 @@ repo: it turns a :class:`~repro.deploy.spec.ClusterSpec` into a
 shared network), and the baseline specs into their respective systems.
 
 A single-shard spec builds the exact node graph the historical
-hand-wired :class:`~repro.core.SpiderSystem` would have built — same
+hand-wired :class:`~repro.core.Shard` would have built — same
 node names, same construction order, same event stream — so a 1-shard
 run is byte-identical to the pre-spec path (regression-tested in
 ``tests/test_deploy.py``).
@@ -14,7 +14,6 @@ run is byte-identical to the pre-spec path (regression-tested in
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import replace
 from typing import Any, Dict, Optional
 
@@ -22,8 +21,11 @@ from repro.core.system import Shard
 from repro.deploy.middleware import MiddlewareChain, build_middleware
 from repro.deploy.session import Session
 from repro.deploy.spec import BftSpec, ClusterSpec, HftSpec, ShardSpec
+from repro.elastic.plan import split_moves
+from repro.elastic.rangemap import RangeMap
 from repro.errors import ConfigurationError
 from repro.net import Network, Topology
+from repro.sim.futures import SimFuture
 
 __all__ = ["KeyPartitioner", "Cluster", "build"]
 
@@ -31,20 +33,45 @@ __all__ = ["KeyPartitioner", "Cluster", "build"]
 class KeyPartitioner:
     """Deterministic key -> shard mapping shared by all sessions.
 
-    ``crc32(str(key))`` modulo the shard count, over the spec's shard
-    order — stable across platforms and interpreter runs (unlike builtin
-    ``hash``), so a key's owner is a pure function of the spec.
+    Routing is delegated to an epoch-versioned
+    :class:`~repro.elastic.rangemap.RangeMap`; the default table is the
+    striped epoch-0 map, which reproduces the historical
+    ``crc32(str(key)) mod N`` placement bit-for-bit (stable across
+    platforms and interpreter runs, unlike builtin ``hash``), so in a
+    deployment that never moves a range a key's owner remains a pure
+    function of the spec.  Live resharding advances the table through
+    :meth:`advance` (monotone in the epoch — stale tables never win).
     """
 
-    def __init__(self, shard_ids):
+    def __init__(self, shard_ids, range_map: Optional[RangeMap] = None):
         self.shard_ids = tuple(shard_ids)
         if not self.shard_ids:
             raise ConfigurationError("partitioner needs at least one shard")
+        self.range_map = (
+            range_map if range_map is not None else RangeMap.modulo(self.shard_ids)
+        )
+
+    @property
+    def epoch(self) -> int:
+        """The routing epoch of the current table."""
+        return self.range_map.epoch
 
     def owner(self, key: Any) -> str:
-        """The shard id owning ``key``."""
-        index = zlib.crc32(str(key).encode("utf-8", errors="replace"))
-        return self.shard_ids[index % len(self.shard_ids)]
+        """The shard id owning ``key`` in the current epoch."""
+        return self.range_map.owner(key)
+
+    def advance(self, range_map: RangeMap) -> bool:
+        """Adopt a newer routing table; True iff it actually advanced."""
+        if range_map.epoch <= self.range_map.epoch:
+            return False
+        self.range_map = range_map
+        return True
+
+    def register_shard(self, shard_id: str) -> None:
+        """Make a newcomer shard known (it owns no slots until a
+        ``MoveRange`` hands it some — see ``Cluster.add_shard``)."""
+        if shard_id not in self.shard_ids:
+            self.shard_ids = self.shard_ids + (shard_id,)
 
     def keys_for(self, shard_id: str, count: int, prefix: str = "key-"):
         """``count`` generated keys owned by ``shard_id`` (workload helper)."""
@@ -53,6 +80,13 @@ class KeyPartitioner:
             # search below would spin forever instead of failing fast.
             raise ConfigurationError(
                 f"no shard {shard_id!r}; known: {sorted(self.shard_ids)}"
+            )
+        if shard_id not in self.range_map.owners():
+            # Known but slotless (a newcomer before its first MoveRange):
+            # the search below could likewise never terminate.
+            raise ConfigurationError(
+                f"shard {shard_id!r} owns no slots in epoch {self.epoch}; "
+                f"owners: {list(self.range_map.owners())}"
             )
         found, index = [], 0
         while len(found) < count:
@@ -243,6 +277,125 @@ class Cluster:
                 return shard
         raise ConfigurationError(f"no shard hosts group {group_id!r}")
 
+    # ------------------------------------------------------------------
+    # Elastic keyspace (live resharding — repro.elastic)
+    # ------------------------------------------------------------------
+    def move_range(
+        self, range_start: int, range_end: int, src_shard: str, dst_shard: str
+    ) -> SimFuture:
+        """Hand slot range ``[range_start, range_end)`` from ``src_shard``
+        to ``dst_shard`` under live traffic.
+
+        Validates the declaration against the current routing table
+        (``RangeMap.move`` — overlap, ownership, bounds), then drives the
+        three-phase checkpoint-assisted handover through the shards'
+        admin clients, each phase an ordered ``MoveRange`` command
+        acknowledged by fe+1 execution replicas:
+
+        1. **seal** (source stream): the range freezes — later ordered
+           writes to it shed ``Migrating`` — and the ack carries the
+           range-filtered state cut at the sealed frontier;
+        2. **install** (destination stream): the cut is merged into the
+           destination's application state, outside the journal;
+        3. **commit** (source stream): the source drops the range and
+           starts redirecting with ``WrongShard`` + the new table.
+
+        Only then does this cluster adopt the bumped table, flipping
+        every live session's routing and releasing their parked ops.
+        One handover runs at a time per cluster (``SplitShard`` chains
+        them); the returned future resolves with the adopted
+        :class:`RangeMap`.
+        """
+        current = self.partitioner.range_map
+        new_map = current.move(range_start, range_end, src_shard, dst_shard)
+        src, dst = self.shard(src_shard), self.shard(dst_shard)
+        common = dict(
+            range_start=range_start,
+            range_end=range_end,
+            src_shard=src_shard,
+            dst_shard=dst_shard,
+            new_epoch=new_map.epoch,
+            slots=current.slots,
+            threshold=self.spec.config.fe + 1,
+        )
+        done = SimFuture(
+            name=f"move:{src_shard}->{dst_shard}:{range_start}-{range_end}"
+        )
+
+        def after_seal(payload):
+            _tag, items = payload
+            dst.admin.move_range(phase="install", items=tuple(items), **common
+                                 ).add_callback(after_install)
+
+        def after_install(_payload):
+            src.admin.move_range(phase="commit", range_map=new_map.to_wire(), **common
+                                 ).add_callback(after_commit)
+
+        def after_commit(_payload):
+            self._adopt_map(new_map)
+            done.resolve(new_map)
+
+        src.admin.move_range(phase="seal", **common).add_callback(after_seal)
+        return done
+
+    def add_shard(self, shard_spec: ShardSpec) -> Shard:
+        """Materialise a new shard on the live cluster (zero slots owned).
+
+        The spec is validated in the context of the full cluster spec
+        before any node exists; the shard is built exactly like
+        ``build()`` would have built it (own admin principal, prefixed
+        node names) and registered with the partitioner as slotless —
+        keys route to it only after a ``MoveRange`` hands it a range.
+        """
+        new_spec = replace(self.spec, shards=self.spec.shards + (shard_spec,))
+        new_spec.validate()
+        self.spec = new_spec
+        prefix = f"{shard_spec.shard_id}-"
+        shard = _materialise_shard(
+            self.sim, self.network, new_spec, shard_spec,
+            _agreement_factory(new_spec), prefix,
+        )
+        self.shards[shard_spec.shard_id] = shard
+        for replica in getattr(shard, "agreement_replicas", []):
+            replica.on_client_retired = self._note_client_retired
+        self.partitioner.register_shard(shard_spec.shard_id)
+        return shard
+
+    def split_shard(self, shard_spec: ShardSpec) -> SimFuture:
+        """Bring ``shard_spec`` from zero to an equal keyspace share, live.
+
+        ``add_shard`` + the :func:`~repro.elastic.plan.split_moves` plan,
+        executed as sequential ``move_range`` handovers (each one epoch
+        bump).  The returned future resolves with the final
+        :class:`RangeMap` once the last handover committed.
+        """
+        shard = self.add_shard(shard_spec)
+        moves = split_moves(self.partitioner.range_map, shard_spec.shard_id)
+        done = SimFuture(name=f"split:{shard_spec.shard_id}")
+
+        def run_next(index: int) -> None:
+            if index >= len(moves):
+                done.resolve(self.partitioner.range_map)
+                return
+            lo, hi, src = moves[index]
+            self.move_range(lo, hi, src, shard_spec.shard_id).add_callback(
+                lambda _map: run_next(index + 1)
+            )
+
+        run_next(0)
+        return done
+
+    def _adopt_map(self, range_map: RangeMap) -> None:
+        """Flip routing to a newer table (no-op for stale ones) and
+        release every live session's ops parked behind the epoch bump."""
+        if self.partitioner.advance(range_map):
+            for session in list(self.sessions.values()):
+                # Parked ops first (they are the oldest unresolved ops of
+                # their keys), then splice mis-routed queue backlogs over
+                # to their new owners and re-pin.
+                session._release_parked()
+                session._rebalance_queues()
+
 
 # ----------------------------------------------------------------------
 # The builder
@@ -277,6 +430,46 @@ def _agreement_factory(spec: ClusterSpec):
     return None
 
 
+def _materialise_shard(
+    sim, network, spec: ClusterSpec, shard_spec: ShardSpec, factory, prefix: str
+) -> Shard:
+    """Build one shard's node graph (shared by the builder and the live
+    ``Cluster.add_shard`` path, so both produce identical shards)."""
+    config = spec.config
+    if prefix:
+        # Each shard gets its own admin principal; everything else is
+        # shared.  (The nested PbftConfig is immutable in practice —
+        # pbft_config() derives a fresh one per shard.)
+        config = replace(spec.config, admins=(f"{prefix}admin",))
+    shard = Shard(
+        sim,
+        config=config,
+        network=network,
+        agreement_region=shard_spec.agreement_region,
+        app_factory=spec.app_factory,
+        agreement_factory=factory,
+        execute_locally=spec.execute_locally,
+        agreement_zones=(
+            list(shard_spec.agreement_zones)
+            if shard_spec.agreement_zones is not None
+            else None
+        ),
+        agreement_sites=(
+            list(shard_spec.agreement_sites)
+            if shard_spec.agreement_sites is not None
+            else None
+        ),
+        name_prefix=prefix,
+    )
+    for group in shard_spec.groups:
+        shard.add_execution_group(
+            group.group_id,
+            group.region,
+            sites=list(group.sites) if group.sites is not None else None,
+        )
+    return shard
+
+
 def _build_cluster(sim, spec: ClusterSpec, network: Optional[Network]) -> Cluster:
     spec.validate()
     network = network or Network(sim, Topology())
@@ -285,39 +478,9 @@ def _build_cluster(sim, spec: ClusterSpec, network: Optional[Network]) -> Cluste
     shards: Dict[str, Shard] = {}
     for shard_spec in spec.shards:
         prefix = f"{shard_spec.shard_id}-" if multi else ""
-        config = spec.config
-        if multi:
-            # Each shard gets its own admin principal; everything else is
-            # shared.  (The nested PbftConfig is immutable in practice —
-            # pbft_config() derives a fresh one per shard.)
-            config = replace(spec.config, admins=(f"{prefix}admin",))
-        shard = Shard(
-            sim,
-            config=config,
-            network=network,
-            agreement_region=shard_spec.agreement_region,
-            app_factory=spec.app_factory,
-            agreement_factory=factory,
-            execute_locally=spec.execute_locally,
-            agreement_zones=(
-                list(shard_spec.agreement_zones)
-                if shard_spec.agreement_zones is not None
-                else None
-            ),
-            agreement_sites=(
-                list(shard_spec.agreement_sites)
-                if shard_spec.agreement_sites is not None
-                else None
-            ),
-            name_prefix=prefix,
+        shards[shard_spec.shard_id] = _materialise_shard(
+            sim, network, spec, shard_spec, factory, prefix
         )
-        for group in shard_spec.groups:
-            shard.add_execution_group(
-                group.group_id,
-                group.region,
-                sites=list(group.sites) if group.sites is not None else None,
-            )
-        shards[shard_spec.shard_id] = shard
     return Cluster(sim, network, spec, shards)
 
 

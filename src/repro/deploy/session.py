@@ -45,6 +45,8 @@ from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.deploy.middleware import CLOSED, Op, OpContext, Rejected, Served
+from repro.elastic.messages import Migrating, WrongShard
+from repro.elastic.rangemap import RangeMap
 from repro.sim.futures import SimFuture
 
 __all__ = ["Consistency", "Session"]
@@ -84,6 +86,26 @@ class Session:
         #: per-shard middleware contexts, only populated when the spec
         #: declares a chain (the empty-chain fast path allocates nothing).
         self._contexts: Dict[str, OpContext] = {}
+        # --- elastic-keyspace routing state (repro.elastic) -----------
+        #: unresolved ordered ops per key, and the shard each key's
+        #: unresolved ops are pinned to.  Per-key FIFO across a range
+        #: handover follows from the *follow-the-previous-op* rule: while
+        #: any op for a key is unresolved, new ops for it route to the
+        #: same shard the first one went to (redirects there happen in
+        #: submission order), and only once the count drains to zero does
+        #: the key route by the current table again.  Single-epoch
+        #: deployments see identical routing — the pinned shard always
+        #: equals the table's owner.
+        self._key_pending: Dict[str, int] = {}
+        self._key_target: Dict[str, str] = {}
+        #: key of the op currently on the wire per shard (None when idle)
+        #: — a flip cannot re-route a key whose redirect stream is still
+        #: in motion at the old owner.
+        self._inflight: Dict[str, Optional[str]] = {}
+        #: ordered ops rejected with ``Migrating`` mid-handover, parked
+        #: until the routing epoch reaches the handover's: released (in
+        #: arrival order) by ``Cluster._adopt_map`` at the commit flip.
+        self._parked: Deque[Tuple[int, str, str, Tuple, SimFuture, Any]] = deque()
 
     # ------------------------------------------------------------------
     # Public API
@@ -151,6 +173,16 @@ class Session:
                 if op is not None and chain is not None:
                     chain.complete(self._context(shard_id), op, rejected)
                 future.try_resolve(rejected)
+        while self._parked:
+            # Ops parked behind an in-flight handover are queued ops too:
+            # shed them the same way rather than hanging their futures.
+            _epoch, _kind, key, _operation, future, op = self._parked.popleft()
+            rejected = Rejected(CLOSED, by="session")
+            shard_id = self.cluster.partitioner.owner(key)
+            chain = self._chain(shard_id)
+            if op is not None and chain is not None:
+                chain.complete(self._context(shard_id), op, rejected)
+            future.try_resolve(rejected)
         for shard_id in list(self._contexts):
             chain = self._chain(shard_id)
             if chain is not None:
@@ -169,9 +201,11 @@ class Session:
 
     @property
     def pending_ops(self) -> int:
-        """Ordered operations queued or in flight across all shards."""
-        return sum(len(q) for q in self._queues.values()) + sum(
-            1 for busy in self._busy.values() if busy
+        """Ordered operations queued, parked, or in flight."""
+        return (
+            sum(len(q) for q in self._queues.values())
+            + len(self._parked)
+            + sum(1 for busy in self._busy.values() if busy)
         )
 
     # ------------------------------------------------------------------
@@ -225,7 +259,11 @@ class Session:
 
     def _submit_ordered(self, kind: str, key: str, operation: Tuple) -> SimFuture:
         self._check_open()
-        shard_id = self.cluster.partitioner.owner(key)
+        # Follow-the-previous-op: a key with unresolved ordered ops keeps
+        # routing to their shard even if the table flipped underneath —
+        # the old owner redirects them in order, preserving per-key FIFO
+        # across a range handover (see the field docs above).
+        shard_id = self._key_target.get(key) or self.cluster.partitioner.owner(key)
         chain = self._chain(shard_id)
         op: Optional[Op] = None
         if chain is not None:
@@ -246,6 +284,7 @@ class Session:
         self._client(shard_id)  # ensure queue exists
         future = SimFuture(name=f"{self.name}.{kind}:{key}")
         self._track(future, kind, key)
+        self._note_issued(key, shard_id, future)
         self._queues[shard_id].append((kind, operation, future, op))
         self._pump(shard_id)
         return future
@@ -260,21 +299,142 @@ class Session:
             return
         kind, operation, outer, op = queue.popleft()
         self._busy[shard_id] = True
+        self._inflight[shard_id] = operation[1]
         client = self._clients[shard_id]
         if kind == "write":
             inner = client.write(operation)
         else:
             inner = client.strong_read(operation)
-        inner.add_callback(lambda result: self._on_done(shard_id, outer, result, op))
+        inner.add_callback(
+            lambda result: self._on_done(shard_id, outer, result, op, kind, operation)
+        )
 
-    def _on_done(self, shard_id: str, outer: SimFuture, result: Any, op=None) -> None:
+    def _on_done(
+        self, shard_id: str, outer: SimFuture, result: Any,
+        op=None, kind=None, operation=None,
+    ) -> None:
         self._busy[shard_id] = False
+        self._inflight[shard_id] = None
+        if isinstance(result, (Migrating, WrongShard)) and operation is not None:
+            # The old owner ordered the op but shed it mid-handover: the
+            # op never executed there, so resubmitting it (to the new
+            # owner, possibly after parking for the epoch bump) keeps
+            # exactly-once intact.  A closed session cannot open new
+            # shard clients — shed like a queued op at close instead.
+            if not self.closed:
+                self._redirect(outer, result, op, kind, operation)
+                self._pump(shard_id)
+                return
+            result = Rejected(CLOSED, by="session")
         if op is not None:
             chain = self._chain(shard_id)
             if chain is not None:
                 chain.complete(self._context(shard_id), op, result)
         outer.try_resolve(result)
         self._pump(shard_id)
+
+    # ------------------------------------------------------------------
+    # Elastic-keyspace internals (redirects, parking, key pinning)
+    # ------------------------------------------------------------------
+    def _redirect(self, outer: SimFuture, result, op, kind: str, operation: Tuple) -> None:
+        key = operation[1]
+        partitioner = self.cluster.partitioner
+        if isinstance(result, WrongShard):
+            # The redirect carries the authoritative table: adopt it (a
+            # no-op if we already have a newer one — that also releases
+            # any ops parked behind this very epoch, keeping them ahead
+            # of the op being redirected now), then chase the new owner.
+            self.cluster._adopt_map(RangeMap.from_wire(result.range_map))
+            self._enqueue_redirect(partitioner.owner(key), kind, key, operation, outer, op)
+        elif partitioner.epoch >= result.new_epoch:
+            # Migrating, but the flip already happened here: resubmit.
+            self._enqueue_redirect(partitioner.owner(key), kind, key, operation, outer, op)
+        else:
+            # Migrating and the handover is still in flight: park until
+            # Cluster._adopt_map flips the table at commit.
+            self._parked.append((result.new_epoch, kind, key, operation, outer, op))
+
+    def _enqueue_redirect(
+        self, shard_id: str, kind: str, key: str, operation: Tuple,
+        future: SimFuture, op,
+    ) -> None:
+        # Deliberately does NOT touch _key_target: earlier ops for the
+        # key may still be queued at the old owner, and new submissions
+        # must keep lining up behind them there (they get redirected in
+        # order; jumping ahead to the new owner would reorder the key).
+        self._client(shard_id)
+        self._queues[shard_id].append((kind, operation, future, op))
+        self._pump(shard_id)
+
+    def _release_parked(self) -> None:
+        """Resubmit parked ops whose epoch arrived (in arrival order)."""
+        if not self._parked:
+            return
+        epoch = self.cluster.partitioner.epoch
+        ready: list = []
+        keep: Deque = deque()
+        for entry in self._parked:
+            (ready if entry[0] <= epoch else keep).append(entry)
+        self._parked = keep
+        for _epoch, kind, key, operation, future, op in ready:
+            self._enqueue_redirect(
+                self.cluster.partitioner.owner(key), kind, key, operation, future, op
+            )
+
+    def _rebalance_queues(self) -> None:
+        """Re-route queued ops stranded behind a table flip.
+
+        Without this, a key with a standing backlog never unpins: its
+        pending count never drains to zero, so every subsequent op pays
+        an ordering round at the old owner just to be shed and chased to
+        the new one — the new shard only ever sees second-hand traffic.
+        After a flip, any key whose unresolved ops are *all* plain queue
+        entries in one mis-routed queue (none on the wire, none parked —
+        those redirect streams are still in motion and must stay ahead)
+        can move en bloc: the entries splice onto the owning shard's
+        queue in submission order, and the pin flips so new submissions
+        line up behind them there.  Per-key FIFO holds by construction —
+        every earlier unresolved op of the key either moves inside the
+        block or already sits in the destination queue.
+        """
+        partitioner = self.cluster.partitioner
+        frozen = {key for key in self._inflight.values() if key is not None}
+        frozen |= {entry[2] for entry in self._parked}
+        homes: Dict[str, set] = {}
+        for shard_id, queue in self._queues.items():
+            for entry in queue:
+                homes.setdefault(entry[1][1], set()).add(shard_id)
+        for key in sorted(homes):
+            if key in frozen or len(homes[key]) != 1:
+                continue
+            (current,) = homes[key]
+            owner = partitioner.owner(key)
+            if owner == current:
+                continue
+            queue = self._queues[current]
+            moving = [entry for entry in queue if entry[1][1] == key]
+            self._queues[current] = deque(
+                entry for entry in queue if entry[1][1] != key
+            )
+            self._client(owner)
+            self._queues[owner].extend(moving)
+            self._key_target[key] = owner
+            self._pump(owner)
+
+    def _note_issued(self, key: str, shard_id: str, future: SimFuture) -> None:
+        self._key_pending[key] = self._key_pending.get(key, 0) + 1
+        self._key_target.setdefault(key, shard_id)
+        future.add_callback(lambda _result: self._note_settled(key))
+
+    def _note_settled(self, key: str) -> None:
+        remaining = self._key_pending.get(key, 0) - 1
+        if remaining > 0:
+            self._key_pending[key] = remaining
+        else:
+            # Last unresolved op for the key: unpin — the next submission
+            # routes by the then-current table.
+            self._key_pending.pop(key, None)
+            self._key_target.pop(key, None)
 
     def _track(self, future: SimFuture, kind: str, key: str) -> None:
         issued_at = self.cluster.sim.now

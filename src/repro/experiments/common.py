@@ -116,8 +116,8 @@ def build_spider(
 ) -> Shard:
     """Build the paper's Spider deployment from :func:`spider_spec`.
 
-    Returns the cluster's single shard — the historical ``SpiderSystem``
-    surface — so figure runners keep their direct group/client access."""
+    Returns the cluster's single shard — the hand-wiring surface — so
+    figure runners keep their direct group/client access."""
     cluster = build(
         sim,
         spider_spec(regions=regions, leader_zone_order=leader_zone_order, config=config),

@@ -16,6 +16,10 @@ Built-in here:
 * ``overload`` — the flash-crowd A/B body: replay a precomputed
   open-loop plan against the spec's cluster topology (with or without a
   middleware chain) and summarise latency/backlog/SLO counters.
+* ``reshard``  — the elastic-keyspace campaign cell: chaos semantics
+  plus an up-front replay of the scenario's ``moves`` handover plan, so
+  malformed plans (overlaps, unknown shards, epoch regressions) die at
+  validation time.
 
 Registered on import elsewhere:
 
@@ -130,6 +134,7 @@ class ChaosStack:
                 "workload in 'scale' knobs; omit 'workload'"
             )
         harness = self._harness(spec)  # raises on unknown config/knobs
+        harness.validate_knobs()  # raises on malformed knob values
         declared = tuple(sorted(spec.invariants))
         expected = tuple(sorted(harness.invariant_names))
         if declared != expected:
@@ -170,6 +175,34 @@ class ChaosStack:
             "campaign_fingerprint": result.fingerprint(),
             "events": result.stats.get("events"),
         }
+
+
+# ======================================================================
+# reshard
+# ======================================================================
+class ReshardStack(ChaosStack):
+    """The elastic-keyspace campaign cell.
+
+    Execution is the chaos stack's, byte for byte; the point of the
+    dedicated name is validation.  On top of the chaos checks (and the
+    harness's own ``validate_knobs`` replay, which rejects overlapping
+    ranges, unknown source/destination shards and epoch regressions via
+    :func:`repro.elastic.validate_moves`), the configuration must
+    actually carry a non-empty ``moves`` handover plan — a reshard cell
+    that silently degraded into a static-topology chaos run would claim
+    coverage it does not have.
+    """
+
+    name = "reshard"
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        super().validate(spec)
+        harness = self._harness(spec)
+        if not getattr(harness, "moves", None):
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: the reshard stack needs a chaos "
+                "config carrying a non-empty 'moves' handover plan"
+            )
 
 
 # ======================================================================
@@ -325,4 +358,5 @@ class OverloadStack:
 
 
 register_stack(ChaosStack())
+register_stack(ReshardStack())
 register_stack(OverloadStack())

@@ -1,12 +1,19 @@
 """Workload generation: closed-loop client populations and open-loop traffic."""
 
 from repro.workload.clients import ClosedLoopDriver, OperationMix, drive_clients
-from repro.workload.traffic import ZipfianKeys, flash_crowd, flash_plan, open_loop_plan
+from repro.workload.traffic import (
+    ZipfianKeys,
+    diurnal_ramp,
+    flash_crowd,
+    flash_plan,
+    open_loop_plan,
+)
 
 __all__ = [
     "ClosedLoopDriver",
     "OperationMix",
     "ZipfianKeys",
+    "diurnal_ramp",
     "drive_clients",
     "flash_crowd",
     "flash_plan",

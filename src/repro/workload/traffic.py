@@ -11,6 +11,9 @@ the deterministic ingredients:
   most of the traffic, the classic cache-friendly skew);
 * :func:`flash_crowd` — a step rate profile: baseline, a burst window at
   a multiple of saturation, then baseline again;
+* :func:`diurnal_ramp` — a smooth day/night rate curve (sinusoid between
+  a low and a high watermark), the background load for live-operations
+  studies such as resharding;
 * :func:`open_loop_plan` — a precomputed Poisson arrival schedule.  The
   plan is generated once from a seeded RNG and can be replayed against
   *different* deployments (e.g. with and without middleware), so an A/B
@@ -20,10 +23,17 @@ the deterministic ingredients:
 from __future__ import annotations
 
 import bisect
+import math
 import random
 from typing import Any, Callable, List, Tuple
 
-__all__ = ["ZipfianKeys", "flash_crowd", "open_loop_plan", "flash_plan"]
+__all__ = [
+    "ZipfianKeys",
+    "diurnal_ramp",
+    "flash_crowd",
+    "open_loop_plan",
+    "flash_plan",
+]
 
 
 class ZipfianKeys:
@@ -67,6 +77,34 @@ def flash_crowd(
         if peak_start_ms <= now_ms < peak_end_ms:
             return peak_rate
         return base_rate
+
+    return rate_of
+
+
+def diurnal_ramp(
+    low_rate: float, high_rate: float, period_ms: float, phase_ms: float = 0.0
+) -> Callable[[float], float]:
+    """A smooth sinusoidal rate profile in ops/s: ``low`` ↔ ``high``.
+
+    Models the diurnal traffic cycle every long-running service rides:
+    the rate starts at ``low_rate`` (``phase_ms=0``), climbs to
+    ``high_rate`` half a ``period_ms`` later, and returns — continuously
+    differentiable, so there is no step edge to hide behind.  Live
+    operations (resharding, rolling upgrades) are exercised against this
+    shape because the interesting question is how they behave while the
+    load keeps *changing*, not at a convenient plateau.  Returns a
+    ``rate(now_ms)`` callable for :func:`open_loop_plan`.
+    """
+    if low_rate <= 0.0 or high_rate < low_rate:
+        raise ValueError("need 0 < low_rate <= high_rate")
+    if period_ms <= 0.0:
+        raise ValueError("period_ms must be positive")
+    mid = (low_rate + high_rate) / 2.0
+    swing = (high_rate - low_rate) / 2.0
+
+    def rate_of(now_ms: float) -> float:
+        angle = 2.0 * math.pi * (now_ms - phase_ms) / period_ms
+        return mid - swing * math.cos(angle)
 
     return rate_of
 

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.app.kvstore import KVStore
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -35,7 +35,7 @@ def build_system(seed, regions=("virginia", "tokyo"), **config_kwargs):
     sim = Simulator(seed=seed)
     network = Network(sim, Topology(), jitter=0.0)
     config = SpiderConfig(**config_kwargs)
-    system = SpiderSystem(
+    system = Shard(
         sim, config=config, network=network, app_factory=RecordingKVStore
     )
     for index, region in enumerate(regions):
@@ -232,7 +232,7 @@ class TestCheckpointCadence:
         sim = Simulator(seed=1)
         network = Network(sim, Topology(), jitter=3.0)
         config = SpiderConfig(batch_size=3, batch_timeout_ms=5.0, ke=4, ka=4, ag_window=8)
-        system = SpiderSystem(
+        system = Shard(
             sim, config=config, network=network, app_factory=RecordingKVStore
         )
         system.add_execution_group("g0", "virginia")

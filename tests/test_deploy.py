@@ -6,7 +6,7 @@ Three pillars:
   before any node exists, with the offending id in the message.
 * **Byte-parity** — a 1-shard spec builds a system whose full run (reply
   traces, journals, event count, simulated clock) is byte-identical to
-  the historical hand-wired ``SpiderSystem`` path.
+  the historical hand-wired ``Shard`` path.
 * **Multi-shard routing invariants** — per-key FIFO, exactly-once across
   shards, single-owner placement, and cross-shard parallelism of the
   session surface.
@@ -16,7 +16,7 @@ import pytest
 
 from repro.app.kvstore import KVStore
 from repro.chaos.invariants import check_client_fifo, check_exactly_once
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
 from repro.deploy import (
     BftSpec,
     ClusterSpec,
@@ -229,14 +229,14 @@ def full_trace(sim, clients, replies, groups):
 class TestSpecParity:
     @pytest.mark.parametrize("seed", [1, 7, 23])
     def test_one_shard_spec_is_byte_identical_to_hand_wired(self, seed):
-        """The acceptance bar: spec-built 1-shard == hand-wired SpiderSystem
+        """The acceptance bar: spec-built 1-shard == hand-wired Shard
         on reply traces, journals, and simulator stats — byte for byte."""
         traces = []
         for mode in ("hand", "spec"):
             sim = Simulator(seed=seed)
             network = Network(sim, Topology(), jitter=0.0)
             if mode == "hand":
-                system = SpiderSystem(
+                system = Shard(
                     sim,
                     config=SpiderConfig(),
                     network=network,

@@ -1,0 +1,284 @@
+"""Elastic keyspace determinism: the routing table is a pure function.
+
+The ``RangeMap`` replaced ``crc32 mod N`` as the key -> shard oracle, so
+its determinism guarantees carry the sharded deployment's byte-parity
+story: the epoch-0 striped table must equal the historical modulo
+placement entry for entry, every key must be owned by exactly one shard
+at every epoch, the canonical fingerprint must be stable under entry
+order and same-owner runs, and every malformed table, move or suite knob
+must die with :class:`~repro.errors.ConfigurationError` while the system
+is still pure data.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.deploy import ClusterSpec, GroupSpec, KeyPartitioner, ShardSpec, build
+from repro.elastic import (
+    SLOTS_PER_SHARD,
+    RangeMap,
+    slot_of,
+    split_moves,
+    validate_moves,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.common import fresh_env
+from repro.scenarios import ScenarioSpec
+
+
+# ----------------------------------------------------------------------
+# epoch 0 == crc32 mod N, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4])
+def test_striped_table_reproduces_modulo_partitioner(n_shards):
+    ids = tuple(f"s{index}" for index in range(n_shards))
+    range_map = RangeMap.modulo(ids)
+    for index in range(500):
+        key = f"key-{index}"
+        digest = zlib.crc32(key.encode("utf-8"))
+        assert range_map.owner(key) == ids[digest % n_shards]
+
+
+def test_slot_of_is_crc32_of_str():
+    assert slot_of("key-7", 16) == zlib.crc32(b"key-7") % 16
+    # Non-string keys hash through str(), same as the old partitioner.
+    assert slot_of(1234, 16) == zlib.crc32(b"1234") % 16
+
+
+# ----------------------------------------------------------------------
+# exhaustive ownership: one owner per slot, every epoch
+# ----------------------------------------------------------------------
+def test_every_slot_owned_by_exactly_one_shard_across_epochs():
+    ids = ("sa", "sb", "sc")
+    range_map = RangeMap.modulo(ids)
+    tables = [range_map]
+    # Walk a handover chain: each table derives the next by one move.
+    for lo, hi, src, dst in [(0, 1, "sa", "sb"), (3, 4, "sa", "sc"), (1, 2, "sb", "sc")]:
+        tables.append(tables[-1].move(lo, hi, src, dst))
+    for epoch, table in enumerate(tables):
+        assert table.epoch == epoch
+        # owner_of_slot is total over the slot space...
+        assignment = [table.owner_of_slot(slot) for slot in range(table.slots)]
+        # ...and the per-shard views partition it exactly.
+        claimed = sorted(
+            slot for owner in table.owners() for slot in table.slots_of(owner)
+        )
+        assert claimed == list(range(table.slots))
+        for owner in table.owners():
+            for lo, hi in table.ranges_of(owner):
+                assert assignment[lo:hi] == [owner] * (hi - lo)
+        # Every key routes through its slot — no second opinion anywhere.
+        for index in range(200):
+            key = f"key-{index}"
+            assert table.owner(key) == assignment[table.slot_of(key)]
+
+
+# ----------------------------------------------------------------------
+# canonical fingerprint stability
+# ----------------------------------------------------------------------
+def test_fingerprint_is_stable_and_order_independent():
+    ids = ("sa", "sb")
+    base = RangeMap.modulo(ids)
+    # Pinned: the epoch-0 two-shard table is a committed identity.
+    assert base.fingerprint() == RangeMap.modulo(ids).fingerprint()
+    # Entry order and same-owner runs canonicalise away.
+    shuffled = RangeMap(base.slots, tuple(reversed(base.entries)), epoch=0)
+    verbose = RangeMap(
+        base.slots,
+        tuple((slot, base.owner_of_slot(slot)) for slot in range(base.slots)),
+        epoch=0,
+    )
+    assert shuffled == base and shuffled.fingerprint() == base.fingerprint()
+    assert verbose == base and verbose.fingerprint() == base.fingerprint()
+    # A move produces a *different* identity (epoch and entries both count).
+    moved = base.move(2, 3, "sa", "sb")
+    assert moved.fingerprint() != base.fingerprint()
+    # Wire roundtrip preserves identity exactly.
+    assert RangeMap.from_wire(moved.to_wire()) == moved
+    assert RangeMap.from_wire(moved.to_wire()).fingerprint() == moved.fingerprint()
+
+
+def test_rangemap_constructor_fail_fast():
+    with pytest.raises(ConfigurationError, match="at least one entry"):
+        RangeMap(8, ())
+    with pytest.raises(ConfigurationError, match="start at slot 0"):
+        RangeMap(8, ((1, "sa"),))
+    with pytest.raises(ConfigurationError, match="duplicate range start"):
+        RangeMap(8, ((0, "sa"), (4, "sb"), (4, "sc")))
+    with pytest.raises(ConfigurationError, match="outside slot space"):
+        RangeMap(8, ((0, "sa"), (8, "sb")))
+    with pytest.raises(ConfigurationError, match="positive int"):
+        RangeMap(0, ((0, "sa"),))
+
+
+def test_move_fail_fast():
+    table = RangeMap.modulo(("sa", "sb"))  # sa: even slots, sb: odd
+    with pytest.raises(ConfigurationError, match="belongs to 'sb', not 'sa'"):
+        table.move(1, 2, "sa", "sb")
+    with pytest.raises(ConfigurationError, match="outside slot space"):
+        table.move(2, 2, "sa", "sb")  # empty range
+    with pytest.raises(ConfigurationError, match="outside slot space"):
+        table.move(14, 17, "sa", "sb")
+    with pytest.raises(ConfigurationError, match="to itself"):
+        table.move(2, 3, "sa", "sa")
+
+
+# ----------------------------------------------------------------------
+# keys_for fail-fast (the workload helper must never spin)
+# ----------------------------------------------------------------------
+def test_keys_for_unknown_shard_fails_fast():
+    partitioner = KeyPartitioner(("sa", "sb"))
+    with pytest.raises(ConfigurationError, match="no shard 'sz'"):
+        partitioner.keys_for("sz", 4)
+
+
+def test_keys_for_slotless_newcomer_fails_fast():
+    partitioner = KeyPartitioner(("sa", "sb"))
+    partitioner.register_shard("sc")  # known, but owns nothing yet
+    with pytest.raises(ConfigurationError, match="owns no slots in epoch 0"):
+        partitioner.keys_for("sc", 4)
+
+
+def test_keys_for_returns_owned_keys():
+    partitioner = KeyPartitioner(("sa", "sb"))
+    keys = partitioner.keys_for("sb", 5)
+    assert len(keys) == 5
+    assert all(partitioner.owner(key) == "sb" for key in keys)
+
+
+# ----------------------------------------------------------------------
+# planners: split_moves and validate_moves
+# ----------------------------------------------------------------------
+def test_split_moves_gives_newcomer_the_prefix():
+    table = RangeMap.modulo(("sa", "sb"))
+    moves = split_moves(table, "sc")
+    target = table.slots // 3
+    # Replay the plan: each entry is one epoch bump; afterwards the
+    # newcomer owns exactly the prefix slice and nobody lost anything else.
+    replay = table
+    for lo, hi, src in moves:
+        replay = replay.move(lo, hi, src, "sc")
+    assert replay.slots_of("sc") == tuple(range(target))
+    assert replay.epoch == len(moves)
+    for slot in range(target, table.slots):
+        assert replay.owner_of_slot(slot) == table.owner_of_slot(slot)
+    # Planning against the post-split table is a no-op.
+    assert split_moves(replay, "sc") == []
+
+
+def test_validate_moves_accepts_a_well_formed_plan():
+    final = validate_moves(("sa", "sb"), [(2, 3, "sa", "sb", 1), (6, 7, "sa", "sb", 2)])
+    assert final.epoch == 2
+    assert final.owner_of_slot(2) == "sb" and final.owner_of_slot(6) == "sb"
+
+
+@pytest.mark.parametrize(
+    "moves, message",
+    [
+        ([(2, 3, "sa", "sz", 1)], "unknown dst shard 'sz'"),
+        ([(2, 3, "sz", "sb", 1)], "unknown src shard 'sz'"),
+        ([(2, 3, "sa", "sb", 2)], "not the successor"),
+        ([(2, 3, "sa", "sb", 1), (2, 3, "sa", "sb", 2)], "belongs to 'sb'"),
+        ([(1, 2, "sa", "sb", 1)], "belongs to 'sb'"),
+        ([(2, 3, "sa")], r"expected \(lo, hi, src, dst, epoch\)"),
+    ],
+)
+def test_validate_moves_rejects_malformed_plans(moves, message):
+    with pytest.raises(ConfigurationError, match=message):
+        validate_moves(("sa", "sb"), moves)
+
+
+# ----------------------------------------------------------------------
+# suite knobs: malformed reshard plans die at ScenarioSpec.validate()
+# ----------------------------------------------------------------------
+def _reshard_spec(**scale) -> ScenarioSpec:
+    fields = dict(
+        move_at_ms=4000.0, movers=1, requests_per_session=2,
+        sessions_per_shard=1, shard_ids=["sa", "sb"],
+    )
+    fields.update(scale)
+    return ScenarioSpec.of(
+        name="probe",
+        stack="reshard",
+        params={"config": "spider-reshard"},
+        faults={"palette": ["crash"], "max_actions": 1},
+        invariants=[
+            "journal-agreement", "exactly-once", "journal-subsequence",
+            "completion", "state-completion", "client-fifo",
+            "recovered-frontier", "reshard-handover",
+        ],
+        scale=fields,
+    )
+
+
+def test_reshard_spec_accepts_a_valid_plan():
+    _reshard_spec(moves=[[2, 3, "sa", "sb", 1]]).validate()
+
+
+@pytest.mark.parametrize(
+    "moves, message",
+    [
+        ([[2, 3, "sa", "sz", 1]], "unknown dst shard 'sz'"),
+        ([[2, 3, "sa", "sb", 3]], "not the successor"),
+        ([[2, 3, "sa", "sb", 1], [2, 3, "sa", "sb", 2]], "belongs to 'sb'"),
+        ([], "non-empty 'moves'"),
+    ],
+)
+def test_reshard_spec_rejects_malformed_knobs(moves, message):
+    with pytest.raises(ConfigurationError, match=message):
+        _reshard_spec(moves=moves).validate()
+
+
+def test_reshard_suite_file_validates():
+    import pathlib
+
+    from repro.scenarios import load_suite
+
+    suite = load_suite(pathlib.Path(__file__).parent.parent / "suites" / "reshard.yaml")
+    assert sorted(spec.name for spec in suite.scenarios) == [
+        "spider-reshard", "spider-reshard-double",
+    ]
+    assert suite.seeds == tuple(range(1, 13))
+
+
+# ----------------------------------------------------------------------
+# live handover: versions continue 1..n across the ownership change
+# ----------------------------------------------------------------------
+def test_move_range_preserves_versions_and_rebalances_routing():
+    sim, network = fresh_env(seed=3, jitter=0.0)
+    spec = ClusterSpec(
+        shards=(
+            ShardSpec("sa", groups=(GroupSpec("ga", "virginia"),)),
+            ShardSpec("sb", groups=(GroupSpec("gb", "virginia"),)),
+        )
+    )
+    cluster = build(sim, spec, network=network)
+    session = cluster.session("u1", "virginia")
+    [key] = [
+        key for key in (f"m{index}" for index in range(200))
+        if cluster.partitioner.range_map.slot_of(key) == 2
+    ][:1]
+    assert cluster.partitioner.owner(key) == "sa"  # striping: even -> sa
+
+    results = []
+    for index in range(3):
+        session.write(key, f"pre-{index}").add_callback(results.append)
+    moved = {}
+    cluster.move_range(2, 3, "sa", "sb").add_callback(
+        lambda table: moved.update(epoch=table.epoch)
+    )
+    for index in range(3):
+        session.write(key, f"post-{index}").add_callback(results.append)
+    sim.run(until=60_000)
+
+    assert moved == {"epoch": 1}
+    assert cluster.partitioner.owner(key) == "sb"
+    # Exactly once, in order, across the cut: versions are 1..6.
+    assert [result for result in results] == [("ok", v) for v in range(1, 7)]
+    # The pin followed the key: new submissions route straight to sb.
+    session.write(key, "epilogue")
+    assert session._key_target[key] == "sb"
+    sim.run(until=120_000)

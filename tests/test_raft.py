@@ -161,14 +161,14 @@ class TestBatching:
         """The Raft baseline exposes the same batching interface, so
         batching ablations compare PBFT and Raft on equal footing."""
         from repro.consensus.raft import RaftConfig, RaftReplica
-        from repro.core import SpiderConfig, SpiderSystem
+        from repro.core import Shard, SpiderConfig
         from repro.net import Network, Topology
         from repro.sim import Simulator
 
         sim = Simulator(seed=9)
         network = Network(sim, Topology(), jitter=0.0)
         config = SpiderConfig(batch_size=4, batch_timeout_ms=20.0)
-        system = SpiderSystem(
+        system = Shard(
             sim,
             config=config,
             network=network,
@@ -203,13 +203,13 @@ class TestSpiderOverRaft:
         """The modularity payoff: Spider's execution groups and IRMCs run
         unchanged over a crash-tolerant agreement group."""
         from repro.consensus.raft import RaftConfig, RaftReplica
-        from repro.core import SpiderConfig, SpiderSystem
+        from repro.core import Shard, SpiderConfig
         from repro.net import Network, Topology
         from repro.sim import Simulator
 
         sim = Simulator(seed=9)
         network = Network(sim, Topology(), jitter=0.0)
-        system = SpiderSystem(
+        system = Shard(
             sim,
             config=SpiderConfig(),
             network=network,

@@ -33,7 +33,8 @@ def test_chaos_suite_declares_the_full_sweep():
         [
             "pbft", "pbft-vc-crash", "pbft-wipe", "raft", "raft-skew",
             "spider", "spider-cp-crash", "spider-disk", "spider-shard",
-            "irmc-rc", "irmc-sc", "irmc-sc-wipe", "irmc-equivocate",
+            "spider-reshard", "irmc-rc", "irmc-sc", "irmc-sc-wipe",
+            "irmc-equivocate",
         ]
     )
     assert suite.seeds == tuple(range(1, 13))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -11,7 +11,7 @@ def build_system(regions=("virginia", "tokyo"), seed=1, **config_kwargs):
     sim = Simulator(seed=seed)
     network = Network(sim, Topology(), jitter=0.0)
     config = SpiderConfig(**config_kwargs)
-    system = SpiderSystem(sim, config=config, network=network)
+    system = Shard(sim, config=config, network=network)
     for index, region in enumerate(regions):
         system.add_execution_group(f"g{index}", region)
     return sim, system

@@ -1,7 +1,7 @@
 """Tests for Spider's runtime adaptability (Section 3.6) and modularity."""
 
 from repro.consensus import SingleSequencer
-from repro.core import SpiderConfig, SpiderSystem
+from repro.core import Shard, SpiderConfig
 from repro.net import Network, Topology
 from repro.sim import Simulator
 
@@ -98,7 +98,7 @@ class TestAgreementModularity:
         sim = Simulator(seed=3)
         network = Network(sim, Topology(), jitter=0.0)
         config = SpiderConfig(fa=0)
-        system = SpiderSystem(
+        system = Shard(
             sim,
             config=config,
             network=network,
