@@ -341,6 +341,10 @@ class ExecutionReplica(RoutedNode):
                 book.sealed[(lo, hi)] = (new_epoch, dst)
                 payload = ("sealed", self.app.export_keys(self._keys_in_range(lo, hi, slots)))
             elif phase == "install":
+                # A shard can re-acquire a range it handed away earlier:
+                # clear any stale sealed/dropped cover first, or every
+                # ordered op on the returned range would shed forever.
+                book.uncover(lo, hi)
                 self.app.import_keys(items)
                 payload = ("installed", len(items))
             elif phase == "commit":

@@ -165,23 +165,28 @@ class Session:
         if self.closed:
             return
         self.closed = True
-        for shard_id, queue in self._queues.items():
-            chain = self._chain(shard_id)
+        for queue in self._queues.values():
             while queue:
                 _kind, _operation, future, op = queue.popleft()
                 rejected = Rejected(CLOSED, by="session")
-                if op is not None and chain is not None:
-                    chain.complete(self._context(shard_id), op, rejected)
+                if op is not None:
+                    # Complete against the shard the chain was begun on
+                    # (``op.shard_id``) — after a redirect an op can sit
+                    # in another shard's queue, and the begin/complete
+                    # pair must hit the same per-shard context.
+                    chain = self._chain(op.shard_id)
+                    if chain is not None:
+                        chain.complete(self._context(op.shard_id), op, rejected)
                 future.try_resolve(rejected)
         while self._parked:
             # Ops parked behind an in-flight handover are queued ops too:
             # shed them the same way rather than hanging their futures.
-            _epoch, _kind, key, _operation, future, op = self._parked.popleft()
+            _epoch, _kind, _key, _operation, future, op = self._parked.popleft()
             rejected = Rejected(CLOSED, by="session")
-            shard_id = self.cluster.partitioner.owner(key)
-            chain = self._chain(shard_id)
-            if op is not None and chain is not None:
-                chain.complete(self._context(shard_id), op, rejected)
+            if op is not None:
+                chain = self._chain(op.shard_id)
+                if chain is not None:
+                    chain.complete(self._context(op.shard_id), op, rejected)
             future.try_resolve(rejected)
         for shard_id in list(self._contexts):
             chain = self._chain(shard_id)
@@ -313,23 +318,39 @@ class Session:
         self, shard_id: str, outer: SimFuture, result: Any,
         op=None, kind=None, operation=None,
     ) -> None:
-        self._busy[shard_id] = False
-        self._inflight[shard_id] = None
-        if isinstance(result, (Migrating, WrongShard)) and operation is not None:
+        if (
+            isinstance(result, (Migrating, WrongShard))
+            and operation is not None
+            and not self.closed
+        ):
             # The old owner ordered the op but shed it mid-handover: the
             # op never executed there, so resubmitting it (to the new
             # owner, possibly after parking for the epoch bump) keeps
-            # exactly-once intact.  A closed session cannot open new
-            # shard clients — shed like a queued op at close instead.
-            if not self.closed:
-                self._redirect(outer, result, op, kind, operation)
-                self._pump(shard_id)
-                return
+            # exactly-once intact.  The shard stays busy and the key
+            # stays in ``_inflight`` until the redirect is enqueued: a
+            # ``WrongShard`` reply may be this session's first sight of
+            # the new table, and the ``_adopt_map`` inside ``_redirect``
+            # then runs ``_rebalance_queues`` — which must keep treating
+            # this key as frozen, or it would splice the key's *younger*
+            # queued ops to the new owner ahead of this older op.
+            self._redirect(outer, result, op, kind, operation)
+            self._busy[shard_id] = False
+            self._inflight[shard_id] = None
+            self._pump(shard_id)
+            return
+        self._busy[shard_id] = False
+        self._inflight[shard_id] = None
+        if isinstance(result, (Migrating, WrongShard)) and operation is not None:
+            # A closed session cannot open new shard clients — shed like
+            # a queued op at close instead.
             result = Rejected(CLOSED, by="session")
         if op is not None:
-            chain = self._chain(shard_id)
+            # Complete against the shard the chain was *begun* on: after
+            # a redirect the op finishes at a different shard, and the
+            # begin/complete pair must hit the same per-shard context.
+            chain = self._chain(op.shard_id)
             if chain is not None:
-                chain.complete(self._context(shard_id), op, result)
+                chain.complete(self._context(op.shard_id), op, result)
         outer.try_resolve(result)
         self._pump(shard_id)
 

@@ -58,6 +58,24 @@ class ElasticBook:
                 return Migrating(dst_shard=dst, new_epoch=epoch)
         return None
 
+    def uncover(self, lo: int, hi: int) -> None:
+        """Stop shedding for ``[lo, hi)``: the range is being installed
+        on this replica, so any sealed/dropped record overlapping it is
+        stale here — narrow each to the part outside the installed
+        interval (drop it entirely when nothing remains).  Without this,
+        a range moved *back* to a shard that once dropped it would shed
+        a ``WrongShard`` carrying the old table forever, and the session
+        would chase the current owner — this very shard — in a loop.
+        """
+        for book in (self.sealed, self.dropped):
+            overlapping = [r for r in book if r[0] < hi and lo < r[1]]
+            for (rlo, rhi) in overlapping:
+                value = book.pop((rlo, rhi))
+                if rlo < lo:
+                    book[(rlo, lo)] = value
+                if hi < rhi:
+                    book[(hi, rhi)] = value
+
     # ------------------------------------------------------------------
     # Checkpoint embedding
     # ------------------------------------------------------------------

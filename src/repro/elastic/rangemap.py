@@ -84,9 +84,11 @@ class RangeMap:
                 f"the first range must start at slot 0, got {parsed[0][0]}"
             )
         canonical: List[Tuple[int, str]] = []
-        for start, owner in parsed:
-            if canonical and canonical[-1][0] == start:
+        previous_start = -1  # checked pre-merge: a duplicate hidden
+        for start, owner in parsed:  # behind a merged run must still die
+            if start == previous_start:
                 raise ConfigurationError(f"duplicate range start {start}")
+            previous_start = start
             if canonical and canonical[-1][1] == owner:
                 continue  # merge adjacent same-owner runs
             canonical.append((start, owner))

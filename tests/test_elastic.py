@@ -19,7 +19,9 @@ import pytest
 from repro.deploy import ClusterSpec, GroupSpec, KeyPartitioner, ShardSpec, build
 from repro.elastic import (
     SLOTS_PER_SHARD,
+    ElasticBook,
     RangeMap,
+    WrongShard,
     slot_of,
     split_moves,
     validate_moves,
@@ -108,6 +110,10 @@ def test_rangemap_constructor_fail_fast():
         RangeMap(8, ((1, "sa"),))
     with pytest.raises(ConfigurationError, match="duplicate range start"):
         RangeMap(8, ((0, "sa"), (4, "sb"), (4, "sc")))
+    # A duplicate start hidden behind a merged same-owner run must die
+    # too — accepting it would let input order pick the winner.
+    with pytest.raises(ConfigurationError, match="duplicate range start"):
+        RangeMap(8, ((0, "sa"), (1, "sa"), (1, "sb")))
     with pytest.raises(ConfigurationError, match="outside slot space"):
         RangeMap(8, ((0, "sa"), (8, "sb")))
     with pytest.raises(ConfigurationError, match="positive int"):
@@ -242,6 +248,114 @@ def test_reshard_suite_file_validates():
         "spider-reshard", "spider-reshard-double",
     ]
     assert suite.seeds == tuple(range(1, 13))
+
+
+# ----------------------------------------------------------------------
+# the elastic book stops shedding when a range is installed back
+# ----------------------------------------------------------------------
+def _key_in_slot(slot: int, slots: int) -> str:
+    return next(
+        key for key in (f"m{index}" for index in range(10_000))
+        if slot_of(key, slots) == slot
+    )
+
+
+def test_elastic_book_uncover_narrows_overlapping_cover():
+    book = ElasticBook(16)
+    book.dropped[(2, 6)] = (1, ("range-map", 16, 1, ((0, "sb"),)))
+    book.sealed[(8, 10)] = (2, "sb")
+    book.uncover(4, 9)
+    # Overlaps narrowed to the parts outside the installed interval.
+    assert set(book.dropped) == {(2, 4)} and set(book.sealed) == {(9, 10)}
+    # Ops in the uncovered range execute normally again...
+    assert book.shed(("put", _key_in_slot(5, 16), "v")) is None
+    assert book.shed(("put", _key_in_slot(8, 16), "v")) is None
+    # ...while the remainders keep shedding.
+    assert isinstance(book.shed(("put", _key_in_slot(3, 16), "v")), WrongShard)
+    # A fully-covered record vanishes instead of narrowing to nothing.
+    book.uncover(0, 16)
+    assert not book.dropped and not book.sealed
+
+
+def test_move_range_there_and_back_executes_on_return():
+    """A range returned to a shard that once dropped it must execute
+    again — a stale ``dropped`` record would shed every ordered op with
+    an old-epoch ``WrongShard``, redirect-looping the key forever."""
+    sim, network = fresh_env(seed=3, jitter=0.0)
+    spec = ClusterSpec(
+        shards=(
+            ShardSpec("sa", groups=(GroupSpec("ga", "virginia"),)),
+            ShardSpec("sb", groups=(GroupSpec("gb", "virginia"),)),
+        )
+    )
+    cluster = build(sim, spec, network=network)
+    session = cluster.session("u1", "virginia")
+    key = _key_in_slot(2, cluster.partitioner.range_map.slots)
+
+    results = []
+    session.write(key, "home").add_callback(results.append)
+    cluster.move_range(2, 3, "sa", "sb")
+    sim.run(until=60_000)
+    session.write(key, "away").add_callback(results.append)
+    cluster.move_range(2, 3, "sb", "sa")
+    sim.run(until=120_000)
+    assert cluster.partitioner.epoch == 2
+    assert cluster.partitioner.owner(key) == "sa"
+    session.write(key, "back").add_callback(results.append)
+    sim.run(until=180_000)
+    # Exactly once, in order, across both cuts — and the key is live
+    # again at its original owner rather than stuck in a redirect loop.
+    assert results == [("ok", 1), ("ok", 2), ("ok", 3)]
+
+
+def test_wrongshard_adoption_keeps_redirected_key_frozen():
+    """A ``WrongShard`` reply that is the session's *first* sight of the
+    new table adopts it mid-redirect.  The rebalance that adoption
+    triggers must treat the redirected op's key as frozen: splicing the
+    key's younger queued ops to the new owner ahead of the older op
+    being redirected would break per-key FIFO at the new owner."""
+    sim, network = fresh_env(seed=3, jitter=0.0)
+    spec = ClusterSpec(
+        shards=(
+            ShardSpec("sa", groups=(GroupSpec("ga", "virginia"),)),
+            ShardSpec("sb", groups=(GroupSpec("gb", "virginia"),)),
+        )
+    )
+    cluster = build(sim, spec, network=network)
+    session = cluster.session("u1", "virginia")
+    key = _key_in_slot(2, cluster.partitioner.range_map.slots)
+
+    f1 = session.write(key, "v1")  # goes on the wire at sa immediately
+    session.write(key, "v2")       # queued behind it
+    session.write(key, "v3")
+    assert session._inflight["sa"] == key
+    assert [entry[1][2] for entry in session._queues["sa"]] == ["v2", "v3"]
+
+    # sa sheds v1 with the epoch-1 table the session has never seen
+    # (reachable when the admin's commit acks are delayed, e.g. by a
+    # partition spanning the epoch bump).  Emulate the protocol client
+    # consuming the reply before the session callback fires.
+    client = session._clients["sa"]
+    if client._pending["retry"] is not None:
+        client._pending["retry"].cancel()
+    client._pending = None
+    new_map = cluster.partitioner.range_map.move(2, 3, "sa", "sb")
+    session._on_done(
+        "sa", f1, WrongShard(epoch=new_map.epoch, range_map=new_map.to_wire()),
+        op=None, kind="write", operation=("put", key, "v1"),
+    )
+
+    assert cluster.partitioner.epoch == new_map.epoch  # table adopted
+    # The redirected (oldest) op went to sb *first*: it is on the wire
+    # there, and the younger ops were NOT spliced ahead of it — they
+    # drain behind it through sa's redirect stream in submission order.
+    assert session._inflight["sb"] == key
+    assert [entry[1][2] for entry in session._queues["sb"]] == []
+    queued = [entry[1][2] for entry in session._queues["sa"]]
+    in_flight_at_sa = session._inflight.get("sa")
+    assert (in_flight_at_sa == key and queued == ["v3"]) or (
+        in_flight_at_sa is None and queued == ["v2", "v3"]
+    )
 
 
 # ----------------------------------------------------------------------
